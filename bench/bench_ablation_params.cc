@@ -1,0 +1,94 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   (1) relaxation threshold epsilon: candidate-set size and detection
+//       quality trade-off (§3.1's "fixed threshold, say 10%");
+//   (2) SUMS acceptance threshold: precision/recall trade-off of the
+//       truth-discovery cell strategy (§4.2's "expert specified threshold");
+//   (3) FDQ-BMC with and without non-minimal (merged) questions (§5).
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace uguide;
+using namespace uguide::bench;
+
+namespace {
+
+Session MakeSessionWithEpsilon(const BenchParams& params, double epsilon,
+                               uint64_t seed) {
+  DataGenOptions data;
+  data.rows = params.rows;
+  data.seed = 1000 + seed;
+  Relation clean = GenerateHospital(data);
+
+  TaneOptions tane;
+  tane.max_lhs_size = params.max_lhs;
+  FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+
+  ErrorGenOptions errors;
+  errors.model = ErrorModel::kSystematic;
+  errors.error_rate = 0.20;
+  errors.seed = 2000 + seed;
+  DirtyDataset dirty = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = params.max_lhs;
+  config.candidate_options.relax_threshold = epsilon;
+  return Session::Create(clean, std::move(dirty), config).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchParams params = ParseArgs(argc, argv);
+  std::printf("== Ablations (rows=%d) ==\n", params.rows);
+
+  // (1) relaxation threshold epsilon.
+  std::printf("\n-- (1) relaxation threshold epsilon (FDQ-BMC, budget 300) "
+              "--\n");
+  std::printf("%-10s %12s %12s %12s\n", "epsilon", "candidates", "true%",
+              "false%");
+  for (double epsilon : {0.02, 0.05, 0.10, 0.20, 0.30}) {
+    Session session = MakeSessionWithEpsilon(params, epsilon, 0);
+    auto strategy = MakeFdQBudgetedMaxCoverage({});
+    SessionReport report = session.Run(*strategy, 300.0);
+    std::printf("%-10.2f %12zu %12.1f %12.1f\n", epsilon,
+                session.candidates().Size(),
+                report.metrics.TrueViolationPct(),
+                report.metrics.FalseViolationPct());
+  }
+
+  // (2) SUMS acceptance threshold, at a budget small enough that not every
+  // FD can accumulate full evidence -- the threshold then trades precision
+  // for recall.
+  std::printf("\n-- (2) SUMS acceptance threshold (budget 120) --\n");
+  std::printf("%-10s %12s %12s %12s\n", "threshold", "accepted", "true%",
+              "false%");
+  Session session = MakeSessionWithEpsilon(params, 0.10, 0);
+  for (double threshold : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    CellStrategyOptions opts;
+    opts.sums_accept_threshold = threshold;
+    auto strategy = MakeCellQSums(opts);
+    SessionReport report = session.Run(*strategy, 120.0);
+    std::printf("%-10.2f %12zu %12.1f %12.1f\n", threshold,
+                report.result.accepted_fds.Size(),
+                report.metrics.TrueViolationPct(),
+                report.metrics.FalseViolationPct());
+  }
+
+  // (3) merged (non-minimal) FD questions on/off.
+  std::printf("\n-- (3) FDQ-BMC merged questions (budget sweep) --\n");
+  std::printf("%-10s %14s %14s\n", "budget", "with-merged", "minimal-only");
+  for (double budget : {50.0, 100.0, 200.0, 400.0}) {
+    FdStrategyOptions with;
+    with.allow_non_minimal = true;
+    FdStrategyOptions without;
+    without.allow_non_minimal = false;
+    auto a = MakeFdQBudgetedMaxCoverage(with);
+    auto b = MakeFdQBudgetedMaxCoverage(without);
+    std::printf("%-10.0f %14.1f %14.1f\n", budget,
+                session.Run(*a, budget).metrics.TrueViolationPct(),
+                session.Run(*b, budget).metrics.TrueViolationPct());
+  }
+  return 0;
+}

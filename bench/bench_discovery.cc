@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the discovery substrate: stripped
+// partition construction and product, exact and approximate TANE, candidate
+// generation, and violation detection. These back the §7.2.7 discussion
+// that profiling is a preprocessing step whose cost is amortized over the
+// interactive session.
+
+#include <benchmark/benchmark.h>
+
+#include "core/uguide.h"
+
+namespace uguide {
+namespace {
+
+Relation HospitalAtScale(int rows) {
+  DataGenOptions opts;
+  opts.rows = rows;
+  return GenerateHospital(opts);
+}
+
+void BM_PartitionForColumn(benchmark::State& state) {
+  Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partition::ForColumn(rel, 0));
+  }
+}
+BENCHMARK(BM_PartitionForColumn)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PartitionProduct(benchmark::State& state) {
+  Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
+  Partition a = Partition::ForColumn(rel, 3);   // city
+  Partition b = Partition::ForColumn(rel, 11);  // measure_code
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Product(b));
+  }
+}
+BENCHMARK(BM_PartitionProduct)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TaneExact(benchmark::State& state) {
+  Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
+  TaneOptions opts;
+  opts.max_lhs_size = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverFds(rel, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_TaneExact)->Arg(1000)->Arg(5000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TaneApproximate(benchmark::State& state) {
+  Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
+  TaneOptions opts;
+  opts.max_lhs_size = 3;
+  opts.max_error = 0.10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverFds(rel, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_TaneApproximate)->Arg(1000)->Arg(5000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
+  CandidateGenOptions opts;
+  opts.max_lhs_size = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidates(rel, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_CandidateGeneration)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ViolatingCells(benchmark::State& state) {
+  Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
+  const Fd fd(AttributeSet::Single(0), 1);  // provider -> hospital_name
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ViolatingCells(rel, fd));
+  }
+}
+BENCHMARK(BM_ViolatingCells)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_SaturatedSets(benchmark::State& state) {
+  Relation rel = HospitalAtScale(2000);
+  TaneOptions opts;
+  opts.max_lhs_size = 3;
+  FdSet fds = DiscoverFds(rel, opts).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SaturatedSets(fds, rel.NumAttributes(), 5000));
+  }
+}
+BENCHMARK(BM_SaturatedSets)->Unit(benchmark::kMillisecond);
+
+void BM_ArmstrongConstruction(benchmark::State& state) {
+  Relation rel = HospitalAtScale(2000);
+  TaneOptions opts;
+  opts.max_lhs_size = 2;
+  FdSet fds = DiscoverFds(rel, opts).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildArmstrongRelation(rel.schema(), fds));
+  }
+}
+BENCHMARK(BM_ArmstrongConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uguide
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Figure 3: cell-based questions on the Hospital dataset.
+//   (a) budget vs. % true violations, systematic errors
+//   (b) budget vs. % true violations, uniform errors
+//   (c) budget vs. % detected injected errors, random errors
+//   (d) budget vs. % false violations, systematic errors
+// Algorithms: CellQ-Greedy (baseline), CellQ-HS (Alg. 2), CellQ-SUMS
+// (Alg. 3/4), CellQ-Oracle (ground-truth upper baseline).
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace uguide;
+using namespace uguide::bench;
+
+namespace {
+
+struct Algo {
+  std::string name;
+  std::unique_ptr<Strategy> strategy;
+};
+
+std::vector<Algo> MakeAlgos() {
+  std::vector<Algo> algos;
+  algos.push_back({"CellQ-Greedy", MakeCellQGreedy({})});
+  algos.push_back({"CellQ-HS", MakeCellQHittingSet({})});
+  algos.push_back({"CellQ-SUMS", MakeCellQSums({})});
+  algos.push_back({"CellQ-Oracle", MakeCellQOracle({})});
+  return algos;
+}
+
+std::vector<Session> MakeSessions(const BenchParams& params,
+                                  ErrorModel model) {
+  std::vector<Session> sessions;
+  for (int seed = 0; seed < params.seeds; ++seed) {
+    sessions.push_back(MakeSession(Dataset::kHospital, params, model, 0.20,
+                                   1.0, 0.0, seed));
+  }
+  return sessions;
+}
+
+void Panel(const char* title, const std::vector<Session>& sessions,
+           const std::vector<double>& budgets, bool false_pct,
+           bool injected_pct) {
+  std::printf("\n-- %s --\n", title);
+  std::vector<Algo> algos = MakeAlgos();
+  std::vector<std::string> names;
+  for (const Algo& algo : algos) names.push_back(algo.name);
+  PrintHeader("budget", names);
+  for (double budget : budgets) {
+    std::vector<double> row;
+    for (Algo& algo : algos) {
+      SweepPoint p = RunPoint(sessions, *algo.strategy, budget);
+      row.push_back(false_pct ? p.false_pct
+                              : (injected_pct ? p.injected_pct : p.true_pct));
+    }
+    PrintRow(budget, row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchParams params = ParseArgs(argc, argv);
+  std::printf("== Figure 3: cell-based questions, Hospital (rows=%d, "
+              "seeds=%d) ==\n", params.rows, params.seeds);
+
+  const std::vector<double> budgets = {200, 400, 600, 800, 1000, 1500, 2000};
+
+  {
+    std::vector<Session> sessions =
+        MakeSessions(params, ErrorModel::kSystematic);
+    Panel("(a) %true violations vs budget, systematic errors", sessions,
+          budgets, false, false);
+    Panel("(d) %false violations vs budget, systematic errors", sessions,
+          budgets, true, false);
+  }
+  {
+    std::vector<Session> sessions = MakeSessions(params, ErrorModel::kUniform);
+    Panel("(b) %true violations vs budget, uniform errors", sessions,
+          budgets, false, false);
+  }
+  {
+    std::vector<Session> sessions = MakeSessions(params, ErrorModel::kRandom);
+    Panel("(c) %detected injected errors vs budget, random errors", sessions,
+          budgets, false, true);
+  }
+  return 0;
+}

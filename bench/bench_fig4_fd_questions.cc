@@ -1,0 +1,93 @@
+// Figure 4: FD-based questions on the Hospital and Tax datasets.
+//   (a) budget vs. % true violations, systematic errors (both datasets)
+//   (b) budget vs. % true violations, uniform errors
+//   (c) budget vs. % detected injected errors, random errors
+//   (d) budget vs. % false negatives, systematic errors
+// Algorithms: FDQ-Greedy (baseline), FDQ-BMC (Alg. 5), FDQ-Oracle.
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace uguide;
+using namespace uguide::bench;
+
+namespace {
+
+struct Algo {
+  std::string name;
+  std::unique_ptr<Strategy> strategy;
+};
+
+std::vector<Algo> MakeAlgos(const char* prefix) {
+  std::vector<Algo> algos;
+  algos.push_back({std::string(prefix) + "-Greedy", MakeFdQGreedy({})});
+  algos.push_back(
+      {std::string(prefix) + "-BMC", MakeFdQBudgetedMaxCoverage({})});
+  algos.push_back({std::string(prefix) + "-Oracle", MakeFdQOracle({})});
+  return algos;
+}
+
+enum class Metric { kTrue, kFalseNegative, kInjected };
+
+void Panel(const char* title, Dataset dataset, const BenchParams& params,
+           ErrorModel model, const std::vector<double>& budgets,
+           Metric metric) {
+  std::printf("\n-- %s --\n", title);
+  std::vector<Session> sessions;
+  for (int seed = 0; seed < params.seeds; ++seed) {
+    sessions.push_back(
+        MakeSession(dataset, params, model, 0.20, 1.0, 0.0, seed));
+  }
+  std::vector<Algo> algos = MakeAlgos(DatasetName(dataset));
+  std::vector<std::string> names;
+  for (const Algo& algo : algos) names.push_back(algo.name);
+  PrintHeader("budget", names);
+  for (double budget : budgets) {
+    std::vector<double> row;
+    for (Algo& algo : algos) {
+      SweepPoint p = RunPoint(sessions, *algo.strategy, budget);
+      switch (metric) {
+        case Metric::kTrue:
+          row.push_back(p.true_pct);
+          break;
+        case Metric::kFalseNegative:
+          row.push_back(100.0 - p.true_pct);
+          break;
+        case Metric::kInjected:
+          row.push_back(p.injected_pct);
+          break;
+      }
+    }
+    PrintRow(budget, row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchParams params = ParseArgs(argc, argv);
+  std::printf("== Figure 4: FD-based questions (rows=%d, seeds=%d) ==\n",
+              params.rows, params.seeds);
+
+  const std::vector<double> small_budgets = {50,  100, 150, 200, 250,
+                                             300, 400, 500};
+  const std::vector<double> large_budgets = {500, 1000, 1500, 2000};
+
+  Panel("(a) %true violations vs budget, systematic errors, Hospital",
+        Dataset::kHospital, params, ErrorModel::kSystematic, small_budgets,
+        Metric::kTrue);
+  Panel("(a) %true violations vs budget, systematic errors, Tax",
+        Dataset::kTax, params, ErrorModel::kSystematic, small_budgets,
+        Metric::kTrue);
+  Panel("(b) %true violations vs budget, uniform errors, Hospital",
+        Dataset::kHospital, params, ErrorModel::kUniform, large_budgets,
+        Metric::kTrue);
+  Panel("(c) %detected injected errors vs budget, random errors, Hospital",
+        Dataset::kHospital, params, ErrorModel::kRandom, large_budgets,
+        Metric::kInjected);
+  Panel("(d) %false negatives vs budget, systematic errors, Hospital",
+        Dataset::kHospital, params, ErrorModel::kSystematic, small_budgets,
+        Metric::kFalseNegative);
+  return 0;
+}

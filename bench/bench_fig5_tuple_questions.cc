@@ -1,0 +1,55 @@
+// Figure 5: tuple-based questions on the Hospital dataset (systematic
+// errors).
+//   (a) budget vs. % true violations
+//   (b) budget vs. % false violations
+// Algorithms: Sampling-Uniform (Alg. 6), Sampling-Violation (Alg. 7),
+// Sampling-Saturation-Sets (Alg. 8), TupleQ-Oracle.
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace uguide;
+using namespace uguide::bench;
+
+int main(int argc, char** argv) {
+  BenchParams params = ParseArgs(argc, argv);
+  std::printf("== Figure 5: tuple-based questions, Hospital, systematic "
+              "errors (rows=%d, seeds=%d) ==\n", params.rows, params.seeds);
+
+  std::vector<Session> sessions;
+  for (int seed = 0; seed < params.seeds; ++seed) {
+    sessions.push_back(MakeSession(Dataset::kHospital, params,
+                                   ErrorModel::kSystematic, 0.20, 1.0, 0.0,
+                                   seed));
+  }
+
+  struct Algo {
+    std::string name;
+    std::unique_ptr<Strategy> strategy;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"Uniform", MakeTupleSamplingUniform({})});
+  algos.push_back({"Violation", MakeTupleSamplingViolationWeighting({})});
+  algos.push_back({"Saturation", MakeTupleSamplingSaturationSets({})});
+  algos.push_back({"TupleQ-Oracle", MakeTupleQOracle({})});
+
+  const std::vector<double> budgets = {250, 500, 1000, 1500, 2000};
+  std::vector<std::string> names;
+  for (const Algo& algo : algos) names.push_back(algo.name);
+
+  for (bool false_pct : {false, true}) {
+    std::printf("\n-- (%c) %%%s violations vs budget --\n",
+                false_pct ? 'b' : 'a', false_pct ? "false" : "true");
+    PrintHeader("budget", names);
+    for (double budget : budgets) {
+      std::vector<double> row;
+      for (Algo& algo : algos) {
+        SweepPoint p = RunPoint(sessions, *algo.strategy, budget);
+        row.push_back(false_pct ? p.false_pct : p.true_pct);
+      }
+      PrintRow(budget, row);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figures 7 and 8: impact of the fraction of erroneous tuples (10%-50%,
+// each FD still capped at 10% of tuples) on the three question types at a
+// fixed budget of 500, Hospital dataset.
+//   Fig. 7: error % vs. % true violations
+//   Fig. 8: error % vs. % false violations
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace uguide;
+using namespace uguide::bench;
+
+int main(int argc, char** argv) {
+  BenchParams params = ParseArgs(argc, argv);
+  const double budget = 500.0;
+  std::printf("== Figures 7-8: impact of error percentage, Hospital, "
+              "budget=%g (rows=%d, seeds=%d) ==\n",
+              budget, params.rows, params.seeds);
+
+  struct Algo {
+    std::string name;
+    std::unique_ptr<Strategy> strategy;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"FD-Q", MakeFdQBudgetedMaxCoverage({})});
+  algos.push_back({"Cell-Q", MakeCellQSums({})});
+  algos.push_back({"Tuple-Q", MakeTupleSamplingSaturationSets({})});
+
+  const std::vector<double> error_pcts = {10, 20, 30, 40, 50};
+  std::vector<std::string> names;
+  for (const Algo& algo : algos) names.push_back(algo.name);
+
+  // Build the session grid once (one row of sessions per error rate).
+  std::vector<std::vector<Session>> grid;
+  for (double pct : error_pcts) {
+    std::vector<Session> sessions;
+    for (int seed = 0; seed < params.seeds; ++seed) {
+      sessions.push_back(MakeSession(Dataset::kHospital, params,
+                                     ErrorModel::kSystematic, pct / 100.0,
+                                     /*per_fd_cap=*/0.10, 0.0, seed));
+    }
+    grid.push_back(std::move(sessions));
+  }
+
+  for (bool false_pct : {false, true}) {
+    std::printf("\n-- Fig. %d: %%%s violations vs error %% --\n",
+                false_pct ? 8 : 7, false_pct ? "false" : "true");
+    PrintHeader("err_pct", names);
+    for (size_t i = 0; i < error_pcts.size(); ++i) {
+      std::vector<double> row;
+      for (Algo& algo : algos) {
+        SweepPoint p = RunPoint(grid[i], *algo.strategy, budget);
+        row.push_back(false_pct ? p.false_pct : p.true_pct);
+      }
+      PrintRow(error_pcts[i], row);
+    }
+  }
+  return 0;
+}

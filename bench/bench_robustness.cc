@@ -1,0 +1,99 @@
+// Robustness extension (the paper's §9 future work: "enhance the
+// robustness of our algorithms where the expert may provide incorrect
+// answers for a fixed fraction of questions").
+//
+//   (1) how detection quality degrades as the expert's wrong-answer rate
+//       grows, for all three question families;
+//   (2) whether 3-way majority voting over repeated questions (at 1/3 of
+//       the effective budget per question) recovers quality.
+
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace uguide;
+using namespace uguide::bench;
+
+namespace {
+
+Session MakeNoisySession(const BenchParams& params, double wrong_rate,
+                         int votes, uint64_t seed) {
+  DataGenOptions data;
+  data.rows = params.rows;
+  data.seed = 1000 + seed;
+  Relation clean = GenerateHospital(data);
+
+  TaneOptions tane;
+  tane.max_lhs_size = params.max_lhs;
+  FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+
+  ErrorGenOptions errors;
+  errors.model = ErrorModel::kSystematic;
+  errors.error_rate = 0.20;
+  errors.seed = 2000 + seed;
+  DirtyDataset dirty = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = params.max_lhs;
+  config.wrong_rate = wrong_rate;
+  config.expert_votes = votes;
+  config.expert_seed = 3000 + seed;
+  return Session::Create(clean, std::move(dirty), config).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchParams params = ParseArgs(argc, argv);
+  const double budget = 900.0;
+  std::printf("== Robustness to incorrect expert answers, Hospital, "
+              "budget=%g (rows=%d) ==\n", budget, params.rows);
+
+  struct Algo {
+    std::string name;
+    std::unique_ptr<Strategy> strategy;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"FD-Q", MakeFdQBudgetedMaxCoverage({})});
+  algos.push_back({"Cell-Q", MakeCellQSums({})});
+  algos.push_back({"Tuple-Q", MakeTupleSamplingSaturationSets({})});
+
+  const std::vector<double> wrong_rates = {0, 5, 10, 20, 30};
+
+  for (const char* metric : {"true", "false"}) {
+    std::printf("\n-- %%%s violations vs %%wrong answers (single ask) --\n",
+                metric);
+    std::printf("%-10s", "wrong_pct");
+    for (const Algo& algo : algos) {
+      std::printf(" %14s", algo.name.c_str());
+    }
+    std::printf("\n");
+    for (double wrong : wrong_rates) {
+      Session session = MakeNoisySession(params, wrong / 100.0, 1, 0);
+      std::printf("%-10.0f", wrong);
+      for (Algo& algo : algos) {
+        SessionReport report = session.Run(*algo.strategy, budget);
+        std::printf(" %14.1f", metric[0] == 't'
+                                   ? report.metrics.TrueViolationPct()
+                                   : report.metrics.FalseViolationPct());
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n-- mitigation: 3-vote majority (same total effort) --\n");
+  std::printf("%-10s %16s %16s %16s %16s\n", "wrong_pct", "FDQ true%",
+              "FDQ-3vote true%", "FDQ false%", "FDQ-3vote false%");
+  for (double wrong : wrong_rates) {
+    auto fdq = MakeFdQBudgetedMaxCoverage({});
+    Session plain = MakeNoisySession(params, wrong / 100.0, 1, 0);
+    Session voting = MakeNoisySession(params, wrong / 100.0, 3, 0);
+    SessionReport a = plain.Run(*fdq, budget);
+    SessionReport b = voting.Run(*fdq, budget);
+    std::printf("%-10.0f %16.1f %16.1f %16.1f %16.1f\n", wrong,
+                a.metrics.TrueViolationPct(), b.metrics.TrueViolationPct(),
+                a.metrics.FalseViolationPct(),
+                b.metrics.FalseViolationPct());
+  }
+  return 0;
+}

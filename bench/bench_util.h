@@ -1,0 +1,135 @@
+#ifndef UGUIDE_BENCH_BENCH_UTIL_H_
+#define UGUIDE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/uguide.h"
+
+namespace uguide::bench {
+
+/// Which of the three paper datasets to generate.
+enum class Dataset { kTax, kHospital, kStock };
+
+inline const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kTax:
+      return "Tax";
+    case Dataset::kHospital:
+      return "Hospital";
+    case Dataset::kStock:
+      return "Stock";
+  }
+  return "?";
+}
+
+inline Relation GenerateDataset(Dataset d, const DataGenOptions& opts) {
+  switch (d) {
+    case Dataset::kTax:
+      return GenerateTax(opts);
+    case Dataset::kHospital:
+      return GenerateHospital(opts);
+    case Dataset::kStock:
+      return GenerateStock(opts);
+  }
+  return GenerateHospital(opts);
+}
+
+/// Parameters shared by the figure benches; overridable from the command
+/// line with --rows=N and --seeds=K (paper scale: --rows=100000).
+struct BenchParams {
+  int rows = 3000;
+  int seeds = 1;  // dirty-dataset instantiations averaged per point
+  int max_lhs = 3;
+};
+
+inline BenchParams ParseArgs(int argc, char** argv) {
+  BenchParams params;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      params.rows = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+      params.seeds = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--max-lhs=", 10) == 0) {
+      params.max_lhs = std::atoi(argv[i] + 10);
+    }
+  }
+  return params;
+}
+
+/// Builds one experiment session: generate clean data, discover Sigma_TC,
+/// inject errors, generate candidates.
+inline Session MakeSession(Dataset dataset, const BenchParams& params,
+                           ErrorModel model, double error_rate,
+                           double per_fd_cap, double idk_rate,
+                           uint64_t seed) {
+  DataGenOptions data;
+  data.rows = params.rows;
+  data.seed = 1000 + seed;
+  Relation clean = GenerateDataset(dataset, data);
+
+  TaneOptions tane;
+  tane.max_lhs_size = params.max_lhs;
+  FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+
+  ErrorGenOptions errors;
+  errors.model = model;
+  errors.error_rate = error_rate;
+  errors.per_fd_cap = per_fd_cap;
+  errors.seed = 2000 + seed;
+  DirtyDataset dirty = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = params.max_lhs;
+  config.idk_rate = idk_rate;
+  config.expert_seed = 3000 + seed;
+  return Session::Create(clean, std::move(dirty), config).ValueOrDie();
+}
+
+/// Averaged result of running a strategy at one budget over several dirty
+/// instantiations.
+struct SweepPoint {
+  double true_pct = 0;
+  double false_pct = 0;
+  double injected_pct = 0;
+  double questions = 0;
+};
+
+inline SweepPoint RunPoint(const std::vector<Session>& sessions,
+                           Strategy& strategy, double budget) {
+  SweepPoint point;
+  for (const Session& session : sessions) {
+    SessionReport report = session.Run(strategy, budget);
+    point.true_pct += report.metrics.TrueViolationPct();
+    point.false_pct += report.metrics.FalseViolationPct();
+    point.injected_pct += report.metrics.InjectedRecallPct();
+    point.questions += report.result.questions_asked;
+  }
+  const double n = static_cast<double>(sessions.size());
+  point.true_pct /= n;
+  point.false_pct /= n;
+  point.injected_pct /= n;
+  point.questions /= n;
+  return point;
+}
+
+/// Prints a series header like:  budget  Alg1  Alg2 ...
+inline void PrintHeader(const char* x_label,
+                        const std::vector<std::string>& series) {
+  std::printf("%-10s", x_label);
+  for (const auto& name : series) std::printf(" %14s", name.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(double x, const std::vector<double>& values) {
+  std::printf("%-10.0f", x);
+  for (double v : values) std::printf(" %14.1f", v);
+  std::printf("\n");
+}
+
+}  // namespace uguide::bench
+
+#endif  // UGUIDE_BENCH_BENCH_UTIL_H_

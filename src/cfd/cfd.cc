@@ -1,0 +1,151 @@
+#include "cfd/cfd.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace uguide {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueCode>& v) const {
+    size_t seed = v.size();
+    for (ValueCode c : v) HashCombine(seed, c);
+    return seed;
+  }
+};
+
+// Rows matching the CFD's LHS constants, grouped by their full LHS
+// projection.
+std::unordered_map<std::vector<ValueCode>, std::vector<TupleId>, VecHash>
+MatchingGroups(const Relation& relation, const Cfd& cfd) {
+  std::unordered_map<std::vector<ValueCode>, std::vector<TupleId>, VecHash>
+      groups;
+  const std::vector<int> cols = cfd.embedded().lhs.ToVector();
+  std::vector<ValueCode> key(cols.size());
+  for (TupleId r = 0; r < relation.NumRows(); ++r) {
+    if (!cfd.Matches(relation, r)) continue;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key[i] = relation.Code(r, cols[i]);
+    }
+    groups[key].push_back(r);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<Cfd> Cfd::Make(Fd embedded, std::vector<std::string> lhs_pattern,
+                      std::string rhs_pattern) {
+  if (!embedded.IsValidShape()) {
+    return Status::InvalidArgument("trivial embedded FD " +
+                                   embedded.ToString());
+  }
+  if (lhs_pattern.size() != static_cast<size_t>(embedded.lhs.Size())) {
+    return Status::InvalidArgument(
+        "pattern size " + std::to_string(lhs_pattern.size()) +
+        " does not match LHS size " + std::to_string(embedded.lhs.Size()));
+  }
+  return Cfd(embedded, std::move(lhs_pattern), std::move(rhs_pattern));
+}
+
+bool Cfd::IsPlainFd() const {
+  if (rhs_pattern_ != kWildcard) return false;
+  return std::all_of(lhs_pattern_.begin(), lhs_pattern_.end(),
+                     [](const std::string& p) { return p == kWildcard; });
+}
+
+bool Cfd::Matches(const Relation& relation, TupleId row) const {
+  const std::vector<int> cols = embedded_.lhs.ToVector();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (lhs_pattern_[i] == kWildcard) continue;
+    if (relation.Value(row, cols[i]) != lhs_pattern_[i]) return false;
+  }
+  return true;
+}
+
+std::string Cfd::ToString(const Schema& schema) const {
+  std::string out;
+  const std::vector<int> cols = embedded_.lhs.ToVector();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.Name(cols[i]);
+    if (lhs_pattern_[i] != kWildcard) {
+      out += "=";
+      out += lhs_pattern_[i];
+    }
+  }
+  out += " -> ";
+  out += schema.Name(embedded_.rhs);
+  if (rhs_pattern_ != kWildcard) {
+    out += "=";
+    out += rhs_pattern_;
+  }
+  return out;
+}
+
+std::vector<Cell> ViolatingCells(const Relation& relation, const Cfd& cfd) {
+  std::vector<TupleId> rows;
+  const int rhs = cfd.embedded().rhs;
+  if (cfd.IsConstant()) {
+    // Every matching tuple must carry the RHS constant.
+    for (TupleId r = 0; r < relation.NumRows(); ++r) {
+      if (cfd.Matches(relation, r) &&
+          relation.Value(r, rhs) != cfd.rhs_pattern()) {
+        rows.push_back(r);
+      }
+    }
+  } else {
+    // Variable CFD: participation semantics within matching groups.
+    for (const auto& [key, group] : MatchingGroups(relation, cfd)) {
+      if (group.size() < 2) continue;
+      const ValueCode first = relation.Code(group[0], rhs);
+      bool impure = false;
+      for (size_t i = 1; i < group.size(); ++i) {
+        if (relation.Code(group[i], rhs) != first) {
+          impure = true;
+          break;
+        }
+      }
+      if (impure) rows.insert(rows.end(), group.begin(), group.end());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  std::vector<Cell> cells;
+  cells.reserve(rows.size());
+  for (TupleId r : rows) cells.push_back(Cell{r, rhs});
+  return cells;
+}
+
+bool CfdHoldsOn(const Relation& relation, const Cfd& cfd) {
+  return ViolatingCells(relation, cfd).empty();
+}
+
+double CfdError(const Relation& relation, const Cfd& cfd) {
+  if (relation.NumRows() == 0) return 0.0;
+  const int rhs = cfd.embedded().rhs;
+  size_t removed = 0;
+  if (cfd.IsConstant()) {
+    for (TupleId r = 0; r < relation.NumRows(); ++r) {
+      if (cfd.Matches(relation, r) &&
+          relation.Value(r, rhs) != cfd.rhs_pattern()) {
+        ++removed;
+      }
+    }
+  } else {
+    for (const auto& [key, group] : MatchingGroups(relation, cfd)) {
+      std::unordered_map<ValueCode, size_t> counts;
+      size_t best = 0;
+      for (TupleId r : group) {
+        best = std::max(best, ++counts[relation.Code(r, rhs)]);
+      }
+      removed += group.size() - best;
+    }
+  }
+  return static_cast<double>(removed) /
+         static_cast<double>(relation.NumRows());
+}
+
+}  // namespace uguide

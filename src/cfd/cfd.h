@@ -1,0 +1,93 @@
+#ifndef UGUIDE_CFD_CFD_H_
+#define UGUIDE_CFD_CFD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// \brief A conditional functional dependency (CFD): an embedded FD
+/// X -> A plus a single pattern tuple over X and A.
+///
+/// This is the paper's §9 extension target ("extend our work to other ICs
+/// beyond FDs"). Pattern semantics follow Fan et al. (TODS'08):
+/// - every X attribute carries either a constant or the wildcard '_';
+/// - the RHS carries a constant (a *constant CFD*) or '_' (a *variable
+///   CFD*).
+/// A tuple matches when it equals every LHS constant. A variable CFD is
+/// violated by two matching tuples agreeing on X but not on A; a constant
+/// CFD is violated by any matching tuple whose A-value differs from the
+/// RHS constant. A CFD with no constants at all degenerates to its
+/// embedded FD.
+class Cfd {
+ public:
+  /// The wildcard marker used in patterns.
+  static constexpr const char* kWildcard = "_";
+
+  /// Builds a CFD. `lhs_pattern` must have one entry per LHS attribute of
+  /// `embedded` (in ascending attribute order), each a constant or
+  /// kWildcard. `rhs_pattern` is a constant or kWildcard.
+  static Result<Cfd> Make(Fd embedded, std::vector<std::string> lhs_pattern,
+                          std::string rhs_pattern);
+
+  const Fd& embedded() const { return embedded_; }
+
+  /// Pattern entry for LHS attribute at position `i` (ascending order).
+  const std::string& lhs_pattern(size_t i) const { return lhs_pattern_[i]; }
+  const std::vector<std::string>& lhs_patterns() const {
+    return lhs_pattern_;
+  }
+  const std::string& rhs_pattern() const { return rhs_pattern_; }
+
+  /// True iff the RHS pattern is a constant.
+  bool IsConstant() const { return rhs_pattern_ != kWildcard; }
+
+  /// True iff every pattern entry is the wildcard (a plain FD).
+  bool IsPlainFd() const;
+
+  /// True iff `row` satisfies every LHS constant of the pattern.
+  bool Matches(const Relation& relation, TupleId row) const;
+
+  /// Renders like "zip=02139,_ -> city=Cambridge" / "zip,_ -> city".
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const Cfd& other) const {
+    return embedded_ == other.embedded_ &&
+           lhs_pattern_ == other.lhs_pattern_ &&
+           rhs_pattern_ == other.rhs_pattern_;
+  }
+
+ private:
+  Cfd(Fd embedded, std::vector<std::string> lhs_pattern,
+      std::string rhs_pattern)
+      : embedded_(embedded),
+        lhs_pattern_(std::move(lhs_pattern)),
+        rhs_pattern_(std::move(rhs_pattern)) {}
+
+  Fd embedded_;
+  std::vector<std::string> lhs_pattern_;  // aligned with lhs.ToVector()
+  std::string rhs_pattern_;
+};
+
+/// \brief Cells violating `cfd` on `relation`.
+///
+/// Variable CFDs use the same participation semantics as plain FDs,
+/// restricted to pattern-matching tuples; constant CFDs flag every
+/// matching tuple whose RHS value differs from the constant.
+std::vector<Cell> ViolatingCells(const Relation& relation, const Cfd& cfd);
+
+/// True iff `cfd` holds on every (pair of) matching tuple(s).
+bool CfdHoldsOn(const Relation& relation, const Cfd& cfd);
+
+/// The g3-style error of a CFD: the fraction of tuples that must be
+/// removed for it to hold (non-matching tuples never count).
+double CfdError(const Relation& relation, const Cfd& cfd);
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CFD_CFD_H_

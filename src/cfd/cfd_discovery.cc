@@ -1,0 +1,133 @@
+#include "cfd/cfd_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "fd/armstrong.h"
+
+namespace uguide {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueCode>& v) const {
+    size_t seed = v.size();
+    for (ValueCode c : v) HashCombine(seed, c);
+    return seed;
+  }
+};
+
+// Per-X-group summary: size and whether all members share one RHS value.
+struct GroupInfo {
+  std::vector<ValueCode> key;
+  size_t size = 0;
+  bool pure = true;
+};
+
+std::vector<GroupInfo> SummarizeGroups(const Relation& relation,
+                                       const Fd& fd) {
+  std::unordered_map<std::vector<ValueCode>, std::pair<ValueCode, GroupInfo>,
+                     VecHash>
+      groups;
+  const std::vector<int> cols = fd.lhs.ToVector();
+  std::vector<ValueCode> key(cols.size());
+  for (TupleId r = 0; r < relation.NumRows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      key[i] = relation.Code(r, cols[i]);
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    auto& [rhs_code, info] = it->second;
+    const ValueCode code = relation.Code(r, fd.rhs);
+    if (inserted) {
+      rhs_code = code;
+      info.key = key;
+    } else if (code != rhs_code) {
+      info.pure = false;
+    }
+    ++info.size;
+  }
+  std::vector<GroupInfo> out;
+  out.reserve(groups.size());
+  for (auto& [k, entry] : groups) out.push_back(std::move(entry.second));
+  return out;
+}
+
+}  // namespace
+
+std::vector<Cfd> DiscoverVariableCfds(const Relation& relation,
+                                      const FdSet& broken_fds,
+                                      const CfdDiscoveryOptions& options) {
+  std::vector<Cfd> results;
+  for (const Fd& fd : broken_fds) {
+    if (fd.lhs.Empty()) continue;
+    if (FdHoldsOn(relation, fd)) continue;  // plain FD suffices
+    const std::vector<GroupInfo> groups = SummarizeGroups(relation, fd);
+    const size_t lhs_size = static_cast<size_t>(fd.lhs.Size());
+
+    // For each LHS position j, aggregate group purity per value of that
+    // position: the condition "attr_j = v" yields an exact CFD iff every
+    // group carrying v there is pure.
+    for (size_t j = 0; j < lhs_size; ++j) {
+      std::unordered_map<ValueCode, std::pair<size_t, bool>> by_value;
+      for (const GroupInfo& g : groups) {
+        auto& [support, all_pure] = by_value.try_emplace(
+            g.key[j], std::make_pair(size_t{0}, true)).first->second;
+        support += g.size;
+        all_pure = all_pure && g.pure;
+      }
+      for (const auto& [value, agg] : by_value) {
+        const auto& [support, all_pure] = agg;
+        if (!all_pure ||
+            support < static_cast<size_t>(options.min_support)) {
+          continue;
+        }
+        std::vector<std::string> pattern(lhs_size, Cfd::kWildcard);
+        pattern[j] = relation.pool().Lookup(value);
+        auto cfd = Cfd::Make(fd, std::move(pattern), Cfd::kWildcard);
+        if (cfd.ok()) results.push_back(std::move(cfd).ValueOrDie());
+        if (results.size() >= options.max_results) return results;
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<Cfd> DiscoverConstantCfds(const Relation& relation,
+                                      const CfdDiscoveryOptions& options) {
+  std::vector<Cfd> results;
+  const int m = relation.NumAttributes();
+  for (int b = 0; b < m && results.size() < options.max_results; ++b) {
+    for (int a = 0; a < m; ++a) {
+      if (a == b) continue;
+      const Fd fd(AttributeSet::Single(b), a);
+      if (FdHoldsOn(relation, fd)) continue;  // plain FD suffices
+      // For each value v of B: pure + supported groups become B=v -> A=a.
+      std::unordered_map<ValueCode, std::pair<ValueCode, size_t>> by_value;
+      std::unordered_map<ValueCode, bool> pure;
+      for (TupleId r = 0; r < relation.NumRows(); ++r) {
+        const ValueCode v = relation.Code(r, b);
+        const ValueCode rhs = relation.Code(r, a);
+        auto [it, inserted] =
+            by_value.try_emplace(v, std::make_pair(rhs, size_t{0}));
+        if (!inserted && it->second.first != rhs) pure[v] = false;
+        ++it->second.second;
+        pure.try_emplace(v, true);
+      }
+      for (const auto& [value, entry] : by_value) {
+        const auto& [rhs_code, support] = entry;
+        if (!pure[value] ||
+            support < static_cast<size_t>(options.min_support)) {
+          continue;
+        }
+        auto cfd = Cfd::Make(fd, {relation.pool().Lookup(value)},
+                             relation.pool().Lookup(rhs_code));
+        if (cfd.ok()) results.push_back(std::move(cfd).ValueOrDie());
+        if (results.size() >= options.max_results) break;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace uguide

@@ -1,0 +1,41 @@
+#ifndef UGUIDE_CFD_CFD_DISCOVERY_H_
+#define UGUIDE_CFD_CFD_DISCOVERY_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// Options for the CFD miners.
+struct CfdDiscoveryOptions {
+  /// Minimum number of pattern-matching tuples for a CFD to be reported
+  /// (low-support patterns are statistically meaningless).
+  int min_support = 8;
+
+  /// Cap on the number of reported CFDs.
+  size_t max_results = 200;
+};
+
+/// \brief Mines variable CFDs that repair broken FDs (§9 extension).
+///
+/// For every FD X -> A in `broken_fds` (typically approximate FDs that do
+/// not hold exactly), finds single-attribute conditions B = v (B in X)
+/// under which X -> A holds exactly with enough support. Conditions whose
+/// embedded FD already holds globally are skipped -- a CFD is only
+/// interesting where the plain FD fails.
+std::vector<Cfd> DiscoverVariableCfds(const Relation& relation,
+                                      const FdSet& broken_fds,
+                                      const CfdDiscoveryOptions& options = {});
+
+/// \brief Mines constant CFDs of the form B=v -> A=a: association-style
+/// rules where a single attribute value fixes another attribute's value.
+/// Only pairs whose plain FD B -> A fails globally are considered.
+std::vector<Cfd> DiscoverConstantCfds(const Relation& relation,
+                                      const CfdDiscoveryOptions& options = {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CFD_CFD_DISCOVERY_H_

@@ -1,0 +1,83 @@
+#include "cfd/tableau.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "relation/relation.h"
+
+namespace uguide {
+
+Result<CfdTableau> CfdTableau::Make(Fd embedded, std::vector<Cfd> patterns) {
+  if (!embedded.IsValidShape()) {
+    return Status::InvalidArgument("trivial embedded FD " +
+                                   embedded.ToString());
+  }
+  if (patterns.empty()) {
+    return Status::InvalidArgument("a tableau needs at least one pattern");
+  }
+  for (const Cfd& cfd : patterns) {
+    if (!(cfd.embedded() == embedded)) {
+      return Status::InvalidArgument(
+          "pattern embeds " + cfd.embedded().ToString() + ", expected " +
+          embedded.ToString());
+    }
+  }
+  return CfdTableau(embedded, std::move(patterns));
+}
+
+bool CfdTableau::Matches(const Relation& relation, TupleId row) const {
+  for (const Cfd& cfd : patterns_) {
+    if (cfd.Matches(relation, row)) return true;
+  }
+  return false;
+}
+
+std::string CfdTableau::ToString(const Schema& schema) const {
+  std::string out = embedded_.ToString(schema);
+  out += " | {";
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (i > 0) out += " ; ";
+    const Cfd& cfd = patterns_[i];
+    for (size_t j = 0; j < cfd.lhs_patterns().size(); ++j) {
+      if (j > 0) out += ",";
+      out += cfd.lhs_patterns()[j];
+    }
+    out += "||";
+    out += cfd.rhs_pattern();
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<Cell> ViolatingCells(const Relation& relation,
+                                 const CfdTableau& tableau) {
+  std::unordered_set<Cell, CellHash> seen;
+  for (const Cfd& cfd : tableau.patterns()) {
+    for (const Cell& cell : ViolatingCells(relation, cfd)) {
+      seen.insert(cell);
+    }
+  }
+  std::vector<Cell> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool TableauHoldsOn(const Relation& relation, const CfdTableau& tableau) {
+  for (const Cfd& cfd : tableau.patterns()) {
+    if (!CfdHoldsOn(relation, cfd)) return false;
+  }
+  return true;
+}
+
+Result<CfdTableau> MineTableau(const Relation& relation, const Fd& fd,
+                               const CfdDiscoveryOptions& options) {
+  std::vector<Cfd> patterns =
+      DiscoverVariableCfds(relation, FdSet({fd}), options);
+  if (patterns.empty()) {
+    return Status::NotFound("no condition makes " + fd.ToString() +
+                            " hold with the required support");
+  }
+  return CfdTableau::Make(fd, std::move(patterns));
+}
+
+}  // namespace uguide

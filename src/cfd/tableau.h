@@ -1,0 +1,61 @@
+#ifndef UGUIDE_CFD_TABLEAU_H_
+#define UGUIDE_CFD_TABLEAU_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "cfd/cfd_discovery.h"
+
+namespace uguide {
+
+/// \brief A CFD with a multi-row pattern tableau (Fan et al., TODS'08).
+///
+/// A full conditional dependency is an embedded FD plus a *tableau* of
+/// pattern tuples; the dependency constrains every tuple matched by any
+/// pattern. Cfd (cfd.h) is the single-pattern special case; a tableau
+/// groups several of them over one embedded FD, which is how CFDs are
+/// written in the literature:
+///
+///     (country, zip -> city,  T = { (DE, _ || _), (AT, _ || _) })
+class CfdTableau {
+ public:
+  /// Builds a tableau; every pattern must share `embedded` as its FD and
+  /// at least one pattern is required.
+  static Result<CfdTableau> Make(Fd embedded, std::vector<Cfd> patterns);
+
+  const Fd& embedded() const { return embedded_; }
+  size_t NumPatterns() const { return patterns_.size(); }
+  const Cfd& pattern(size_t i) const { return patterns_[i]; }
+  const std::vector<Cfd>& patterns() const { return patterns_; }
+
+  /// True iff `row` matches at least one pattern.
+  bool Matches(const Relation& relation, TupleId row) const;
+
+  /// Renders as "country,zip -> city | {DE,_ ; AT,_}".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  CfdTableau(Fd embedded, std::vector<Cfd> patterns)
+      : embedded_(embedded), patterns_(std::move(patterns)) {}
+
+  Fd embedded_;
+  std::vector<Cfd> patterns_;
+};
+
+/// Cells violating any pattern of the tableau (deduplicated, row-major).
+std::vector<Cell> ViolatingCells(const Relation& relation,
+                                 const CfdTableau& tableau);
+
+/// True iff every pattern of the tableau holds.
+bool TableauHoldsOn(const Relation& relation, const CfdTableau& tableau);
+
+/// \brief Mines a tableau for one broken FD: the single-attribute
+/// conditions under which it holds exactly (DiscoverVariableCfds grouped
+/// into one dependency). Returns NotFound when no condition with the
+/// required support exists.
+Result<CfdTableau> MineTableau(const Relation& relation, const Fd& fd,
+                               const CfdDiscoveryOptions& options = {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CFD_TABLEAU_H_

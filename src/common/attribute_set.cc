@@ -1,0 +1,33 @@
+#include "common/attribute_set.h"
+
+namespace uguide {
+
+std::string AttributeSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int a : *this) {
+    if (!first) out += ",";
+    out += std::to_string(a);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::string AttributeSet::ToString(
+    const std::vector<std::string>& names) const {
+  std::string out;
+  bool first = true;
+  for (int a : *this) {
+    if (!first) out += ",";
+    if (a < static_cast<int>(names.size())) {
+      out += names[a];
+    } else {
+      out += "attr" + std::to_string(a);
+    }
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace uguide

@@ -1,0 +1,189 @@
+#ifndef UGUIDE_COMMON_ATTRIBUTE_SET_H_
+#define UGUIDE_COMMON_ATTRIBUTE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uguide {
+
+/// \brief A set of attribute indices backed by a 64-bit mask.
+///
+/// Relations in this library have at most 64 attributes (the paper's datasets
+/// have at most 16), so a single word suffices. AttributeSet is a value type:
+/// cheap to copy, hash, and compare, which matters because FD discovery
+/// manipulates millions of them.
+class AttributeSet {
+ public:
+  static constexpr int kMaxAttributes = 64;
+
+  /// Constructs the empty set.
+  constexpr AttributeSet() = default;
+
+  /// Constructs a set from a raw bitmask.
+  constexpr explicit AttributeSet(uint64_t mask) : mask_(mask) {}
+
+  /// Constructs a set from a list of attribute indices.
+  AttributeSet(std::initializer_list<int> attrs) {
+    for (int a : attrs) Add(a);
+  }
+
+  /// Returns the set {0, 1, ..., m-1}.
+  static AttributeSet Full(int m) {
+    UGUIDE_CHECK(m >= 0 && m <= kMaxAttributes);
+    return m == kMaxAttributes ? AttributeSet(~uint64_t{0})
+                               : AttributeSet((uint64_t{1} << m) - 1);
+  }
+
+  /// Returns the singleton set {attr}.
+  static AttributeSet Single(int attr) {
+    AttributeSet s;
+    s.Add(attr);
+    return s;
+  }
+
+  uint64_t mask() const { return mask_; }
+
+  bool Empty() const { return mask_ == 0; }
+
+  /// Number of attributes in the set.
+  int Size() const { return std::popcount(mask_); }
+
+  bool Contains(int attr) const {
+    UGUIDE_DCHECK(attr >= 0 && attr < kMaxAttributes);
+    return (mask_ >> attr) & 1;
+  }
+
+  void Add(int attr) {
+    UGUIDE_DCHECK(attr >= 0 && attr < kMaxAttributes);
+    mask_ |= uint64_t{1} << attr;
+  }
+
+  void Remove(int attr) {
+    UGUIDE_DCHECK(attr >= 0 && attr < kMaxAttributes);
+    mask_ &= ~(uint64_t{1} << attr);
+  }
+
+  /// True iff this set is a (non-strict) subset of `other`.
+  bool IsSubsetOf(const AttributeSet& other) const {
+    return (mask_ & other.mask_) == mask_;
+  }
+
+  /// True iff this set is a strict subset of `other`.
+  bool IsStrictSubsetOf(const AttributeSet& other) const {
+    return mask_ != other.mask_ && IsSubsetOf(other);
+  }
+
+  bool Intersects(const AttributeSet& other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  AttributeSet Union(const AttributeSet& other) const {
+    return AttributeSet(mask_ | other.mask_);
+  }
+
+  AttributeSet Intersect(const AttributeSet& other) const {
+    return AttributeSet(mask_ & other.mask_);
+  }
+
+  /// Set difference: elements of this set not in `other`.
+  AttributeSet Minus(const AttributeSet& other) const {
+    return AttributeSet(mask_ & ~other.mask_);
+  }
+
+  /// The set with `attr` added (this set is unchanged).
+  AttributeSet With(int attr) const {
+    AttributeSet s = *this;
+    s.Add(attr);
+    return s;
+  }
+
+  /// The set with `attr` removed (this set is unchanged).
+  AttributeSet Without(int attr) const {
+    AttributeSet s = *this;
+    s.Remove(attr);
+    return s;
+  }
+
+  /// The smallest attribute index in the set; the set must be non-empty.
+  int Lowest() const {
+    UGUIDE_DCHECK(mask_ != 0);
+    return std::countr_zero(mask_);
+  }
+
+  /// The largest attribute index in the set; the set must be non-empty.
+  int Highest() const {
+    UGUIDE_DCHECK(mask_ != 0);
+    return 63 - std::countl_zero(mask_);
+  }
+
+  /// Returns the members in increasing order.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(Size());
+    for (uint64_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(std::countr_zero(m));
+    }
+    return out;
+  }
+
+  /// Renders as e.g. "{0,3,5}".
+  std::string ToString() const;
+
+  /// Renders using attribute names, e.g. "zip,city".
+  std::string ToString(const std::vector<std::string>& names) const;
+
+  bool operator==(const AttributeSet& other) const {
+    return mask_ == other.mask_;
+  }
+  bool operator!=(const AttributeSet& other) const {
+    return mask_ != other.mask_;
+  }
+  /// Orders by mask value; used for deterministic container ordering.
+  bool operator<(const AttributeSet& other) const {
+    return mask_ < other.mask_;
+  }
+
+  /// Iteration support: `for (int a : set) ...` yields members in
+  /// increasing order.
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t mask) : mask_(mask) {}
+    int operator*() const { return std::countr_zero(mask_); }
+    Iterator& operator++() {
+      mask_ &= mask_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return mask_ != other.mask_;
+    }
+
+   private:
+    uint64_t mask_;
+  };
+
+  Iterator begin() const { return Iterator(mask_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint64_t mask_ = 0;
+};
+
+/// Hash functor so AttributeSet can key unordered containers.
+struct AttributeSetHash {
+  size_t operator()(const AttributeSet& s) const {
+    // SplitMix64 finalizer: strong mixing for sequential masks.
+    uint64_t x = s.mask() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_ATTRIBUTE_SET_H_

@@ -1,0 +1,74 @@
+#ifndef UGUIDE_COMMON_CHECK_H_
+#define UGUIDE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace uguide::internal {
+
+/// \brief Streams a fatal message and aborts when destroyed.
+///
+/// Supports the `UGUIDE_CHECK(cond) << "detail"` idiom: the destructor of the
+/// temporary prints everything streamed into it and calls std::abort().
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "Check failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check passes.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace uguide::internal
+
+/// Aborts the process with a message when `condition` is false. Supports
+/// streaming extra detail: UGUIDE_CHECK(x > 0) << "x was " << x;
+/// For internal invariants only; recoverable errors use Status/Result.
+/// (The while-loop form never iterates: FatalMessage's destructor aborts.)
+#define UGUIDE_CHECK(condition)               \
+  while (!(condition))                        \
+  ::uguide::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define UGUIDE_CHECK_BINOP(a, b, op) UGUIDE_CHECK((a)op(b))
+
+#define UGUIDE_CHECK_EQ(a, b) UGUIDE_CHECK_BINOP(a, b, ==)
+#define UGUIDE_CHECK_NE(a, b) UGUIDE_CHECK_BINOP(a, b, !=)
+#define UGUIDE_CHECK_LT(a, b) UGUIDE_CHECK_BINOP(a, b, <)
+#define UGUIDE_CHECK_LE(a, b) UGUIDE_CHECK_BINOP(a, b, <=)
+#define UGUIDE_CHECK_GT(a, b) UGUIDE_CHECK_BINOP(a, b, >)
+#define UGUIDE_CHECK_GE(a, b) UGUIDE_CHECK_BINOP(a, b, >=)
+
+#ifdef NDEBUG
+#define UGUIDE_DCHECK(condition) \
+  while (false) UGUIDE_CHECK(condition)
+#else
+#define UGUIDE_DCHECK(condition) UGUIDE_CHECK(condition)
+#endif
+
+#endif  // UGUIDE_COMMON_CHECK_H_

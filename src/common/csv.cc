@@ -1,0 +1,157 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace uguide {
+
+namespace {
+
+// Parses all records of `text` into rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseRecords(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    records.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          return Status::InvalidArgument(
+              "quote inside unquoted field at offset " + std::to_string(i));
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        // Swallow; the following '\n' (if any) terminates the row.
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  // Final record without trailing newline.
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return records;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\r\n") != std::string_view::npos;
+}
+
+void AppendField(std::string& out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out.append(field);
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text) {
+  UGUIDE_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                          ParseRecords(text));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  CsvTable table;
+  table.header = std::move(records.front());
+  const size_t width = table.header.size();
+  table.rows.reserve(records.size() - 1);
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (records[i].size() != width) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(i) + " has " +
+          std::to_string(records[i].size()) + " fields, expected " +
+          std::to_string(width));
+    }
+    table.rows.push_back(std::move(records[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(out, row[i]);
+    }
+    out += '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << WriteCsv(table);
+  if (!out) {
+    return Status::IoError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace uguide

@@ -1,0 +1,37 @@
+#ifndef UGUIDE_COMMON_CSV_H_
+#define UGUIDE_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace uguide {
+
+/// \brief A parsed CSV file: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// \brief Minimal RFC-4180 CSV support: quoted fields, embedded commas,
+/// doubled quotes, and both \n and \r\n line endings.
+///
+/// Parses CSV text. Every row must have the same number of fields as the
+/// header; returns InvalidArgument otherwise.
+Result<CsvTable> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table to CSV text, quoting fields when needed.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to disk as CSV.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_CSV_H_

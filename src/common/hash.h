@@ -1,0 +1,31 @@
+#ifndef UGUIDE_COMMON_HASH_H_
+#define UGUIDE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace uguide {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe with a
+/// 64-bit constant).
+template <typename T>
+void HashCombine(size_t& seed, const T& value) {
+  seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+          (seed >> 4);
+}
+
+/// Hash functor for std::pair, for unordered containers keyed by pairs.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashCombine(seed, p.first);
+    HashCombine(seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_HASH_H_

@@ -1,0 +1,88 @@
+#ifndef UGUIDE_COMMON_LOGGING_H_
+#define UGUIDE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace uguide {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide log configuration.
+///
+/// The library logs sparingly (discovery progress, session summaries).
+/// Messages below the threshold are compiled to a no-op stream.
+class Logger {
+ public:
+  /// Sets the minimum level that will be emitted (default kWarning, so the
+  /// library is silent in normal operation).
+  static void SetLevel(LogLevel level) { Threshold() = level; }
+
+  static LogLevel GetLevel() { return Threshold(); }
+
+  static bool Enabled(LogLevel level) { return level >= Threshold(); }
+
+ private:
+  static LogLevel& Threshold() {
+    static LogLevel threshold = LogLevel::kWarning;
+    return threshold;
+  }
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    if (Logger::Enabled(level_)) {
+      std::cerr << stream_.str() << std::endl;
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace uguide
+
+#define UGUIDE_LOG(level)                                      \
+  ::uguide::internal::LogMessage(::uguide::LogLevel::k##level, \
+                                 __FILE__, __LINE__)
+
+#endif  // UGUIDE_COMMON_LOGGING_H_

@@ -1,0 +1,88 @@
+#ifndef UGUIDE_COMMON_RESULT_H_
+#define UGUIDE_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace uguide {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result produced from an OK Status is invalid; construct Results either
+/// from a value or from a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// arrow::Result, so `return value;` works in Result-returning functions).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    UGUIDE_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value. Aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    UGUIDE_CHECK(ok()) << "Result::ValueOrDie on error: "
+                       << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+
+  T& ValueOrDie() & {
+    UGUIDE_CHECK(ok()) << "Result::ValueOrDie on error: "
+                       << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+
+  T&& ValueOrDie() && {
+    UGUIDE_CHECK(ok()) << "Result::ValueOrDie on error: "
+                       << std::get<Status>(repr_).ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Convenience accessors mirroring ValueOrDie.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace uguide
+
+/// Evaluates a Result-returning expression, propagating errors; on success
+/// assigns the value to `lhs` (which must be a declaration or lvalue).
+#define UGUIDE_ASSIGN_OR_RETURN(lhs, expr)        \
+  UGUIDE_ASSIGN_OR_RETURN_IMPL(                   \
+      UGUIDE_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define UGUIDE_CONCAT_INNER_(a, b) a##b
+#define UGUIDE_CONCAT_(a, b) UGUIDE_CONCAT_INNER_(a, b)
+
+#define UGUIDE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // UGUIDE_COMMON_RESULT_H_

@@ -1,0 +1,61 @@
+#ifndef UGUIDE_COMMON_RNG_H_
+#define UGUIDE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uguide {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All stochastic components of the library (data generation, error
+/// injection, sampling strategies) take an explicit Rng so experiments are
+/// reproducible from a seed. Not cryptographically secure.
+class Rng {
+ public:
+  /// Seeds the generator; two Rngs with the same seed produce identical
+  /// streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+  /// Index drawn from the (unnormalized, non-negative) weight vector.
+  /// At least one weight must be positive.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Zipf-like rank in [0, n): probability of rank r proportional to
+  /// 1/(r+1)^s. Used by the systematic error model to skew error mass.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_RNG_H_

@@ -1,0 +1,27 @@
+#include "common/string_pool.h"
+
+#include "common/check.h"
+
+namespace uguide {
+
+ValueCode StringPool::Intern(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  ValueCode code = static_cast<ValueCode>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), code);
+  return code;
+}
+
+ValueCode StringPool::Find(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  return it == index_.end() ? kNullValueCode : it->second;
+}
+
+const std::string& StringPool::Lookup(ValueCode code) const {
+  UGUIDE_CHECK(code >= 0 && static_cast<size_t>(code) < values_.size())
+      << "invalid value code " << code;
+  return values_[static_cast<size_t>(code)];
+}
+
+}  // namespace uguide

@@ -1,0 +1,51 @@
+#ifndef UGUIDE_COMMON_STRING_POOL_H_
+#define UGUIDE_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace uguide {
+
+/// Dictionary code for a cell value. Codes are dense, starting at 0.
+using ValueCode = int32_t;
+
+/// Sentinel for "no value" (used before a cell is assigned).
+inline constexpr ValueCode kNullValueCode = -1;
+
+/// \brief Interns strings to dense integer codes.
+///
+/// Relations store dictionary codes instead of strings, so value equality --
+/// the only operation FD machinery needs -- is an integer compare. The pool
+/// is append-only; codes remain stable for the pool's lifetime.
+class StringPool {
+ public:
+  StringPool() = default;
+
+  StringPool(const StringPool&) = default;
+  StringPool& operator=(const StringPool&) = default;
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Returns the code for `value`, interning it on first sight.
+  ValueCode Intern(std::string_view value);
+
+  /// Returns the code for `value` or kNullValueCode if never interned.
+  ValueCode Find(std::string_view value) const;
+
+  /// Returns the string for a valid code.
+  const std::string& Lookup(ValueCode code) const;
+
+  /// Number of distinct interned strings.
+  size_t Size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueCode> index_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_STRING_POOL_H_

@@ -1,0 +1,26 @@
+#include "core/candidate_gen.h"
+
+namespace uguide {
+
+Result<CandidateSet> GenerateCandidates(const Relation& dirty,
+                                        const CandidateGenOptions& options) {
+  TaneOptions tane;
+  tane.max_error = 0.0;
+  tane.max_lhs_size = options.max_lhs_size;
+  UGUIDE_ASSIGN_OR_RETURN(FdSet exact, DiscoverFds(dirty, tane));
+
+  // Candidate AFDs: all minimal FDs with g3 error within the relaxation
+  // threshold. This is the complete frontier the paper's §3.1 relaxation
+  // walk aims for; walking down from Sigma_T alone (RelaxFds) can miss true
+  // FDs whose exact specializations are shadowed by key-based minimal FDs
+  // (e.g. id -> city hides {zip,id} -> city, so zip -> city is never
+  // reached). Approximate discovery returns every minimal element of the
+  // g3-passing region and therefore provably covers the relaxation output.
+  TaneOptions approx = tane;
+  approx.max_error = options.relax_threshold;
+  UGUIDE_ASSIGN_OR_RETURN(FdSet candidates, DiscoverFds(dirty, approx));
+
+  return CandidateSet{std::move(exact), std::move(candidates)};
+}
+
+}  // namespace uguide

@@ -1,0 +1,43 @@
+#ifndef UGUIDE_CORE_CANDIDATE_GEN_H_
+#define UGUIDE_CORE_CANDIDATE_GEN_H_
+
+#include "common/result.h"
+#include "discovery/relaxation.h"
+#include "discovery/tane.h"
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// Options for the candidate-FD generation pipeline (§3.1).
+struct CandidateGenOptions {
+  /// g3 threshold used when relaxing exact FDs (the paper's "say 10% of the
+  /// tuples").
+  double relax_threshold = 0.10;
+
+  /// Bound on LHS size during exact discovery; keeps the lattice walk
+  /// tractable on wide schemas without affecting the paper's datasets.
+  int max_lhs_size = 6;
+};
+
+/// Output of candidate generation: the exact FDs of the dirty table and
+/// their relaxations (the candidate set Sigma_cand the strategies question).
+struct CandidateSet {
+  FdSet exact;       ///< Sigma_T: minimal exact FDs of the dirty table.
+  FdSet candidates;  ///< Sigma_cand: maximally relaxed AFDs.
+};
+
+/// \brief Runs the paper's §3.1 pipeline on a dirty table: exact discovery,
+/// then LHS relaxation under the g3 threshold.
+///
+/// By the §3.1 argument, every FD of the (unknown) clean table either holds
+/// on the dirty table or is a relaxation of an FD that does, so - with a
+/// threshold at or above the true violation rate - Sigma_cand contains all
+/// true FDs alongside false positives the strategies must weed out.
+Result<CandidateSet> GenerateCandidates(const Relation& dirty,
+                                        const CandidateGenOptions& options =
+                                            {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_CANDIDATE_GEN_H_

@@ -1,0 +1,423 @@
+#include "core/cell_strategies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fd/closure.h"
+#include "violations/bipartite_graph.h"
+
+namespace uguide {
+
+namespace {
+
+// Shared working state for one cell-strategy run.
+struct CellRun {
+  CellRun(const QuestionContext& ctx, const CellStrategyOptions& options)
+      : graph(ViolationGraph::Build(*ctx.dirty, *ctx.candidates)),
+        fd_conf(static_cast<size_t>(graph.NumFds()),
+                options.initial_confidence),
+        asked(static_cast<size_t>(graph.NumCells()), false) {}
+
+  ViolationGraph graph;
+  std::vector<double> fd_conf;
+  std::vector<bool> asked;
+
+  // Average confidence of the active FDs flagging `c` (Algorithm 2 line 3).
+  double CellWeight(CellId c) const {
+    double sum = 0.0;
+    int count = 0;
+    for (FdId f : graph.FdsOfCell(c)) {
+      if (!graph.FdActive(f)) continue;
+      sum += fd_conf[static_cast<size_t>(f)];
+      ++count;
+    }
+    return count == 0 ? 0.0 : sum / count;
+  }
+
+  bool Askable(CellId c) const {
+    return graph.CellActive(c) && !asked[static_cast<size_t>(c)] &&
+           graph.ActiveDegreeOfCell(c) > 0;
+  }
+
+  // Accepts surviving FDs whose confidence reached the absolute cut;
+  // threshold 0 accepts every surviving FD.
+  FdSet Accept(double threshold) const {
+    FdSet accepted;
+    for (FdId f = 0; f < graph.NumFds(); ++f) {
+      if (graph.FdActive(f) &&
+          fd_conf[static_cast<size_t>(f)] >= threshold) {
+        accepted.Add(graph.fd(f));
+      }
+    }
+    return accepted;
+  }
+};
+
+// Applies the expert's answer to `c` with Algorithm 2's updates.
+void ApplyAnswer(CellRun& run, CellId c, Answer answer, double delta) {
+  run.asked[static_cast<size_t>(c)] = true;
+  switch (answer) {
+    case Answer::kYes:
+      // Confirmed violation: every flagging FD gains confidence.
+      for (FdId f : run.graph.FdsOfCell(c)) {
+        if (run.graph.FdActive(f)) {
+          double& conf = run.fd_conf[static_cast<size_t>(f)];
+          conf = std::min(1.0, conf + delta);
+        }
+      }
+      break;
+    case Answer::kNo: {
+      // Certified clean: every FD that called this an error is invalid.
+      // Copy the adjacency first -- DeactivateFd mutates the graph.
+      std::vector<FdId> flagging;
+      for (FdId f : run.graph.FdsOfCell(c)) {
+        if (run.graph.FdActive(f)) flagging.push_back(f);
+      }
+      for (FdId f : flagging) run.graph.DeactivateFd(f);
+      run.graph.DeactivateCell(c);
+      break;
+    }
+    case Answer::kIdk:
+      break;
+  }
+}
+
+class CellQHittingSet : public Strategy {
+ public:
+  explicit CellQHittingSet(const CellStrategyOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "CellQ-HS"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    CellRun run(ctx, options_);
+    StrategyResult result;
+    const double cost = ctx.cost.CellCost();
+    while (result.cost_spent + cost <= ctx.budget) {
+      // Hitting-set rule: minimize weight / active-degree.
+      CellId best = -1;
+      double best_score = 0.0;
+      for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+        if (!run.Askable(c)) continue;
+        const double score =
+            run.CellWeight(c) / run.graph.ActiveDegreeOfCell(c);
+        if (best < 0 || score < best_score) {
+          best = c;
+          best_score = score;
+        }
+      }
+      if (best < 0) break;
+      Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
+      result.cost_spent += cost;
+      ++result.questions_asked;
+      ApplyAnswer(run, best, answer, options_.delta);
+    }
+    result.accepted_fds = run.Accept(options_.accept_threshold);
+    return result;
+  }
+
+ private:
+  CellStrategyOptions options_;
+};
+
+class CellQGreedy : public Strategy {
+ public:
+  explicit CellQGreedy(const CellStrategyOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "CellQ-Greedy"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    CellRun run(ctx, options_);
+    StrategyResult result;
+    const double cost = ctx.cost.CellCost();
+    while (result.cost_spent + cost <= ctx.budget) {
+      // Greedy rule: maximize the number of flagging candidate FDs.
+      CellId best = -1;
+      int best_degree = 0;
+      for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+        if (!run.Askable(c)) continue;
+        const int degree = run.graph.ActiveDegreeOfCell(c);
+        if (degree > best_degree) {
+          best = c;
+          best_degree = degree;
+        }
+      }
+      if (best < 0) break;
+      Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
+      result.cost_spent += cost;
+      ++result.questions_asked;
+      ApplyAnswer(run, best, answer, options_.delta);
+    }
+    result.accepted_fds = run.Accept(options_.accept_threshold);
+    return result;
+  }
+
+ private:
+  CellStrategyOptions options_;
+};
+
+class CellQOracle : public Strategy {
+ public:
+  explicit CellQOracle(const CellStrategyOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "CellQ-Oracle"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    UGUIDE_CHECK(ctx.true_violations != nullptr && ctx.true_fds != nullptr)
+        << "CellQ-Oracle requires the true violation set and true FDs";
+    CellRun run(ctx, options_);
+    StrategyResult result;
+    const double cost = ctx.cost.CellCost();
+
+    // The oracle knows which candidate FDs are genuinely implied by the
+    // clean table's FDs.
+    ClosureEngine true_closure(*ctx.true_fds);
+    std::vector<bool> is_true_fd(static_cast<size_t>(run.graph.NumFds()));
+    for (FdId f = 0; f < run.graph.NumFds(); ++f) {
+      is_true_fd[static_cast<size_t>(f)] =
+          true_closure.Implies(run.graph.fd(f));
+    }
+
+    while (result.cost_spent + cost <= ctx.budget) {
+      // Payoff of a question: a clean cell kills its active false FDs; a
+      // true violation pushes its unaccepted true FDs toward acceptance.
+      CellId best = -1;
+      double best_payoff = 0.0;
+      for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+        if (!run.Askable(c)) continue;
+        double payoff = 0.0;
+        const bool is_violation =
+            ctx.true_violations->Contains(run.graph.cell(c));
+        for (FdId f : run.graph.FdsOfCell(c)) {
+          if (!run.graph.FdActive(f)) continue;
+          if (!is_violation) {
+            payoff += is_true_fd[static_cast<size_t>(f)] ? 0.0 : 1.0;
+          } else if (is_true_fd[static_cast<size_t>(f)] &&
+                     run.fd_conf[static_cast<size_t>(f)] <
+                         options_.accept_threshold) {
+            payoff += 1.0;
+          }
+        }
+        if (payoff > best_payoff) {
+          best = c;
+          best_payoff = payoff;
+        }
+      }
+      if (best < 0) break;
+      Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
+      result.cost_spent += cost;
+      ++result.questions_asked;
+      ApplyAnswer(run, best, answer, options_.delta);
+    }
+    result.accepted_fds = run.Accept(options_.accept_threshold);
+    return result;
+  }
+
+ private:
+  CellStrategyOptions options_;
+};
+
+// --- Cell-Q-SUMS ----------------------------------------------------------
+
+class CellQSums : public Strategy {
+ public:
+  explicit CellQSums(const CellStrategyOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "CellQ-SUMS"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    CellRun run(ctx, options_);
+    StrategyResult result;
+    const double cost = ctx.cost.CellCost();
+    std::vector<double> cell_conf(static_cast<size_t>(run.graph.NumCells()),
+                                  1.0);
+    // Cells the expert confirmed as violations are pinned at confidence 1
+    // and keep feeding evidence into Estimate-Confidence.
+    std::vector<bool> pinned(static_cast<size_t>(run.graph.NumCells()),
+                             false);
+
+    // Evidence confidence, separate from the Estimate-Confidence fixpoint
+    // scores in run.fd_conf: acceptance follows the same confirmed-
+    // violation mechanism as Algorithm 2, while the fixpoint drives
+    // question selection.
+    std::vector<double> evidence(static_cast<size_t>(run.graph.NumFds()),
+                                 options_.initial_confidence);
+    EstimateConfidence(run, cell_conf, pinned);
+    int answers_since_estimate = 0;
+    while (result.cost_spent + cost <= ctx.budget) {
+      // Maximum information: confidence near 1/2 (the fixpoint is unsure),
+      // weighted by the *marginal* evidence the answer can add -- flagging
+      // FDs that are already confirmed contribute nothing, so the strategy
+      // moves on instead of re-confirming the same dependencies.
+      CellId best = -1;
+      double best_score = 0.0;
+      for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+        if (!run.Askable(c)) continue;
+        const double uncertainty =
+            1.0 - std::abs(2.0 * cell_conf[static_cast<size_t>(c)] - 1.0);
+        double marginal = 0.0;
+        for (FdId f : run.graph.FdsOfCell(c)) {
+          if (run.graph.FdActive(f)) {
+            marginal += 1.0 - evidence[static_cast<size_t>(f)];
+          }
+        }
+        const double score = (0.05 + uncertainty) * marginal;
+        if (score > best_score) {
+          best = c;
+          best_score = score;
+        }
+      }
+      if (best < 0) {
+        // No confirmation can add evidence anymore; spend leftover budget
+        // hunting false positives instead: ask the least trusted violation,
+        // whose "no" answer invalidates its flagging FDs.
+        double lowest = 2.0;
+        for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+          if (!run.Askable(c)) continue;
+          if (cell_conf[static_cast<size_t>(c)] < lowest) {
+            best = c;
+            lowest = cell_conf[static_cast<size_t>(c)];
+          }
+        }
+      }
+      if (best < 0) break;
+      Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
+      result.cost_spent += cost;
+      ++result.questions_asked;
+      run.asked[static_cast<size_t>(best)] = true;
+      switch (answer) {
+        case Answer::kYes:
+          pinned[static_cast<size_t>(best)] = true;
+          cell_conf[static_cast<size_t>(best)] = 1.0;
+          for (FdId f : run.graph.FdsOfCell(best)) {
+            if (run.graph.FdActive(f)) {
+              double& conf = evidence[static_cast<size_t>(f)];
+              conf = std::min(1.0, conf + options_.delta);
+            }
+          }
+          break;
+        case Answer::kNo: {
+          std::vector<FdId> flagging;
+          for (FdId f : run.graph.FdsOfCell(best)) {
+            if (run.graph.FdActive(f)) flagging.push_back(f);
+          }
+          for (FdId f : flagging) run.graph.DeactivateFd(f);
+          run.graph.DeactivateCell(best);
+          break;
+        }
+        case Answer::kIdk:
+          continue;  // no new evidence; re-select
+      }
+      // The fixpoint moves little per answer; recompute in batches.
+      if (++answers_since_estimate >= options_.sums_recompute_interval) {
+        EstimateConfidence(run, cell_conf, pinned);
+        answers_since_estimate = 0;
+      }
+    }
+
+    // Accept like Algorithm 2, from the evidence confidences.
+    FdSet accepted;
+    for (FdId f = 0; f < run.graph.NumFds(); ++f) {
+      if (run.graph.FdActive(f) &&
+          evidence[static_cast<size_t>(f)] >=
+              options_.sums_accept_threshold) {
+        accepted.Add(run.graph.fd(f));
+      }
+    }
+    result.accepted_fds = std::move(accepted);
+    return result;
+  }
+
+ private:
+  // Algorithm 4: alternate confidence propagation between FDs and
+  // violations until convergence. FD confidence = log-boosted average of
+  // its violations' confidences; violation confidence = sum of its FDs'
+  // confidences; both max-normalized each round. Pinned (expert-labelled)
+  // cells keep their value.
+  void EstimateConfidence(CellRun& run, std::vector<double>& cell_conf,
+                          const std::vector<bool>& pinned) const {
+    const int num_fds = run.graph.NumFds();
+    const int num_cells = run.graph.NumCells();
+    std::vector<double> next_fd(static_cast<size_t>(num_fds), 0.0);
+    for (int iter = 0; iter < options_.sums_max_iterations; ++iter) {
+      double max_delta = 0.0;
+      // FD side.
+      double max_fd = 0.0;
+      for (FdId f = 0; f < num_fds; ++f) {
+        next_fd[static_cast<size_t>(f)] = 0.0;
+        if (!run.graph.FdActive(f)) continue;
+        double sum = 0.0;
+        int count = 0;
+        for (CellId c : run.graph.CellsOfFd(f)) {
+          if (!run.graph.CellActive(c)) continue;
+          sum += cell_conf[static_cast<size_t>(c)];
+          ++count;
+        }
+        next_fd[static_cast<size_t>(f)] =
+            count == 0 ? 0.0 : std::log(1.0 + count) * (sum / count);
+        max_fd = std::max(max_fd, next_fd[static_cast<size_t>(f)]);
+      }
+      if (max_fd > 0.0) {
+        for (double& v : next_fd) v /= max_fd;
+      }
+      for (FdId f = 0; f < num_fds; ++f) {
+        max_delta = std::max(max_delta,
+                             std::abs(next_fd[static_cast<size_t>(f)] -
+                                      run.fd_conf[static_cast<size_t>(f)]));
+      }
+      run.fd_conf.swap(next_fd);
+
+      // Violation side.
+      double max_cell = 0.0;
+      for (CellId c = 0; c < num_cells; ++c) {
+        if (!run.graph.CellActive(c) || pinned[static_cast<size_t>(c)]) {
+          continue;
+        }
+        double sum = 0.0;
+        for (FdId f : run.graph.FdsOfCell(c)) {
+          if (run.graph.FdActive(f)) {
+            sum += run.fd_conf[static_cast<size_t>(f)];
+          }
+        }
+        cell_conf[static_cast<size_t>(c)] = sum;
+        max_cell = std::max(max_cell, sum);
+      }
+      if (max_cell > 0.0) {
+        for (CellId c = 0; c < num_cells; ++c) {
+          if (!pinned[static_cast<size_t>(c)] && run.graph.CellActive(c)) {
+            cell_conf[static_cast<size_t>(c)] /= max_cell;
+          }
+        }
+      }
+
+      if (max_delta < options_.sums_tolerance) break;
+    }
+  }
+
+  CellStrategyOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> MakeCellQHittingSet(
+    const CellStrategyOptions& options) {
+  return std::make_unique<CellQHittingSet>(options);
+}
+
+std::unique_ptr<Strategy> MakeCellQSums(const CellStrategyOptions& options) {
+  return std::make_unique<CellQSums>(options);
+}
+
+std::unique_ptr<Strategy> MakeCellQGreedy(const CellStrategyOptions& options) {
+  return std::make_unique<CellQGreedy>(options);
+}
+
+std::unique_ptr<Strategy> MakeCellQOracle(const CellStrategyOptions& options) {
+  return std::make_unique<CellQOracle>(options);
+}
+
+}  // namespace uguide

@@ -1,0 +1,210 @@
+#include "core/fd_strategies.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "fd/closure.h"
+#include "violations/violation_detector.h"
+
+namespace uguide {
+
+namespace {
+
+// One askable FD question together with its precomputed violation set.
+struct FdQuestion {
+  Fd fd;
+  std::vector<Cell> cells;       // participating violation cells
+  size_t removal_count = 0;      // |g3 removal set| (for the accuracy prior)
+  double cost = 1.0;
+  bool asked = false;
+};
+
+// Builds the question pool: every candidate FD, plus (optionally) merged
+// same-RHS pairs as non-minimal questions (§5's AB -> C example).
+std::vector<FdQuestion> BuildQuestions(const QuestionContext& ctx,
+                                       const FdStrategyOptions& options) {
+  std::vector<FdQuestion> questions;
+  std::unordered_set<Fd, FdHash> known;
+  for (const Fd& fd : *ctx.candidates) {
+    FdQuestion q;
+    q.fd = fd;
+    q.cells = ViolatingCells(*ctx.dirty, fd);
+    q.removal_count = G3RemovalTuples(*ctx.dirty, fd).size();
+    q.cost = ctx.cost.FdCost(fd, CostModel::ExtraAttributes(fd,
+                                                            *ctx.candidates));
+    questions.push_back(std::move(q));
+    known.insert(fd);
+  }
+  if (options.allow_non_minimal) {
+    const std::vector<Fd>& base = ctx.candidates->fds();
+    int merged_count = 0;
+    for (size_t i = 0;
+         i < base.size() && merged_count < options.max_merged_candidates;
+         ++i) {
+      for (size_t j = i + 1;
+           j < base.size() && merged_count < options.max_merged_candidates;
+           ++j) {
+        if (base[i].rhs != base[j].rhs) continue;
+        Fd merged(base[i].lhs.Union(base[j].lhs), base[i].rhs);
+        if (!merged.IsValidShape() || known.contains(merged)) continue;
+        known.insert(merged);
+        FdQuestion q;
+        q.fd = merged;
+        q.cells = ViolatingCells(*ctx.dirty, merged);
+        q.removal_count = G3RemovalTuples(*ctx.dirty, merged).size();
+        q.cost = ctx.cost.FdCost(
+            merged, CostModel::ExtraAttributes(merged, *ctx.candidates));
+        questions.push_back(std::move(q));
+        ++merged_count;
+      }
+    }
+  }
+  return questions;
+}
+
+size_t CountUncovered(const FdQuestion& q,
+                      const std::unordered_set<Cell, CellHash>& covered) {
+  size_t uncovered = 0;
+  for (const Cell& cell : q.cells) {
+    if (!covered.contains(cell)) ++uncovered;
+  }
+  return uncovered;
+}
+
+// Shared driver: the three FD strategies differ only in eligibility and
+// scoring.
+template <typename EligibleFn, typename ScoreFn>
+StrategyResult RunFdLoop(const QuestionContext& ctx,
+                         std::vector<FdQuestion>& questions,
+                         EligibleFn eligible, ScoreFn score) {
+  StrategyResult result;
+  std::unordered_set<Cell, CellHash> covered;
+  for (;;) {
+    const double remaining = ctx.budget - result.cost_spent;
+    int best = -1;
+    double best_score = 0.0;
+    for (size_t i = 0; i < questions.size(); ++i) {
+      FdQuestion& q = questions[i];
+      if (q.asked || q.cost > remaining || !eligible(q)) continue;
+      const size_t uncovered = CountUncovered(q, covered);
+      if (uncovered == 0) continue;  // nothing new to gain
+      const double s = score(q, uncovered);
+      if (best < 0 || s > best_score) {
+        best = static_cast<int>(i);
+        best_score = s;
+      }
+    }
+    if (best < 0) break;
+    FdQuestion& q = questions[static_cast<size_t>(best)];
+    q.asked = true;
+    result.cost_spent += q.cost;
+    ++result.questions_asked;
+    const Answer answer = ctx.expert->IsFdValid(q.fd);
+    if (answer == Answer::kYes) {
+      result.accepted_fds.Add(q.fd);
+      covered.insert(q.cells.begin(), q.cells.end());
+    }
+    // "no" discards the FD (asked = true suffices); "I don't know" likewise
+    // leaves the question unanswered -- merged/non-minimal variants of the
+    // same FD remain in the pool and can recover the coverage at a higher
+    // price (§7.2.6).
+  }
+  return result;
+}
+
+class FdQBudgetedMaxCoverage : public Strategy {
+ public:
+  explicit FdQBudgetedMaxCoverage(const FdStrategyOptions& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "FDQ-BMC"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    std::vector<FdQuestion> questions = BuildQuestions(ctx, options_);
+    const double n = std::max<double>(1.0, ctx.dirty->NumRows());
+    // Budgeted max coverage: weight of uncovered violations, discounted by
+    // an accuracy prior (AFDs whose g3 removal share approaches the
+    // relaxation threshold are likelier to be false positives), normalized
+    // by question cost.
+    return RunFdLoop(
+        ctx, questions, [](const FdQuestion&) { return true; },
+        [&](const FdQuestion& q, size_t uncovered) {
+          const double prior =
+              1.0 - static_cast<double>(q.removal_count) / n;
+          return prior * static_cast<double>(uncovered) / q.cost;
+        });
+  }
+
+ private:
+  FdStrategyOptions options_;
+};
+
+class FdQGreedy : public Strategy {
+ public:
+  explicit FdQGreedy(const FdStrategyOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "FDQ-Greedy"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    FdStrategyOptions minimal_only = options_;
+    minimal_only.allow_non_minimal = false;
+    std::vector<FdQuestion> questions = BuildQuestions(ctx, minimal_only);
+    return RunFdLoop(
+        ctx, questions, [](const FdQuestion&) { return true; },
+        [](const FdQuestion&, size_t uncovered) {
+          return static_cast<double>(uncovered);
+        });
+  }
+
+ private:
+  FdStrategyOptions options_;
+};
+
+class FdQOracle : public Strategy {
+ public:
+  explicit FdQOracle(const FdStrategyOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "FDQ-Oracle"; }
+
+  StrategyResult Run(const QuestionContext& ctx) override {
+    UGUIDE_CHECK(ctx.true_fds != nullptr)
+        << "FDQ-Oracle requires the true FD set";
+    std::vector<FdQuestion> questions = BuildQuestions(ctx, options_);
+    // The oracle pre-screens validity against the true FD set and never
+    // spends budget on an invalid FD.
+    ClosureEngine true_closure(*ctx.true_fds);
+    std::vector<bool> valid(questions.size());
+    for (size_t i = 0; i < questions.size(); ++i) {
+      valid[i] = true_closure.Implies(questions[i].fd);
+    }
+    auto eligible = [&](const FdQuestion& q) {
+      // Identify the question by address to avoid threading indices.
+      return valid[static_cast<size_t>(&q - questions.data())];
+    };
+    return RunFdLoop(ctx, questions, eligible,
+                     [](const FdQuestion& q, size_t uncovered) {
+                       return static_cast<double>(uncovered) / q.cost;
+                     });
+  }
+
+ private:
+  FdStrategyOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> MakeFdQBudgetedMaxCoverage(
+    const FdStrategyOptions& options) {
+  return std::make_unique<FdQBudgetedMaxCoverage>(options);
+}
+
+std::unique_ptr<Strategy> MakeFdQGreedy(const FdStrategyOptions& options) {
+  return std::make_unique<FdQGreedy>(options);
+}
+
+std::unique_ptr<Strategy> MakeFdQOracle(const FdStrategyOptions& options) {
+  return std::make_unique<FdQOracle>(options);
+}
+
+}  // namespace uguide

@@ -1,0 +1,39 @@
+#ifndef UGUIDE_CORE_FD_STRATEGIES_H_
+#define UGUIDE_CORE_FD_STRATEGIES_H_
+
+#include <memory>
+
+#include "core/strategy.h"
+
+namespace uguide {
+
+/// Tuning knobs for the FD-based strategies (§5).
+struct FdStrategyOptions {
+  /// If true, FD-Q-BMC also considers merged (non-minimal) questions: for
+  /// two candidates A -> C and B -> C it may ask AB -> C, covering both
+  /// FDs' violations with one (penalized) question. Keeps the §5 desiderata
+  /// and the §7.2.6 IDK fallback behaviour.
+  bool allow_non_minimal = true;
+
+  /// Maximum number of merged candidates generated (guards quadratic
+  /// blowup on datasets with hundreds of FDs).
+  int max_merged_candidates = 200;
+};
+
+/// FD-Q-Budgeted-Max-Coverage (Algorithm 5): each round asks the candidate
+/// FD maximizing (uncovered-violation weight x accuracy prior) / cost;
+/// validated FDs are accepted and their violations marked covered.
+std::unique_ptr<Strategy> MakeFdQBudgetedMaxCoverage(
+    const FdStrategyOptions& options = {});
+
+/// FD-Q-Greedy baseline (§7.1): asks the candidate FD with the most
+/// uncovered violations, ignoring question cost.
+std::unique_ptr<Strategy> MakeFdQGreedy(const FdStrategyOptions& options = {});
+
+/// FDQ-Oracle baseline (§7.1): peeks at the true FD set and spends the
+/// budget only on valid FDs, ordered by uncovered-violation count per cost.
+std::unique_ptr<Strategy> MakeFdQOracle(const FdStrategyOptions& options = {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_FD_STRATEGIES_H_

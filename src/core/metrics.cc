@@ -1,0 +1,57 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "violations/violation_detector.h"
+
+namespace uguide {
+
+std::vector<Cell> AllDetections(const Relation& dirty,
+                                const FdSet& accepted) {
+  std::unordered_set<Cell, CellHash> seen;
+  for (const Fd& fd : accepted) {
+    for (const Cell& cell : ViolatingCells(dirty, fd)) {
+      seen.insert(cell);
+    }
+  }
+  std::vector<Cell> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DetectionMetrics EvaluateDetections(const Relation& dirty,
+                                    const FdSet& accepted,
+                                    const TrueViolationSet& true_violations,
+                                    const GroundTruth* injected) {
+  DetectionMetrics metrics;
+  metrics.total_true_errors = true_violations.Size();
+  if (injected != nullptr) metrics.total_injected = injected->NumChanged();
+
+  const std::vector<Cell> detections = AllDetections(dirty, accepted);
+  metrics.detections = detections.size();
+  for (const Cell& cell : detections) {
+    if (true_violations.Contains(cell)) {
+      ++metrics.true_positives;
+    } else {
+      ++metrics.false_positives;
+    }
+    if (injected != nullptr && injected->IsChanged(cell)) {
+      ++metrics.injected_detected;
+    }
+  }
+  metrics.false_negatives = metrics.total_true_errors - metrics.true_positives;
+  return metrics;
+}
+
+std::string DetectionMetrics::ToString() const {
+  std::string out = "detections=" + std::to_string(detections);
+  out += " TP=" + std::to_string(true_positives);
+  out += " FP=" + std::to_string(false_positives);
+  out += " FN=" + std::to_string(false_negatives);
+  out += " true%=" + std::to_string(TrueViolationPct());
+  out += " false%=" + std::to_string(FalseViolationPct());
+  return out;
+}
+
+}  // namespace uguide

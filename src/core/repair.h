@@ -1,0 +1,87 @@
+#ifndef UGUIDE_CORE_REPAIR_H_
+#define UGUIDE_CORE_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "errorgen/error_generator.h"
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// One proposed cell correction.
+struct CellRepair {
+  Cell cell;
+  std::string old_value;
+  std::string new_value;
+};
+
+/// Output of RepairWithFds: the corrected table plus the applied edits.
+struct RepairResult {
+  Relation repaired;
+  std::vector<CellRepair> repairs;
+};
+
+/// Options controlling the majority-vote repairer.
+struct RepairOptions {
+  /// Minimum number of tuples that must carry the majority value before
+  /// minority cells are rewritten to it. 2 (the default) skips 1-vs-1
+  /// ties, where "majority" would be a coin flip; higher values trade
+  /// recall for precision.
+  int min_majority_support = 2;
+
+  /// Guard against the LHS-vs-RHS ambiguity: when the group membership
+  /// itself is the error (a corrupted LHS cell relocated the tuple into a
+  /// foreign group), rewriting its RHS would corrupt a clean cell. With
+  /// this guard on, a minority cell is not repaired while any of the
+  /// tuple's LHS cells is itself flagged suspicious (in the g3 removal set
+  /// of another accepted FD) -- multi-FD corroboration resolves which side
+  /// of the violation to blame.
+  bool guard_suspicious_lhs = true;
+};
+
+/// \brief Majority-vote repair driven by validated FDs (§8: UGuide's
+/// output "bootstraps the end-to-end data cleaning pipeline" -- this is
+/// the simplest such downstream repairer).
+///
+/// For every accepted FD X -> A and every impure X-group, the minority
+/// tuples' A-cells are rewritten to the group's majority value. FDs are
+/// processed in the given order on the evolving table, and each cell is
+/// repaired at most once, so earlier FDs (typically the higher-confidence
+/// ones) take precedence. The result is guaranteed consistent only per
+/// group per pass; rerun to reach a fixpoint if desired.
+RepairResult RepairWithFds(const Relation& dirty, const FdSet& accepted,
+                           const RepairOptions& options = {});
+
+/// \brief Repair quality against the ground truth.
+struct RepairMetrics {
+  size_t repairs = 0;           ///< proposed corrections
+  size_t correct_repairs = 0;   ///< restored the exact clean value
+  size_t errors_fixed = 0;      ///< injected errors now holding clean value
+  size_t total_errors = 0;      ///< injected errors overall
+
+  /// Fraction of proposed corrections that restored the clean value.
+  double Precision() const {
+    return repairs == 0 ? 1.0
+                        : static_cast<double>(correct_repairs) /
+                              static_cast<double>(repairs);
+  }
+
+  /// Fraction of injected errors whose clean value was restored.
+  double Recall() const {
+    return total_errors == 0 ? 1.0
+                             : static_cast<double>(errors_fixed) /
+                                   static_cast<double>(total_errors);
+  }
+};
+
+/// Scores a repair run: `clean` is the pristine table, `truth` the
+/// injection ledger, and `result` the output of RepairWithFds on the dirty
+/// counterpart.
+RepairMetrics EvaluateRepairs(const Relation& clean, const GroundTruth& truth,
+                              const RepairResult& result);
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_REPAIR_H_

@@ -1,0 +1,71 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "discovery/tane.h"
+#include "oracle/simulated_expert.h"
+
+namespace uguide {
+
+Session::Session(Relation dirty, GroundTruth truth, FdSet true_fds,
+                 CandidateSet candidates, SessionConfig config)
+    : dirty_(std::move(dirty)),
+      truth_(std::move(truth)),
+      true_fds_(std::move(true_fds)),
+      true_violations_(TrueViolationSet::Compute(dirty_, true_fds_)),
+      candidates_(std::move(candidates)),
+      config_(std::move(config)) {}
+
+Result<Session> Session::Create(const Relation& clean, DirtyDataset dataset,
+                                SessionConfig config) {
+  if (!(clean.schema() == dataset.dirty.schema())) {
+    return Status::InvalidArgument("clean/dirty schema mismatch");
+  }
+  // Sigma_TC: the FDs of the clean table, i.e., what the expert knows.
+  TaneOptions tane;
+  tane.max_error = 0.0;
+  tane.max_lhs_size = config.candidate_options.max_lhs_size;
+  UGUIDE_ASSIGN_OR_RETURN(FdSet true_fds, DiscoverFds(clean, tane));
+
+  UGUIDE_ASSIGN_OR_RETURN(
+      CandidateSet candidates,
+      GenerateCandidates(dataset.dirty, config.candidate_options));
+
+  return Session(std::move(dataset.dirty), std::move(dataset.truth),
+                 std::move(true_fds), std::move(candidates),
+                 std::move(config));
+}
+
+SessionReport Session::Run(Strategy& strategy) const {
+  return Run(strategy, config_.budget);
+}
+
+SessionReport Session::Run(Strategy& strategy, double budget) const {
+  SimulatedExpert expert(&true_violations_, &truth_,
+                         dirty_.NumAttributes(), true_fds_,
+                         config_.idk_rate, config_.expert_seed,
+                         config_.wrong_rate);
+  MajorityVoteExpert voting(&expert, std::max(1, config_.expert_votes));
+  QuestionContext ctx;
+  ctx.dirty = &dirty_;
+  ctx.candidates = &candidates_.candidates;
+  ctx.expert = config_.expert_votes > 1 ? static_cast<Expert*>(&voting)
+                                        : static_cast<Expert*>(&expert);
+  ctx.cost = config_.cost;
+  // Majority voting multiplies the expert effort per question; charge it
+  // against the budget.
+  ctx.budget = budget / std::max(1, config_.expert_votes);
+  ctx.exact_fds = &candidates_.exact;
+  ctx.true_fds = &true_fds_;
+  ctx.true_violations = &true_violations_;
+  ctx.injected = &truth_;
+
+  SessionReport report;
+  report.strategy_name = std::string(strategy.name());
+  report.result = strategy.Run(ctx);
+  report.metrics = EvaluateDetections(dirty_, report.result.accepted_fds,
+                                      true_violations_, &truth_);
+  return report;
+}
+
+}  // namespace uguide

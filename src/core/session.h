@@ -1,0 +1,86 @@
+#ifndef UGUIDE_CORE_SESSION_H_
+#define UGUIDE_CORE_SESSION_H_
+
+#include <string>
+
+#include "core/candidate_gen.h"
+#include "core/metrics.h"
+#include "core/strategy.h"
+#include "errorgen/error_generator.h"
+#include "oracle/cost_model.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// Configuration of one experimental session.
+struct SessionConfig {
+  CandidateGenOptions candidate_options;
+  CostModel cost;
+  double budget = 500.0;
+  /// Probability the simulated expert answers "I don't know" (§7.2.6).
+  double idk_rate = 0.0;
+  /// Probability an answered question gets the opposite answer (the
+  /// unreliable-expert robustness model, §9 future work).
+  double wrong_rate = 0.0;
+  uint64_t expert_seed = 11;
+  /// Majority voting over repeated questions (robustness mitigation):
+  /// each question is asked `expert_votes` times and the majority wins.
+  /// Note the *caller* should scale the budget by 1/votes to model the
+  /// extra effort; Session::Run does this automatically.
+  int expert_votes = 1;
+};
+
+/// Everything a strategy run produced, plus its evaluation.
+struct SessionReport {
+  std::string strategy_name;
+  StrategyResult result;
+  DetectionMetrics metrics;
+};
+
+/// \brief End-to-end experiment harness mirroring Figure 1.
+///
+/// Construction performs the offline phase once: discover the true FDs
+/// Sigma_TC on the clean table (the simulated expert's knowledge, §7.1),
+/// materialize E_T (the cells violating Sigma_TC on the dirty table), and
+/// run candidate generation (§3.1) on the dirty table. Run() then executes
+/// one strategy with a fresh simulated expert and evaluates its detections
+/// against E_T; it can be called repeatedly (e.g., across a budget sweep)
+/// because strategies and the session are stateless across runs.
+class Session {
+ public:
+  /// Builds a session. `clean` is only used to derive Sigma_TC; the
+  /// session keeps copies of the dirty table and ledger.
+  static Result<Session> Create(const Relation& clean, DirtyDataset dataset,
+                                SessionConfig config = {});
+
+  /// Runs `strategy` under the session's budget and evaluates it.
+  SessionReport Run(Strategy& strategy) const;
+
+  /// Runs `strategy` under an explicit budget override.
+  SessionReport Run(Strategy& strategy, double budget) const;
+
+  const Relation& dirty() const { return dirty_; }
+  /// The error-injection ledger (which cells the generator changed).
+  const GroundTruth& truth() const { return truth_; }
+  /// E_T: the cells violating the true FDs on the dirty table.
+  const TrueViolationSet& true_violations() const { return true_violations_; }
+  const FdSet& true_fds() const { return true_fds_; }
+  const FdSet& exact_fds() const { return candidates_.exact; }
+  const FdSet& candidates() const { return candidates_.candidates; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  Session(Relation dirty, GroundTruth truth, FdSet true_fds,
+          CandidateSet candidates, SessionConfig config);
+
+  Relation dirty_;
+  GroundTruth truth_;
+  FdSet true_fds_;
+  TrueViolationSet true_violations_;
+  CandidateSet candidates_;
+  SessionConfig config_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_SESSION_H_

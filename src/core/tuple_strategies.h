@@ -1,0 +1,53 @@
+#ifndef UGUIDE_CORE_TUPLE_STRATEGIES_H_
+#define UGUIDE_CORE_TUPLE_STRATEGIES_H_
+
+#include <memory>
+
+#include "core/strategy.h"
+
+namespace uguide {
+
+/// Tuning knobs for the tuple-based strategies (§6).
+struct TupleStrategyOptions {
+  /// Seed for the strategies' own sampling (independent of the expert's).
+  uint64_t seed = 23;
+
+  /// LHS-size bound for the exact FD discovery run on the accepted sample
+  /// TS at the end of every strategy.
+  int max_lhs_size = 4;
+
+  /// Saturation-set sampling: cap on the number of saturated sets
+  /// materialized from the dirty table's FDs (guards the exponential worst
+  /// case of the closed-set lattice).
+  int max_saturated_sets = 5000;
+
+  /// Oracle: number of candidate clean tuples scored per pick.
+  int oracle_pool = 400;
+};
+
+/// Tuple-Sampling-Uniform (Algorithm 6): uniform random tuples, validated
+/// by the expert; the FDs of the accepted sample are returned.
+std::unique_ptr<Strategy> MakeTupleSamplingUniform(
+    const TupleStrategyOptions& options = {});
+
+/// Tuple-Sampling-Violation-Weighting (Algorithm 7): sampling probability
+/// inversely related to the tuple's candidate-FD violation count, so fewer
+/// questions are wasted on dirty tuples.
+std::unique_ptr<Strategy> MakeTupleSamplingViolationWeighting(
+    const TupleStrategyOptions& options = {});
+
+/// Tuple-Sampling-Saturation-Sets (Algorithm 8): additionally requires a
+/// sampled tuple to realize an uncovered saturated set (the Armstrong-
+/// relation pair condition), attacking false-positive FDs directly.
+std::unique_ptr<Strategy> MakeTupleSamplingSaturationSets(
+    const TupleStrategyOptions& options = {});
+
+/// TupleQ-Oracle baseline (§7.1): peeks at the ground truth, asks only
+/// clean tuples, and picks each one to invalidate the most surviving
+/// false-positive candidate FDs. Requires QuestionContext::truth_for_oracle.
+std::unique_ptr<Strategy> MakeTupleQOracle(
+    const TupleStrategyOptions& options = {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_TUPLE_STRATEGIES_H_

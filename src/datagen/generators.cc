@@ -1,0 +1,233 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uguide {
+
+namespace {
+
+std::string Num(const char* prefix, int64_t n) {
+  std::string out = prefix;
+  out += std::to_string(n);
+  return out;
+}
+
+// Small value pools used by the Tax generator. First names carry a fixed
+// gender so fname -> gender holds by construction.
+constexpr int kNumFirstNames = 40;
+constexpr int kNumLastNames = 60;
+constexpr int kNumStates = 20;
+constexpr int kCitiesPerState = 5;
+constexpr int kAreacodesPerState = 3;
+
+Fd MustFd(const Schema& schema, const std::vector<std::string>& lhs,
+          const std::string& rhs) {
+  AttributeSet lhs_set;
+  for (const auto& name : lhs) {
+    lhs_set.Add(schema.IndexOf(name).ValueOrDie());
+  }
+  return Fd(lhs_set, schema.IndexOf(rhs).ValueOrDie());
+}
+
+}  // namespace
+
+Relation GenerateTax(const DataGenOptions& options) {
+  Schema schema = Schema::Make({"fname", "lname", "gender", "areacode",
+                                "phone", "city", "state", "zip", "marital",
+                                "has_child", "salary", "rate",
+                                "single_exemp", "married_exemp",
+                                "child_exemp", "hours"})
+                      .ValueOrDie();
+  Rng rng(options.seed);
+  Relation rel(schema);
+
+  const int num_zips = std::max(50, options.rows / 100);
+  // zip z lives in state (z % kNumStates) and city (z % kCitiesPerState) of
+  // that state; city names are state-qualified so city -> state also holds.
+  const char* kSalaries[] = {"20000", "40000", "60000", "80000", "100000"};
+
+  std::vector<std::string> row(16);
+  for (int r = 0; r < options.rows; ++r) {
+    const int fname_id = static_cast<int>(rng.NextBounded(kNumFirstNames));
+    const int zip = static_cast<int>(rng.NextBounded(num_zips));
+    const int state = zip % kNumStates;
+    const int city = state * kCitiesPerState +
+                     (zip / kNumStates) % kCitiesPerState;
+    const int areacode =
+        state * kAreacodesPerState +
+        static_cast<int>(rng.NextBounded(kAreacodesPerState));
+    const int salary_idx = static_cast<int>(rng.NextBounded(5));
+    // rate = f(state, salary): base by state plus a per-bracket step.
+    const int rate = 10 + state + 2 * salary_idx;
+
+    row[0] = Num("FN", fname_id);
+    row[1] = Num("LN", rng.NextBounded(kNumLastNames));
+    row[2] = (fname_id % 2 == 0) ? "M" : "F";
+    row[3] = Num("AC", areacode);
+    row[4] = Num("PH", r);  // unique phone: phone is a key
+    row[5] = Num("CITY", city);
+    row[6] = Num("ST", state);
+    row[7] = Num("ZIP", zip);
+    row[8] = rng.NextBool(0.5) ? "married" : "single";
+    row[9] = rng.NextBool(0.4) ? "yes" : "no";
+    row[10] = kSalaries[salary_idx];
+    row[11] = Num("R", rate);
+    row[12] = Num("SE", 1000 + 10 * state);
+    row[13] = Num("ME", 2000 + 20 * state);
+    row[14] = Num("CE", 500 + 5 * state);
+    // Free column: weekly hours, functionally independent of everything, so
+    // random typos landing here are not FD-detectable (paper's Fig. 4(c)).
+    row[15] = Num("", 10 + rng.NextBounded(51));
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+FdSet TaxEmbeddedFds(const Schema& schema) {
+  FdSet fds;
+  fds.Add(MustFd(schema, {"zip"}, "city"));
+  fds.Add(MustFd(schema, {"zip"}, "state"));
+  fds.Add(MustFd(schema, {"city"}, "state"));
+  fds.Add(MustFd(schema, {"areacode"}, "state"));
+  fds.Add(MustFd(schema, {"fname"}, "gender"));
+  fds.Add(MustFd(schema, {"state"}, "single_exemp"));
+  fds.Add(MustFd(schema, {"state"}, "married_exemp"));
+  fds.Add(MustFd(schema, {"state"}, "child_exemp"));
+  fds.Add(MustFd(schema, {"state", "salary"}, "rate"));
+  return fds;
+}
+
+Relation GenerateHospital(const DataGenOptions& options) {
+  Schema schema = Schema::Make({"provider_number", "hospital_name",
+                                "address", "city", "state", "zip", "county",
+                                "phone", "hospital_type", "owner",
+                                "emergency", "measure_code", "measure_name",
+                                "score", "sample_count", "measure_date"})
+                      .ValueOrDie();
+  Rng rng(options.seed);
+  Relation rel(schema);
+
+  const int num_providers = std::max(20, options.rows / 40);
+  const int num_zips = std::max(10, num_providers / 2);
+  const int num_cities = std::max(5, num_zips / 3);
+  const int num_counties = std::max(3, num_cities / 2);
+  const int num_measures = 30;
+  const char* kTypes[] = {"acute_care", "critical_access", "childrens"};
+  const char* kOwners[] = {"government", "proprietary", "voluntary",
+                           "physician"};
+
+  // Provider entity: all attributes derived deterministically from the
+  // provider id, so provider_number -> each provider attribute holds.
+  auto provider_zip = [&](int p) { return p % num_zips; };
+  auto zip_city = [&](int z) { return z % num_cities; };
+  auto city_county = [&](int c) { return c % num_counties; };
+  auto county_state = [&](int k) { return k % 15; };
+
+  std::vector<std::string> row(16);
+  for (int r = 0; r < options.rows; ++r) {
+    const int p = static_cast<int>(rng.NextBounded(num_providers));
+    const int z = provider_zip(p);
+    const int c = zip_city(z);
+    const int k = city_county(c);
+    const int measure = static_cast<int>(rng.NextBounded(num_measures));
+
+    row[0] = Num("P", p);
+    row[1] = Num("Hospital_", p);
+    row[2] = Num("Addr_", p);
+    row[3] = Num("City_", c);
+    row[4] = Num("ST", county_state(k));
+    row[5] = Num("ZIP", z);
+    row[6] = Num("County_", k);
+    row[7] = Num("PH", p);
+    row[8] = kTypes[p % 3];
+    row[9] = kOwners[p % 4];
+    row[10] = (p % 5 == 0) ? "no" : "yes";
+    row[11] = Num("MC", measure);
+    row[12] = Num("Measure_", measure);
+    // Per-observation measurement fields: functionally independent of the
+    // provider and measure entities (mirrors the real Hospital data, where
+    // scores/dates are not covered by any FD, so random typos there are
+    // invisible to FD-based detection).
+    row[13] = Num("", rng.NextBounded(100));
+    row[14] = Num("", rng.NextBounded(480));
+    row[15] = Num("D", rng.NextBounded(365));
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+FdSet HospitalEmbeddedFds(const Schema& schema) {
+  FdSet fds;
+  for (const char* attr :
+       {"hospital_name", "address", "city", "state", "zip", "county",
+        "phone", "hospital_type", "owner", "emergency"}) {
+    fds.Add(MustFd(schema, {"provider_number"}, attr));
+  }
+  fds.Add(MustFd(schema, {"zip"}, "city"));
+  fds.Add(MustFd(schema, {"zip"}, "state"));
+  fds.Add(MustFd(schema, {"city"}, "county"));
+  fds.Add(MustFd(schema, {"county"}, "state"));
+  fds.Add(MustFd(schema, {"measure_code"}, "measure_name"));
+  return fds;
+}
+
+Relation GenerateStock(const DataGenOptions& options) {
+  Schema schema = Schema::Make({"date", "ticker", "open", "high", "low",
+                                "close", "volume", "company", "sector",
+                                "exchange"})
+                      .ValueOrDie();
+  Rng rng(options.seed);
+  Relation rel(schema);
+
+  const int num_tickers = std::max(20, options.rows / 60);
+  const char* kSectors[] = {"tech", "energy", "health", "finance", "retail",
+                            "industrial", "utilities", "materials", "telecom",
+                            "consumer"};
+  const char* kExchanges[] = {"NYSE", "NASDAQ", "AMEX"};
+
+  // Enumerate distinct (date, ticker) pairs ticker-major so {date, ticker}
+  // is a key by construction.
+  std::vector<std::string> row(10);
+  for (int r = 0; r < options.rows; ++r) {
+    const int ticker = r % num_tickers;
+    const int day = r / num_tickers;
+    const int base = 50 + 7 * ticker;
+    const int open = base + static_cast<int>(rng.NextBounded(20));
+    const int close = base + static_cast<int>(rng.NextBounded(20));
+    const int high = std::max(open, close) + static_cast<int>(
+                         rng.NextBounded(5));
+    const int low = std::min(open, close) - static_cast<int>(
+                        rng.NextBounded(5));
+
+    row[0] = Num("D", day);
+    row[1] = Num("TK", ticker);
+    row[2] = Num("", open);
+    row[3] = Num("", high);
+    row[4] = Num("", low);
+    row[5] = Num("", close);
+    row[6] = Num("", 1000 + static_cast<int64_t>(rng.NextBounded(9000)));
+    row[7] = Num("Company_", ticker);
+    row[8] = kSectors[ticker % 10];
+    row[9] = kExchanges[ticker % 3];
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+FdSet StockEmbeddedFds(const Schema& schema) {
+  FdSet fds;
+  fds.Add(MustFd(schema, {"ticker"}, "company"));
+  fds.Add(MustFd(schema, {"ticker"}, "sector"));
+  fds.Add(MustFd(schema, {"ticker"}, "exchange"));
+  fds.Add(MustFd(schema, {"company"}, "ticker"));
+  for (const char* attr : {"open", "high", "low", "close", "volume"}) {
+    fds.Add(MustFd(schema, {"date", "ticker"}, attr));
+  }
+  return fds;
+}
+
+}  // namespace uguide

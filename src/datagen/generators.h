@@ -1,0 +1,61 @@
+#ifndef UGUIDE_DATAGEN_GENERATORS_H_
+#define UGUIDE_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// \brief Options shared by all dataset generators.
+///
+/// Every generator is deterministic from the seed. Row counts default to a
+/// bench-friendly size; pass the paper's 100K+ to reproduce at full scale.
+struct DataGenOptions {
+  int rows = 10000;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates a clean synthetic taxpayer table (substitute for the
+/// Tax generator of Bohannon et al. used in §7.1).
+///
+/// Schema (15 attributes): fname, lname, gender, areacode, phone, city,
+/// state, zip, marital, has_child, salary, rate, single_exemp,
+/// married_exemp, child_exemp.
+///
+/// Embedded dependencies include: zip -> city, zip -> state,
+/// areacode -> state, fname -> gender, state -> single/married/child_exemp,
+/// and {state, salary} -> rate. Additional incidental FDs arise from value
+/// correlations, as in the real generator.
+Relation GenerateTax(const DataGenOptions& options = {});
+
+/// \brief Generates a clean synthetic health-care provider table
+/// (substitute for the Medicare Hospital dataset of §7.1).
+///
+/// Schema (13 attributes): provider_number, hospital_name, address, city,
+/// state, zip, county, phone, hospital_type, owner, emergency,
+/// measure_code, measure_name.
+///
+/// Rows are (provider, measure) observations, so provider_number determines
+/// all provider attributes, measure_code determines measure_name, and
+/// zip -> city/state, city -> county hold.
+Relation GenerateHospital(const DataGenOptions& options = {});
+
+/// \brief Generates a clean synthetic S&P-style stock history table
+/// (substitute for the SP Stock dataset of §7.1).
+///
+/// Schema (10 attributes): date, ticker, open, high, low, close, volume,
+/// company, sector, exchange. ticker determines company/sector/exchange and
+/// {date, ticker} is a key.
+Relation GenerateStock(const DataGenOptions& options = {});
+
+/// \brief The dependencies each generator embeds by construction, for
+/// verification in tests (exact discovery must imply each of these).
+FdSet TaxEmbeddedFds(const Schema& schema);
+FdSet HospitalEmbeddedFds(const Schema& schema);
+FdSet StockEmbeddedFds(const Schema& schema);
+
+}  // namespace uguide
+
+#endif  // UGUIDE_DATAGEN_GENERATORS_H_

@@ -1,0 +1,153 @@
+#include "discovery/partition.h"
+
+#include <algorithm>
+
+namespace uguide {
+
+Partition::Partition(TupleId num_rows,
+                     std::vector<std::vector<TupleId>> classes)
+    : num_rows_(num_rows), classes_(std::move(classes)) {
+  for (const auto& cls : classes_) {
+    UGUIDE_DCHECK(cls.size() >= 2);
+    stripped_size_ += cls.size();
+  }
+}
+
+Partition Partition::ForEmptySet(TupleId num_rows) {
+  std::vector<std::vector<TupleId>> classes;
+  if (num_rows >= 2) {
+    std::vector<TupleId> all(static_cast<size_t>(num_rows));
+    for (TupleId t = 0; t < num_rows; ++t) all[static_cast<size_t>(t)] = t;
+    classes.push_back(std::move(all));
+  }
+  return Partition(num_rows, std::move(classes));
+}
+
+Partition Partition::ForColumn(const Relation& relation, int col) {
+  const std::vector<ValueCode>& codes = relation.ColumnCodes(col);
+  const TupleId n = relation.NumRows();
+  // Group by dictionary code. Codes are dense, so a direct-address table
+  // works: bucket index per code.
+  std::unordered_map<ValueCode, std::vector<TupleId>> buckets;
+  buckets.reserve(static_cast<size_t>(n));
+  for (TupleId t = 0; t < n; ++t) {
+    buckets[codes[static_cast<size_t>(t)]].push_back(t);
+  }
+  std::vector<std::vector<TupleId>> classes;
+  classes.reserve(buckets.size());
+  for (auto& [code, cls] : buckets) {
+    if (cls.size() >= 2) classes.push_back(std::move(cls));
+  }
+  // Deterministic order (hash map iteration order is unspecified).
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return Partition(n, std::move(classes));
+}
+
+Partition Partition::ForAttributes(const Relation& relation,
+                                   const AttributeSet& attrs) {
+  if (attrs.Empty()) return ForEmptySet(relation.NumRows());
+  std::vector<int> cols = attrs.ToVector();
+  Partition result = ForColumn(relation, cols[0]);
+  for (size_t i = 1; i < cols.size(); ++i) {
+    result = result.Product(ForColumn(relation, cols[i]));
+  }
+  return result;
+}
+
+Partition Partition::Product(const Partition& other) const {
+  UGUIDE_CHECK_EQ(num_rows_, other.num_rows_);
+  // TANE's linear product: label tuples with their class index in `this`,
+  // then split each class of `other` by that label.
+  std::vector<int32_t> label(static_cast<size_t>(num_rows_), -1);
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    for (TupleId t : classes_[i]) {
+      label[static_cast<size_t>(t)] = static_cast<int32_t>(i);
+    }
+  }
+  std::vector<std::vector<TupleId>> scratch(classes_.size());
+  std::vector<std::vector<TupleId>> result;
+  for (const auto& cls : other.classes_) {
+    // Collect per-label members of this class.
+    std::vector<int32_t> touched;
+    for (TupleId t : cls) {
+      int32_t l = label[static_cast<size_t>(t)];
+      if (l < 0) continue;
+      if (scratch[static_cast<size_t>(l)].empty()) touched.push_back(l);
+      scratch[static_cast<size_t>(l)].push_back(t);
+    }
+    for (int32_t l : touched) {
+      auto& group = scratch[static_cast<size_t>(l)];
+      if (group.size() >= 2) result.push_back(group);
+      group.clear();
+    }
+  }
+  return Partition(num_rows_, std::move(result));
+}
+
+double Partition::FdError(const Partition& refined) const {
+  UGUIDE_CHECK_EQ(num_rows_, refined.num_rows_);
+  if (num_rows_ == 0) return 0.0;
+  // tmp[t] = size of t's class in the refined partition (0 for stripped
+  // singletons, treated as 1 below).
+  std::vector<int32_t> tmp(static_cast<size_t>(num_rows_), 0);
+  for (const auto& cls : refined.classes_) {
+    for (TupleId t : cls) {
+      tmp[static_cast<size_t>(t)] = static_cast<int32_t>(cls.size());
+    }
+  }
+  size_t removed = 0;
+  for (const auto& cls : classes_) {
+    int32_t max_subclass = 1;
+    for (TupleId t : cls) {
+      max_subclass = std::max(max_subclass, tmp[static_cast<size_t>(t)]);
+    }
+    removed += cls.size() - static_cast<size_t>(max_subclass);
+  }
+  return static_cast<double>(removed) / static_cast<double>(num_rows_);
+}
+
+double Partition::KeyError() const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(stripped_size_ - classes_.size()) /
+         static_cast<double>(num_rows_);
+}
+
+PartitionCache::PartitionCache(const Relation* relation)
+    : relation_(relation) {
+  UGUIDE_CHECK(relation != nullptr);
+}
+
+const Partition& PartitionCache::Get(const AttributeSet& attrs) {
+  auto it = cache_.find(attrs);
+  if (it != cache_.end()) return it->second;
+  Partition p = [&] {
+    if (attrs.Empty()) return Partition::ForEmptySet(relation_->NumRows());
+    if (attrs.Size() == 1) {
+      return Partition::ForColumn(*relation_, attrs.Lowest());
+    }
+    // Split off the lowest attribute and recurse; memoization makes related
+    // lookups (as produced by relaxation's subset walks) cheap.
+    int low = attrs.Lowest();
+    const Partition& rest = Get(attrs.Without(low));
+    // Get() may rehash the cache; take the column partition afterwards.
+    Partition col = Partition::ForColumn(*relation_, low);
+    return rest.Product(col);
+  }();
+  auto [inserted, ok] = cache_.emplace(attrs, std::move(p));
+  return inserted->second;
+}
+
+double PartitionCache::FdError(const Fd& fd) {
+  UGUIDE_CHECK(fd.IsValidShape());
+  // Note: Get() can rehash, so the lhs reference must not be held across
+  // the second Get() call. Copy-free solution: look up in order and
+  // re-fetch.
+  Get(fd.lhs);
+  Get(fd.lhs.With(fd.rhs));
+  const Partition& lhs = cache_.at(fd.lhs);
+  const Partition& both = cache_.at(fd.lhs.With(fd.rhs));
+  return lhs.FdError(both);
+}
+
+}  // namespace uguide

@@ -1,0 +1,157 @@
+#include "discovery/tane.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "discovery/partition.h"
+
+namespace uguide {
+
+namespace {
+
+struct Node {
+  Partition partition;
+  AttributeSet cplus;
+};
+
+using Level = std::unordered_map<AttributeSet, Node, AttributeSetHash>;
+
+// Keeps only FDs that are minimal within the emitted set (same RHS, no
+// strictly smaller LHS). Needed because approximate-mode pruning cannot
+// guarantee minimality in every corner case.
+FdSet FilterMinimal(const std::vector<Fd>& fds) {
+  FdSet out;
+  for (const Fd& fd : fds) {
+    bool minimal = true;
+    for (const Fd& other : fds) {
+      if (other.rhs == fd.rhs && other.lhs.IsStrictSubsetOf(fd.lhs)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.Add(fd);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FdSet> DiscoverFds(const Relation& relation,
+                          const TaneOptions& options) {
+  if (options.max_error < 0.0 || options.max_error >= 1.0) {
+    return Status::InvalidArgument("max_error must be in [0, 1)");
+  }
+  if (options.max_lhs_size < 0) {
+    return Status::InvalidArgument("max_lhs_size must be non-negative");
+  }
+  const int m = relation.NumAttributes();
+  const AttributeSet all_attrs = AttributeSet::Full(m);
+  std::vector<Fd> emitted;
+
+  if (m == 0 || relation.NumRows() == 0) return FdSet();
+
+  // Level 0: the empty attribute set. Its partition has one class.
+  Level prev;
+  prev.emplace(AttributeSet(),
+               Node{Partition::ForEmptySet(relation.NumRows()), all_attrs});
+
+  // Level 1: singletons.
+  Level current;
+  for (int a = 0; a < m; ++a) {
+    current.emplace(AttributeSet::Single(a),
+                    Node{Partition::ForColumn(relation, a), all_attrs});
+  }
+
+  for (int level_size = 1; level_size <= m && !current.empty();
+       ++level_size) {
+    // --- Compute dependencies -------------------------------------------
+    for (auto& [x, node] : current) {
+      // C+(X) = intersection of C+(X \ {A}) over A in X.
+      AttributeSet cplus = all_attrs;
+      for (int a : x) {
+        auto it = prev.find(x.Without(a));
+        if (it == prev.end()) {
+          // Subset was pruned; inherit the tightest information we have:
+          // a pruned subset had empty C+ (or was a key, handled below), so
+          // nothing can be a candidate here.
+          cplus = AttributeSet();
+          break;
+        }
+        cplus = cplus.Intersect(it->second.cplus);
+      }
+      node.cplus = cplus;
+
+      AttributeSet candidates = x.Intersect(node.cplus);
+      for (int a : candidates) {
+        auto it = prev.find(x.Without(a));
+        if (it == prev.end()) continue;
+        const double error = it->second.partition.FdError(node.partition);
+        const bool exact = error == 0.0;
+        const bool valid = error <= options.max_error;
+        if (valid) {
+          emitted.emplace_back(x.Without(a), a);
+        }
+        if (exact) {
+          node.cplus.Remove(a);
+          // Remove R \ X: no attribute outside X can be a minimal RHS for
+          // any superset of X once X\{a} -> a holds exactly. (This step is
+          // only sound for exact FDs -- the implication arguments behind it
+          // break under g3 slack.)
+          node.cplus = node.cplus.Intersect(x);
+        } else if (valid && options.prune_on_approximate) {
+          // An approximate FD prunes only its own RHS: supersets of the
+          // LHS cannot yield a *minimal* AFD for `a` anymore, but other
+          // RHS candidates stay live.
+          node.cplus.Remove(a);
+        }
+      }
+    }
+
+    // --- Prune -----------------------------------------------------------
+    // Only C+-emptiness prunes nodes. TANE's classical key pruning
+    // (deleting superkey nodes after a special output step) is NOT applied:
+    // deleting a key node X also suppresses generation of supersets
+    // Z = X + {...} that are needed to test minimal candidates
+    // Z\{B} -> B with B inside the key, silently dropping minimal FDs on
+    // key-heavy (e.g., small-sample) relations. C+ pruning alone keeps the
+    // traversal sound and complete; superkey partitions are empty, so the
+    // retained nodes cost little.
+    std::vector<AttributeSet> to_delete;
+    for (auto& [x, node] : current) {
+      if (node.cplus.Empty()) to_delete.push_back(x);
+    }
+    for (const AttributeSet& x : to_delete) current.erase(x);
+
+    if (level_size >= options.max_lhs_size + 1) break;
+
+    // --- Generate the next level ----------------------------------------
+    Level next;
+    for (const auto& [x, node] : current) {
+      const int highest = x.Highest();
+      for (int a = highest + 1; a < m; ++a) {
+        AttributeSet z = x.With(a);
+        // Downward closure: every |Z|-1 subset must have survived.
+        bool all_present = true;
+        const Node* other = nullptr;
+        for (int b : z) {
+          auto it = current.find(z.Without(b));
+          if (it == current.end()) {
+            all_present = false;
+            break;
+          }
+          if (b != a) other = &it->second;  // any co-generator works
+        }
+        if (!all_present || other == nullptr) continue;
+        next.emplace(z, Node{node.partition.Product(other->partition),
+                             AttributeSet()});
+      }
+    }
+    prev = std::move(current);
+    current = std::move(next);
+  }
+
+  return FilterMinimal(emitted);
+}
+
+}  // namespace uguide

@@ -1,0 +1,41 @@
+#ifndef UGUIDE_DISCOVERY_TANE_H_
+#define UGUIDE_DISCOVERY_TANE_H_
+
+#include <limits>
+
+#include "common/result.h"
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// Options controlling FD discovery.
+struct TaneOptions {
+  /// Maximum g3 error for a dependency to be reported. 0 = exact FDs only;
+  /// a positive value discovers approximate FDs (AFDs).
+  double max_error = 0.0;
+
+  /// Upper bound on LHS size; candidates above this are not explored.
+  /// Bounding the lattice depth keeps discovery tractable on wide schemas.
+  int max_lhs_size = std::numeric_limits<int>::max();
+
+  /// When discovering AFDs (max_error > 0): if true, a set found to be an
+  /// AFD prunes its specializations just like an exact FD would, so only
+  /// minimal AFDs are reported. If false, only exactly-holding FDs prune.
+  bool prune_on_approximate = true;
+};
+
+/// \brief Discovers all minimal, non-trivial FDs (or AFDs) of `relation`.
+///
+/// Level-wise TANE (Huhtala et al. 1999): attribute-lattice traversal with
+/// stripped-partition products, C+ right-hand-side candidate pruning, and
+/// key pruning. This is the library's substitute for the Metanome profiler
+/// used in the paper's experiments (§7.1).
+///
+/// FDs with an empty LHS (constant columns) are reported when applicable.
+Result<FdSet> DiscoverFds(const Relation& relation,
+                          const TaneOptions& options = {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_DISCOVERY_TANE_H_

@@ -1,0 +1,90 @@
+#ifndef UGUIDE_ERRORGEN_ERROR_GENERATOR_H_
+#define UGUIDE_ERRORGEN_ERROR_GENERATOR_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// How injected errors are apportioned across FDs (§7.1):
+/// - kUniform: every FD receives an equal share of violations.
+/// - kSystematic: a Zipf-skewed share -- a few FDs carry most errors (the
+///   paper's default, "more representative of real-world errors").
+/// - kRandom: typos / missing values / duplicated values on random cells,
+///   mostly not FD-detectable.
+enum class ErrorModel { kUniform, kSystematic, kRandom };
+
+const char* ErrorModelName(ErrorModel model);
+
+/// Options controlling error injection.
+struct ErrorGenOptions {
+  ErrorModel model = ErrorModel::kSystematic;
+
+  /// Total fraction of tuples receiving an error (paper default: 20%).
+  double error_rate = 0.20;
+
+  /// Cap on the fraction of tuples violating any single FD (paper: 10% in
+  /// the error-percentage experiment, otherwise unconstrained by default).
+  double per_fd_cap = 1.0;
+
+  /// Skew of the Zipf split used by the systematic model.
+  double zipf_s = 1.6;
+
+  uint64_t seed = 7;
+};
+
+/// \brief The error ledger: which cells were changed, and to what.
+///
+/// This is the experiment's ground truth: the simulated expert answers
+/// cell/tuple questions from it, and evaluation metrics compare detections
+/// against it (§7.1 "Workflow Simulation").
+class GroundTruth {
+ public:
+  /// Records that `cell` was changed (idempotent).
+  void MarkChanged(const Cell& cell);
+
+  bool IsChanged(const Cell& cell) const {
+    return changed_.contains(cell);
+  }
+
+  /// True iff any cell of `row` was changed.
+  bool IsTupleDirty(TupleId row, int num_attributes) const;
+
+  /// All changed cells in deterministic (row-major) order.
+  std::vector<Cell> ChangedCells() const;
+
+  size_t NumChanged() const { return changed_.size(); }
+
+ private:
+  std::unordered_set<Cell, CellHash> changed_;
+};
+
+/// A dirty table together with its ground-truth error ledger.
+struct DirtyDataset {
+  Relation dirty;
+  GroundTruth truth;
+};
+
+/// \brief Injects errors into a clean relation (substitute for BART, §7.1).
+///
+/// For the FD-violating models (kUniform, kSystematic), each error picks an
+/// FD X -> A (per the model's apportioning), a multi-tuple equivalence
+/// class of X, and one member tuple, and perturbs that tuple's A-cell to a
+/// conflicting value -- guaranteeing the error is detectable as a violation
+/// of that FD. For kRandom, errors are typos, blanks, or copied values on
+/// uniformly random cells. Already-changed cells are never re-perturbed.
+///
+/// `true_fds` should be the (minimal) FDs holding on `clean`; FDs without
+/// any multi-tuple class are skipped. Returns InvalidArgument when options
+/// are out of range or no injectable FD exists for an FD-violating model.
+Result<DirtyDataset> InjectErrors(const Relation& clean, const FdSet& true_fds,
+                                  const ErrorGenOptions& options = {});
+
+}  // namespace uguide
+
+#endif  // UGUIDE_ERRORGEN_ERROR_GENERATOR_H_

@@ -1,0 +1,36 @@
+#ifndef UGUIDE_FD_ARMSTRONG_H_
+#define UGUIDE_FD_ARMSTRONG_H_
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// \brief Builds an Armstrong relation for `fds` over `schema` (§6).
+///
+/// The returned relation satisfies exactly the FDs implied by `fds` via the
+/// Armstrong axioms and no others. Construction follows the classical
+/// closed-set recipe (cf. Bisbal & Grimson): one base tuple, plus one tuple
+/// per saturated set W (except the full set) that agrees with the base tuple
+/// exactly on W. Pairwise agree-sets are then precisely the closed sets, so
+/// X -> A holds iff A is in the closure of X.
+///
+/// The number of tuples is 1 + #saturated-sets, which can be exponential in
+/// the number of attributes for adversarial FD sets; the paper's schemas
+/// stay small.
+Relation BuildArmstrongRelation(const Schema& schema, const FdSet& fds);
+
+/// \brief True iff `fd` is satisfied by every tuple pair of `relation`.
+///
+/// Hash-based, O(n) per call; suitable for the small relations handled by
+/// Armstrong machinery. Bulk discovery uses partitions (src/discovery).
+bool FdHoldsOn(const Relation& relation, const Fd& fd);
+
+/// \brief Checks whether `relation` is an Armstrong relation for `fds`:
+/// every implied FD holds and every non-implied normalized FD is violated.
+/// Exponential in the attribute count; intended for tests and small schemas.
+bool IsArmstrongRelation(const Relation& relation, const FdSet& fds);
+
+}  // namespace uguide
+
+#endif  // UGUIDE_FD_ARMSTRONG_H_

@@ -1,0 +1,121 @@
+#include "fd/closure.h"
+
+namespace uguide {
+
+AttributeSet ClosureEngine::Closure(const AttributeSet& x) const {
+  AttributeSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds_) {
+      if (!closure.Contains(fd.rhs) && fd.lhs.IsSubsetOf(closure)) {
+        closure.Add(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool ClosureEngine::Implies(const Fd& fd) const {
+  return Closure(fd.lhs).Contains(fd.rhs);
+}
+
+bool ClosureEngine::IsMinimal(const Fd& fd) const {
+  if (!Implies(fd)) return false;
+  for (int a : fd.lhs) {
+    if (Implies(Fd(fd.lhs.Without(a), fd.rhs))) return false;
+  }
+  return true;
+}
+
+Fd ClosureEngine::Minimize(const Fd& fd) const {
+  UGUIDE_CHECK(Implies(fd)) << "Minimize on non-implied FD " << fd.ToString();
+  Fd reduced = fd;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int a : reduced.lhs) {
+      Fd candidate(reduced.lhs.Without(a), reduced.rhs);
+      if (Implies(candidate)) {
+        reduced = candidate;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return reduced;
+}
+
+FdSet ClosureEngine::MinimalCover() const {
+  // Left-reduce every FD, deduplicating as we go.
+  FdSet reduced;
+  for (const Fd& fd : fds_) {
+    reduced.Add(Minimize(fd));
+  }
+  // Drop redundant FDs: fd is redundant if the remaining FDs still imply it.
+  std::vector<Fd> kept = reduced.fds();
+  for (size_t i = 0; i < kept.size();) {
+    FdSet without;
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) without.Add(kept[j]);
+    }
+    if (ClosureEngine(without).Implies(kept[i])) {
+      kept.erase(kept.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return FdSet(kept);
+}
+
+bool ClosureEngine::EquivalentTo(const ClosureEngine& other) const {
+  for (const Fd& fd : fds_) {
+    if (!other.Implies(fd)) return false;
+  }
+  for (const Fd& fd : other.fds_) {
+    if (!Implies(fd)) return false;
+  }
+  return true;
+}
+
+std::vector<AttributeSet> SaturatedSets(const FdSet& fds,
+                                        int num_attributes,
+                                        size_t max_sets) {
+  UGUIDE_CHECK(num_attributes >= 0 &&
+               num_attributes <= AttributeSet::kMaxAttributes);
+  ClosureEngine engine(fds);
+  std::vector<AttributeSet> closed;
+  if (num_attributes == 0) {
+    closed.push_back(AttributeSet());
+    return closed;
+  }
+  const AttributeSet full = AttributeSet::Full(num_attributes);
+
+  // Ganter's NextClosure in lectic order. The first closed set is
+  // closure(empty); iteration stops once the full set is produced.
+  AttributeSet current = engine.Closure(AttributeSet());
+  closed.push_back(current);
+  while (current != full && closed.size() < max_sets) {
+    bool advanced = false;
+    for (int i = num_attributes - 1; i >= 0; --i) {
+      if (current.Contains(i)) continue;
+      // candidate = closure((current restricted below i) + {i})
+      const AttributeSet below_i(
+          i == 0 ? uint64_t{0} : (uint64_t{1} << i) - 1);
+      AttributeSet candidate =
+          engine.Closure(current.Intersect(below_i).With(i));
+      // Lectic successor test: candidate must add no attribute below i.
+      if (candidate.Minus(current).Intersect(below_i).Empty()) {
+        current = candidate;
+        closed.push_back(current);
+        advanced = true;
+        break;
+      }
+    }
+    UGUIDE_CHECK(advanced) << "NextClosure failed to advance";
+  }
+  return closed;
+}
+
+}  // namespace uguide

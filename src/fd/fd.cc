@@ -1,0 +1,104 @@
+#include "fd/fd.h"
+
+#include <sstream>
+
+namespace uguide {
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string Fd::ToString() const {
+  return lhs.ToString() + "->" + std::to_string(rhs);
+}
+
+std::string Fd::ToString(const Schema& schema) const {
+  return lhs.ToString(schema.Names()) + "->" + schema.Name(rhs);
+}
+
+Result<Fd> Fd::Parse(const std::string& text, const Schema& schema) {
+  const size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("FD must contain '->': " + text);
+  }
+  Fd fd;
+  const std::string rhs_name = Trim(text.substr(arrow + 2));
+  UGUIDE_ASSIGN_OR_RETURN(fd.rhs, schema.IndexOf(rhs_name));
+
+  std::string lhs_part = Trim(text.substr(0, arrow));
+  if (!lhs_part.empty()) {
+    std::istringstream stream(lhs_part);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      token = Trim(token);
+      if (token.empty()) {
+        return Status::InvalidArgument("empty LHS attribute in: " + text);
+      }
+      UGUIDE_ASSIGN_OR_RETURN(int index, schema.IndexOf(token));
+      fd.lhs.Add(index);
+    }
+  }
+  if (!fd.IsValidShape()) {
+    return Status::InvalidArgument("trivial FD (RHS inside LHS): " + text);
+  }
+  return fd;
+}
+
+Result<FdSet> FdSet::Parse(const std::string& text, const Schema& schema) {
+  FdSet out;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    UGUIDE_ASSIGN_OR_RETURN(Fd fd, Fd::Parse(line, schema));
+    out.Add(fd);
+  }
+  return out;
+}
+
+bool FdSet::Add(const Fd& fd) {
+  UGUIDE_CHECK(fd.IsValidShape()) << "trivial FD " << fd.ToString();
+  if (index_.contains(fd)) return false;
+  index_.emplace(fd, fds_.size());
+  fds_.push_back(fd);
+  return true;
+}
+
+bool FdSet::Remove(const Fd& fd) {
+  auto it = index_.find(fd);
+  if (it == index_.end()) return false;
+  fds_.erase(fds_.begin() + static_cast<ptrdiff_t>(it->second));
+  index_.clear();
+  for (size_t i = 0; i < fds_.size(); ++i) index_.emplace(fds_[i], i);
+  return true;
+}
+
+bool FdSet::Contains(const Fd& fd) const { return index_.contains(fd); }
+
+bool FdSet::IsMinimalIn(const Fd& fd) const {
+  for (const Fd& other : fds_) {
+    if (other.rhs == fd.rhs && other.lhs.IsStrictSubsetOf(fd.lhs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FdSet::ToString(const Schema& schema) const {
+  std::string out;
+  for (const Fd& fd : fds_) {
+    out += fd.ToString(schema);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace uguide

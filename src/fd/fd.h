@@ -1,0 +1,110 @@
+#ifndef UGUIDE_FD_FD_H_
+#define UGUIDE_FD_FD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "relation/schema.h"
+
+namespace uguide {
+
+/// \brief A normalized functional dependency X -> A.
+///
+/// Following the paper (§2.1), FDs are non-trivial (A not in X) and
+/// normalized (single RHS attribute).
+struct Fd {
+  AttributeSet lhs;
+  int rhs = 0;
+
+  Fd() = default;
+  Fd(AttributeSet lhs_in, int rhs_in) : lhs(lhs_in), rhs(rhs_in) {}
+
+  /// Non-trivial: the RHS attribute does not appear on the LHS.
+  bool IsValidShape() const { return !lhs.Contains(rhs); }
+
+  bool operator==(const Fd& other) const {
+    return lhs == other.lhs && rhs == other.rhs;
+  }
+  bool operator!=(const Fd& other) const { return !(*this == other); }
+  /// Deterministic ordering (rhs, then lhs mask).
+  bool operator<(const Fd& other) const {
+    if (rhs != other.rhs) return rhs < other.rhs;
+    return lhs < other.lhs;
+  }
+
+  /// Renders as "{0,1}->2".
+  std::string ToString() const;
+
+  /// Renders with attribute names, e.g. "zip->city".
+  std::string ToString(const Schema& schema) const;
+
+  /// Parses "lhs1,lhs2->rhs" against a schema (whitespace tolerated; an
+  /// empty LHS like "->city" denotes a constant-column FD). Inverse of
+  /// ToString(schema).
+  static Result<Fd> Parse(const std::string& text, const Schema& schema);
+};
+
+/// Hash functor so Fd can key unordered containers.
+struct FdHash {
+  size_t operator()(const Fd& fd) const {
+    size_t seed = AttributeSetHash{}(fd.lhs);
+    HashCombine(seed, fd.rhs);
+    return seed;
+  }
+};
+
+/// \brief An ordered, duplicate-free collection of FDs.
+///
+/// Keeps insertion order (algorithms iterate deterministically) while
+/// offering O(1) membership tests.
+class FdSet {
+ public:
+  FdSet() = default;
+
+  /// Builds a set from a list (duplicates dropped).
+  explicit FdSet(const std::vector<Fd>& fds) {
+    for (const Fd& fd : fds) Add(fd);
+  }
+
+  /// Adds `fd` if absent; returns true when inserted.
+  bool Add(const Fd& fd);
+
+  /// Removes `fd` if present; returns true when removed. O(n).
+  bool Remove(const Fd& fd);
+
+  bool Contains(const Fd& fd) const;
+
+  size_t Size() const { return fds_.size(); }
+  bool Empty() const { return fds_.empty(); }
+
+  const std::vector<Fd>& fds() const { return fds_; }
+
+  const Fd& operator[](size_t i) const { return fds_[i]; }
+
+  auto begin() const { return fds_.begin(); }
+  auto end() const { return fds_.end(); }
+
+  /// True iff `fd` is minimal within this set: no FD here with the same RHS
+  /// and a strictly smaller LHS. (Syntactic minimality; for semantic
+  /// minimality under implication see closure.h.)
+  bool IsMinimalIn(const Fd& fd) const;
+
+  /// Renders one FD per line.
+  std::string ToString(const Schema& schema) const;
+
+  /// Parses one FD per line (blank lines and '#' comments skipped).
+  /// Inverse of ToString(schema).
+  static Result<FdSet> Parse(const std::string& text, const Schema& schema);
+
+ private:
+  std::vector<Fd> fds_;
+  std::unordered_map<Fd, size_t, FdHash> index_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_FD_FD_H_

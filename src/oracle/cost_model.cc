@@ -1,0 +1,25 @@
+#include "oracle/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uguide {
+
+double CostModel::FdCost(const Fd& fd, int k_extra) const {
+  UGUIDE_CHECK(k_extra >= 0);
+  const int lhs_size = std::max(1, fd.lhs.Size());
+  return std::pow(alpha, k_extra) * static_cast<double>(lhs_size) * cell_cost;
+}
+
+int CostModel::ExtraAttributes(const Fd& fd, const FdSet& reference) {
+  int best = -1;
+  for (const Fd& ref : reference) {
+    if (ref.rhs != fd.rhs) continue;
+    if (!ref.lhs.IsSubsetOf(fd.lhs)) continue;
+    const int gap = fd.lhs.Size() - ref.lhs.Size();
+    if (best < 0 || gap < best) best = gap;
+  }
+  return best < 0 ? 0 : best;
+}
+
+}  // namespace uguide

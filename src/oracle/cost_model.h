@@ -1,0 +1,45 @@
+#ifndef UGUIDE_ORACLE_COST_MODEL_H_
+#define UGUIDE_ORACLE_COST_MODEL_H_
+
+#include "fd/fd.h"
+
+namespace uguide {
+
+/// \brief The paper's question cost model (§7.1), pluggable per experiment.
+///
+/// - validating one cell costs `cell_cost` (default 1);
+/// - validating one tuple costs m (the attribute count) times `cell_cost`;
+/// - validating an FD costs alpha^k * |LHS|, where k is how many LHS
+///   attributes the asked FD carries beyond the corresponding minimal FD
+///   (k = 0 for a minimal FD), penalizing verbose non-minimal questions.
+///
+/// All costs are deterministic and strictly positive, as the paper's
+/// black-box contract requires.
+struct CostModel {
+  double cell_cost = 1.0;
+  double alpha = 2.0;
+
+  /// Cost of a cell-based question.
+  double CellCost() const { return cell_cost; }
+
+  /// Cost of a tuple-based question on a relation with `num_attributes`
+  /// columns.
+  double TupleCost(int num_attributes) const {
+    return cell_cost * static_cast<double>(num_attributes);
+  }
+
+  /// Cost of asking `fd` with `k_extra` attributes above its minimal form.
+  /// An empty-LHS FD (constant column) is charged like a single-attribute
+  /// LHS so the cost stays positive.
+  double FdCost(const Fd& fd, int k_extra) const;
+
+  /// Computes k for `fd` against a reference FD set: the LHS-size gap to
+  /// the smallest same-RHS FD in `reference` whose LHS is a subset of
+  /// fd.lhs (i.e., the minimal FD this one specializes). Returns 0 when no
+  /// such reference exists (the FD is treated as minimal).
+  static int ExtraAttributes(const Fd& fd, const FdSet& reference);
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_ORACLE_COST_MODEL_H_

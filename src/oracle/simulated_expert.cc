@@ -1,0 +1,108 @@
+#include "oracle/simulated_expert.h"
+
+namespace uguide {
+
+const char* AnswerName(Answer answer) {
+  switch (answer) {
+    case Answer::kYes:
+      return "yes";
+    case Answer::kNo:
+      return "no";
+    case Answer::kIdk:
+      return "idk";
+  }
+  return "?";
+}
+
+SimulatedExpert::SimulatedExpert(const TrueViolationSet* violations,
+                                 const GroundTruth* ledger,
+                                 int num_attributes, FdSet true_fds,
+                                 double idk_rate, uint64_t seed,
+                                 double wrong_rate)
+    : violations_(violations),
+      ledger_(ledger),
+      num_attributes_(num_attributes),
+      closure_(std::move(true_fds)),
+      idk_rate_(idk_rate),
+      wrong_rate_(wrong_rate),
+      rng_(seed) {
+  UGUIDE_CHECK(violations != nullptr);
+  UGUIDE_CHECK(ledger != nullptr);
+  UGUIDE_CHECK(idk_rate >= 0.0 && idk_rate <= 1.0);
+  UGUIDE_CHECK(wrong_rate >= 0.0 && wrong_rate <= 1.0);
+}
+
+bool SimulatedExpert::DeclineToAnswer() {
+  if (idk_rate_ > 0.0 && rng_.NextBool(idk_rate_)) {
+    ++idk_answers_;
+    return true;
+  }
+  return false;
+}
+
+Answer SimulatedExpert::MaybeFlip(Answer truthful) {
+  if (wrong_rate_ > 0.0 && rng_.NextBool(wrong_rate_)) {
+    ++wrong_answers_;
+    return truthful == Answer::kYes ? Answer::kNo : Answer::kYes;
+  }
+  return truthful;
+}
+
+Answer SimulatedExpert::IsCellErroneous(const Cell& cell) {
+  ++cell_questions_;
+  if (DeclineToAnswer()) return Answer::kIdk;
+  return MaybeFlip(violations_->Contains(cell) ? Answer::kYes : Answer::kNo);
+}
+
+Answer SimulatedExpert::IsTupleClean(TupleId row) {
+  ++tuple_questions_;
+  if (DeclineToAnswer()) return Answer::kIdk;
+  return MaybeFlip(ledger_->IsTupleDirty(row, num_attributes_)
+                       ? Answer::kNo
+                       : Answer::kYes);
+}
+
+Answer SimulatedExpert::IsFdValid(const Fd& fd) {
+  ++fd_questions_;
+  if (DeclineToAnswer()) return Answer::kIdk;
+  return MaybeFlip(closure_.Implies(fd) ? Answer::kYes : Answer::kNo);
+}
+
+MajorityVoteExpert::MajorityVoteExpert(Expert* inner, int votes)
+    : inner_(inner), votes_(votes) {
+  UGUIDE_CHECK(inner != nullptr);
+  UGUIDE_CHECK(votes >= 1);
+}
+
+template <typename AskFn>
+Answer MajorityVoteExpert::Majority(AskFn ask) {
+  int yes = 0, no = 0;
+  for (int i = 0; i < votes_; ++i) {
+    switch (ask()) {
+      case Answer::kYes:
+        ++yes;
+        break;
+      case Answer::kNo:
+        ++no;
+        break;
+      case Answer::kIdk:
+        break;
+    }
+  }
+  if (yes == 0 && no == 0) return Answer::kIdk;
+  return yes >= no ? Answer::kYes : Answer::kNo;
+}
+
+Answer MajorityVoteExpert::IsCellErroneous(const Cell& cell) {
+  return Majority([&] { return inner_->IsCellErroneous(cell); });
+}
+
+Answer MajorityVoteExpert::IsTupleClean(TupleId row) {
+  return Majority([&] { return inner_->IsTupleClean(row); });
+}
+
+Answer MajorityVoteExpert::IsFdValid(const Fd& fd) {
+  return Majority([&] { return inner_->IsFdValid(fd); });
+}
+
+}  // namespace uguide

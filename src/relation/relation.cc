@@ -1,0 +1,93 @@
+#include "relation/relation.h"
+
+namespace uguide {
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.NumAttributes()));
+}
+
+Result<Relation> Relation::FromCsv(const CsvTable& csv) {
+  UGUIDE_ASSIGN_OR_RETURN(Schema schema, Schema::Make(csv.header));
+  Relation rel(std::move(schema));
+  for (const auto& row : csv.rows) {
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+Result<Relation> Relation::FromCsvFile(const std::string& path) {
+  UGUIDE_ASSIGN_OR_RETURN(CsvTable csv, ReadCsvFile(path));
+  return FromCsv(csv);
+}
+
+TupleId Relation::AddRow(const std::vector<std::string>& values) {
+  UGUIDE_CHECK_EQ(static_cast<int>(values.size()), NumAttributes());
+  for (int c = 0; c < NumAttributes(); ++c) {
+    columns_[static_cast<size_t>(c)].push_back(
+        pool_.Intern(values[static_cast<size_t>(c)]));
+  }
+  return NumRows() - 1;
+}
+
+void Relation::SetValue(TupleId row, int col, std::string_view value) {
+  UGUIDE_CHECK(row >= 0 && row < NumRows());
+  UGUIDE_CHECK(col >= 0 && col < NumAttributes());
+  columns_[static_cast<size_t>(col)][static_cast<size_t>(row)] =
+      pool_.Intern(value);
+}
+
+AttributeSet Relation::AgreeSet(TupleId a, TupleId b) const {
+  AttributeSet agree;
+  for (int c = 0; c < NumAttributes(); ++c) {
+    if (Code(a, c) == Code(b, c)) agree.Add(c);
+  }
+  return agree;
+}
+
+bool Relation::Agree(TupleId a, TupleId b, const AttributeSet& attrs) const {
+  for (int c : attrs) {
+    if (Code(a, c) != Code(b, c)) return false;
+  }
+  return true;
+}
+
+Relation Relation::SelectRows(const std::vector<TupleId>& rows) const {
+  Relation out(schema_);
+  std::vector<std::string> values(static_cast<size_t>(NumAttributes()));
+  for (TupleId row : rows) {
+    UGUIDE_CHECK(row >= 0 && row < NumRows());
+    for (int c = 0; c < NumAttributes(); ++c) {
+      values[static_cast<size_t>(c)] = Value(row, c);
+    }
+    out.AddRow(values);
+  }
+  return out;
+}
+
+CsvTable Relation::ToCsv() const {
+  CsvTable csv;
+  csv.header = schema_.Names();
+  csv.rows.reserve(static_cast<size_t>(NumRows()));
+  for (TupleId r = 0; r < NumRows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(NumAttributes()));
+    for (int c = 0; c < NumAttributes(); ++c) {
+      row.push_back(Value(r, c));
+    }
+    csv.rows.push_back(std::move(row));
+  }
+  return csv;
+}
+
+std::string Relation::RowToString(TupleId row) const {
+  std::string out;
+  for (int c = 0; c < NumAttributes(); ++c) {
+    if (c > 0) out += ", ";
+    out += schema_.Name(c);
+    out += "=";
+    out += Value(row, c);
+  }
+  return out;
+}
+
+}  // namespace uguide

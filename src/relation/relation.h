@@ -1,0 +1,133 @@
+#ifndef UGUIDE_RELATION_RELATION_H_
+#define UGUIDE_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/string_pool.h"
+#include "relation/schema.h"
+
+namespace uguide {
+
+/// Row index within a relation.
+using TupleId = int32_t;
+
+/// \brief Address of a single cell: (tuple, attribute).
+struct Cell {
+  TupleId row = 0;
+  int col = 0;
+
+  bool operator==(const Cell& other) const {
+    return row == other.row && col == other.col;
+  }
+  /// Row-major order; used for deterministic iteration.
+  bool operator<(const Cell& other) const {
+    return row != other.row ? row < other.row : col < other.col;
+  }
+};
+
+/// Hash functor so Cell can key unordered containers.
+struct CellHash {
+  size_t operator()(const Cell& c) const {
+    size_t seed = 0;
+    HashCombine(seed, c.row);
+    HashCombine(seed, c.col);
+    return seed;
+  }
+};
+
+/// \brief A columnar, dictionary-encoded relation instance.
+///
+/// Cells are stored as dense integer codes into a per-relation StringPool;
+/// value equality (the only operation FDs need) is an integer compare.
+/// Mutation is supported cell-wise (SetValue) so the error generator can
+/// perturb a clean table in place.
+class Relation {
+ public:
+  /// Creates an empty relation with the given schema.
+  explicit Relation(Schema schema);
+
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  /// Builds a relation from parsed CSV (header becomes the schema).
+  static Result<Relation> FromCsv(const CsvTable& csv);
+
+  /// Reads a relation from a CSV file.
+  static Result<Relation> FromCsvFile(const std::string& path);
+
+  const Schema& schema() const { return schema_; }
+
+  int NumAttributes() const { return schema_.NumAttributes(); }
+
+  TupleId NumRows() const {
+    return columns_.empty() ? 0 : static_cast<TupleId>(columns_[0].size());
+  }
+
+  /// Appends a row; `values.size()` must equal NumAttributes(). Returns the
+  /// new row's TupleId.
+  TupleId AddRow(const std::vector<std::string>& values);
+
+  /// Dictionary code of a cell; O(1).
+  ValueCode Code(TupleId row, int col) const {
+    UGUIDE_DCHECK(row >= 0 && row < NumRows());
+    UGUIDE_DCHECK(col >= 0 && col < NumAttributes());
+    return columns_[static_cast<size_t>(col)][static_cast<size_t>(row)];
+  }
+
+  ValueCode Code(const Cell& cell) const { return Code(cell.row, cell.col); }
+
+  /// String value of a cell.
+  const std::string& Value(TupleId row, int col) const {
+    return pool_.Lookup(Code(row, col));
+  }
+
+  const std::string& Value(const Cell& cell) const {
+    return Value(cell.row, cell.col);
+  }
+
+  /// Overwrites a cell with a (possibly new) value.
+  void SetValue(TupleId row, int col, std::string_view value);
+
+  /// The attributes on which rows `a` and `b` hold equal values
+  /// (the agree-set; central to Armstrong-relation reasoning, §6).
+  AttributeSet AgreeSet(TupleId a, TupleId b) const;
+
+  /// True iff rows `a` and `b` agree on every attribute in `attrs`.
+  bool Agree(TupleId a, TupleId b, const AttributeSet& attrs) const;
+
+  /// Copies the given rows into a new relation with the same schema.
+  /// Codes are re-interned, so the projection owns an independent pool.
+  Relation SelectRows(const std::vector<TupleId>& rows) const;
+
+  /// Serializes to a CSV table (inverse of FromCsv).
+  CsvTable ToCsv() const;
+
+  /// Renders row `row` as "name=value, ..." for question context.
+  std::string RowToString(TupleId row) const;
+
+  /// Direct read access to a column's codes (hot loops in discovery).
+  const std::vector<ValueCode>& ColumnCodes(int col) const {
+    UGUIDE_CHECK(col >= 0 && col < NumAttributes());
+    return columns_[static_cast<size_t>(col)];
+  }
+
+  const StringPool& pool() const { return pool_; }
+
+ private:
+  Schema schema_;
+  StringPool pool_;
+  std::vector<std::vector<ValueCode>> columns_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_RELATION_RELATION_H_

@@ -1,0 +1,38 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+
+namespace uguide {
+
+Result<Schema> Schema::Make(std::vector<std::string> names) {
+  if (names.size() > AttributeSet::kMaxAttributes) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(names.size()) +
+        " attributes; at most 64 supported");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& name : names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + name);
+    }
+  }
+  return Schema(std::move(names));
+}
+
+const std::string& Schema::Name(int index) const {
+  UGUIDE_CHECK(index >= 0 && index < NumAttributes())
+      << "attribute index " << index << " out of range";
+  return names_[static_cast<size_t>(index)];
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < NumAttributes(); ++i) {
+    if (names_[static_cast<size_t>(i)] == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+}  // namespace uguide

@@ -1,0 +1,51 @@
+#ifndef UGUIDE_RELATION_SCHEMA_H_
+#define UGUIDE_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/result.h"
+
+namespace uguide {
+
+/// \brief A relation schema: an ordered list of attribute names.
+///
+/// All cell values are modeled as strings (dictionary-encoded in Relation);
+/// FD semantics only need value equality, so a type system would add nothing.
+/// At most AttributeSet::kMaxAttributes (64) attributes are supported.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; names must be non-empty and unique.
+  static Result<Schema> Make(std::vector<std::string> names);
+
+  /// Number of attributes (the paper's `m`).
+  int NumAttributes() const { return static_cast<int>(names_.size()); }
+
+  /// Name of attribute `index`.
+  const std::string& Name(int index) const;
+
+  /// All attribute names in schema order.
+  const std::vector<std::string>& Names() const { return names_; }
+
+  /// Index of the attribute called `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// The set of all attribute indices.
+  AttributeSet AllAttributes() const {
+    return AttributeSet::Full(NumAttributes());
+  }
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  explicit Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+  std::vector<std::string> names_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_RELATION_SCHEMA_H_

@@ -1,0 +1,86 @@
+#include "violations/bipartite_graph.h"
+
+#include "violations/violation_detector.h"
+
+namespace uguide {
+
+ViolationGraph ViolationGraph::Build(const Relation& relation,
+                                     const FdSet& candidates) {
+  ViolationGraph g;
+  g.fds_.assign(candidates.begin(), candidates.end());
+  g.fd_to_cells_.resize(g.fds_.size());
+  g.fd_active_.assign(g.fds_.size(), true);
+
+  for (FdId f = 0; f < g.NumFds(); ++f) {
+    for (const Cell& cell :
+         ViolatingCells(relation, g.fds_[static_cast<size_t>(f)])) {
+      auto [it, inserted] =
+          g.cell_index_.emplace(cell, static_cast<CellId>(g.cells_.size()));
+      if (inserted) {
+        g.cells_.push_back(cell);
+        g.cell_to_fds_.emplace_back();
+        g.cell_active_.push_back(true);
+      }
+      CellId c = it->second;
+      g.fd_to_cells_[static_cast<size_t>(f)].push_back(c);
+      g.cell_to_fds_[static_cast<size_t>(c)].push_back(f);
+    }
+  }
+  g.cell_active_degree_.resize(g.cells_.size());
+  for (CellId c = 0; c < g.NumCells(); ++c) {
+    g.cell_active_degree_[static_cast<size_t>(c)] =
+        static_cast<int>(g.cell_to_fds_[static_cast<size_t>(c)].size());
+  }
+  return g;
+}
+
+int ViolationGraph::ActiveDegreeOfFd(FdId f) const {
+  if (!FdActive(f)) return 0;
+  int degree = 0;
+  for (CellId c : fd_to_cells_[static_cast<size_t>(f)]) {
+    if (cell_active_[static_cast<size_t>(c)]) ++degree;
+  }
+  return degree;
+}
+
+void ViolationGraph::DeactivateFd(FdId f) {
+  Checked(f, NumFds());
+  if (!fd_active_[static_cast<size_t>(f)]) return;
+  fd_active_[static_cast<size_t>(f)] = false;
+  // Cells orphaned by this removal are no longer violations of anything.
+  for (CellId c : fd_to_cells_[static_cast<size_t>(f)]) {
+    int& degree = cell_active_degree_[static_cast<size_t>(c)];
+    --degree;
+    if (cell_active_[static_cast<size_t>(c)] && degree == 0) {
+      cell_active_[static_cast<size_t>(c)] = false;
+    }
+  }
+}
+
+void ViolationGraph::DeactivateCell(CellId c) {
+  Checked(c, NumCells());
+  cell_active_[static_cast<size_t>(c)] = false;
+}
+
+std::vector<FdId> ViolationGraph::ActiveFds() const {
+  std::vector<FdId> out;
+  for (FdId f = 0; f < NumFds(); ++f) {
+    if (fd_active_[static_cast<size_t>(f)]) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<CellId> ViolationGraph::ActiveCells() const {
+  std::vector<CellId> out;
+  for (CellId c = 0; c < NumCells(); ++c) {
+    if (cell_active_[static_cast<size_t>(c)]) out.push_back(c);
+  }
+  return out;
+}
+
+CellId ViolationGraph::FindCell(const Cell& cell) const {
+  auto it = cell_index_.find(cell);
+  return it == cell_index_.end() ? -1 : it->second;
+}
+
+}  // namespace uguide

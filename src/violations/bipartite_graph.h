@@ -1,0 +1,97 @@
+#ifndef UGUIDE_VIOLATIONS_BIPARTITE_GRAPH_H_
+#define UGUIDE_VIOLATIONS_BIPARTITE_GRAPH_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// Index of an FD node in a ViolationGraph.
+using FdId = int;
+/// Index of a violation (cell) node in a ViolationGraph.
+using CellId = int;
+
+/// \brief The bipartite FD <-> violation graph of §3.2.
+///
+/// Left nodes are candidate FDs; right nodes are the cells they flag; an
+/// edge connects an FD to every cell in its g3 removal set. The interactive
+/// strategies deactivate nodes as the expert answers (an invalidated FD
+/// disappears together with cells only it flagged), so both sides carry
+/// active flags rather than being physically removed.
+class ViolationGraph {
+ public:
+  /// Builds the graph for `candidates` over `relation`. FDs that flag no
+  /// cell still get a node (with no edges) so FdIds align with the input
+  /// set's order.
+  static ViolationGraph Build(const Relation& relation,
+                              const FdSet& candidates);
+
+  int NumFds() const { return static_cast<int>(fds_.size()); }
+  int NumCells() const { return static_cast<int>(cells_.size()); }
+
+  const Fd& fd(FdId f) const { return fds_[Checked(f, NumFds())]; }
+  const Cell& cell(CellId c) const { return cells_[Checked(c, NumCells())]; }
+
+  /// Cells flagged by an FD (edges from the left).
+  const std::vector<CellId>& CellsOfFd(FdId f) const {
+    return fd_to_cells_[Checked(f, NumFds())];
+  }
+
+  /// FDs flagging a cell (edges from the right).
+  const std::vector<FdId>& FdsOfCell(CellId c) const {
+    return cell_to_fds_[Checked(c, NumCells())];
+  }
+
+  bool FdActive(FdId f) const { return fd_active_[Checked(f, NumFds())]; }
+  bool CellActive(CellId c) const {
+    return cell_active_[Checked(c, NumCells())];
+  }
+
+  /// Number of *active* FDs flagging cell `c`. O(1): maintained
+  /// incrementally as FDs are deactivated (the hot query of every
+  /// cell-strategy selection scan).
+  int ActiveDegreeOfCell(CellId c) const {
+    return CellActive(c) ? cell_active_degree_[Checked(c, NumCells())] : 0;
+  }
+
+  /// Number of *active* cells flagged by FD `f`.
+  int ActiveDegreeOfFd(FdId f) const;
+
+  /// Deactivates an FD; cells left with no active FD are deactivated too.
+  void DeactivateFd(FdId f);
+
+  /// Deactivates a single cell (e.g., the expert certified it clean or it
+  /// has been resolved).
+  void DeactivateCell(CellId c);
+
+  /// Ids of currently active FDs / cells, ascending.
+  std::vector<FdId> ActiveFds() const;
+  std::vector<CellId> ActiveCells() const;
+
+  /// Looks up the node for `cell`; returns -1 when the cell is not a
+  /// violation node.
+  CellId FindCell(const Cell& cell) const;
+
+ private:
+  ViolationGraph() = default;
+
+  static int Checked(int i, int bound) {
+    UGUIDE_CHECK(i >= 0 && i < bound) << "graph index out of range";
+    return i;
+  }
+
+  std::vector<Fd> fds_;
+  std::vector<Cell> cells_;
+  std::vector<std::vector<CellId>> fd_to_cells_;
+  std::vector<std::vector<FdId>> cell_to_fds_;
+  std::vector<bool> fd_active_;
+  std::vector<bool> cell_active_;
+  std::vector<int> cell_active_degree_;
+  std::unordered_map<Cell, CellId, CellHash> cell_index_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_VIOLATIONS_BIPARTITE_GRAPH_H_

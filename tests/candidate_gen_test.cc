@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/candidate_gen.h"
+#include "datagen/generators.h"
+#include "discovery/partition.h"
+#include "fd/closure.h"
+
+namespace uguide {
+namespace {
+
+Relation SmallHospital() {
+  DataGenOptions opts;
+  opts.rows = 800;
+  opts.seed = 31;
+  return GenerateHospital(opts);
+}
+
+TEST(CandidateGenTest, ExactFdsAreWithinCandidatesClosure) {
+  Relation dirty = SmallHospital();  // clean data is a valid "dirty" input
+  CandidateGenOptions opts;
+  opts.max_lhs_size = 3;
+  CandidateSet result = GenerateCandidates(dirty, opts).ValueOrDie();
+  // Every exact FD must be implied by the candidate AFD set (candidates
+  // are generalizations at a weaker threshold).
+  ClosureEngine candidate_closure(result.candidates);
+  for (const Fd& fd : result.exact) {
+    EXPECT_TRUE(candidate_closure.Implies(fd)) << fd.ToString();
+  }
+}
+
+TEST(CandidateGenTest, CandidatesRespectThreshold) {
+  Relation dirty = SmallHospital();
+  CandidateGenOptions opts;
+  opts.max_lhs_size = 2;
+  opts.relax_threshold = 0.15;
+  CandidateSet result = GenerateCandidates(dirty, opts).ValueOrDie();
+  PartitionCache cache(&dirty);
+  for (const Fd& fd : result.candidates) {
+    EXPECT_LE(cache.FdError(fd), 0.15) << fd.ToString();
+    EXPECT_LE(fd.lhs.Size(), 2);
+  }
+}
+
+TEST(CandidateGenTest, CandidatesAreMinimal) {
+  Relation dirty = SmallHospital();
+  CandidateGenOptions opts;
+  opts.max_lhs_size = 2;
+  CandidateSet result = GenerateCandidates(dirty, opts).ValueOrDie();
+  for (const Fd& fd : result.candidates) {
+    EXPECT_TRUE(result.candidates.IsMinimalIn(fd)) << fd.ToString();
+  }
+}
+
+TEST(CandidateGenTest, RejectsBadThreshold) {
+  Relation dirty = SmallHospital();
+  CandidateGenOptions opts;
+  opts.relax_threshold = 1.0;
+  EXPECT_FALSE(GenerateCandidates(dirty, opts).ok());
+}
+
+TEST(CandidateGenTest, EmptyRelationYieldsNoCandidates) {
+  Relation empty(Schema::Make({"a", "b"}).ValueOrDie());
+  CandidateSet result = GenerateCandidates(empty, {}).ValueOrDie();
+  EXPECT_TRUE(result.exact.Empty());
+  EXPECT_TRUE(result.candidates.Empty());
+}
+
+TEST(CandidateGenTest, ThresholdZeroEqualsExactDiscovery) {
+  Relation dirty = SmallHospital();
+  CandidateGenOptions opts;
+  opts.max_lhs_size = 2;
+  opts.relax_threshold = 0.0;
+  CandidateSet result = GenerateCandidates(dirty, opts).ValueOrDie();
+  EXPECT_EQ(result.candidates.Size(), result.exact.Size());
+  for (const Fd& fd : result.exact) {
+    EXPECT_TRUE(result.candidates.Contains(fd)) << fd.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace uguide

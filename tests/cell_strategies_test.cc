@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/cell_strategies.h"
+#include "core/session.h"
+#include "fd/closure.h"
+#include "test_util.h"
+
+namespace uguide {
+namespace {
+
+using ::uguide::testing::MakeHospitalSession;
+
+struct CellCase {
+  const char* name;
+  std::unique_ptr<Strategy> (*make)(const CellStrategyOptions&);
+};
+
+class CellStrategyTest : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(CellStrategyTest, RespectsBudget) {
+  Session session = MakeHospitalSession(800);
+  auto strategy = GetParam().make({});
+  SessionReport report = session.Run(*strategy, 50.0);
+  EXPECT_LE(report.result.cost_spent, 50.0);
+  EXPECT_EQ(report.result.questions_asked,
+            static_cast<int>(report.result.cost_spent));  // cell cost = 1
+}
+
+TEST_P(CellStrategyTest, ZeroBudgetAsksNothing) {
+  Session session = MakeHospitalSession(600);
+  auto strategy = GetParam().make({});
+  SessionReport report = session.Run(*strategy, 0.0);
+  EXPECT_EQ(report.result.questions_asked, 0);
+  EXPECT_EQ(report.result.cost_spent, 0.0);
+}
+
+TEST_P(CellStrategyTest, AcceptedFdsComeFromCandidates) {
+  Session session = MakeHospitalSession(800);
+  auto strategy = GetParam().make({});
+  SessionReport report = session.Run(*strategy, 200.0);
+  for (const Fd& fd : report.result.accepted_fds) {
+    EXPECT_TRUE(session.candidates().Contains(fd)) << fd.ToString();
+  }
+}
+
+TEST_P(CellStrategyTest, LargerBudgetDoesNotIncreaseFalseRate) {
+  Session session = MakeHospitalSession(1200);
+  auto strategy = GetParam().make({});
+  const double small = session.Run(*strategy, 30.0)
+                           .metrics.FalseViolationPct();
+  const double large = session.Run(*strategy, 600.0)
+                           .metrics.FalseViolationPct();
+  EXPECT_LE(large, small + 10.0);  // allow sampling noise
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCellStrategies, CellStrategyTest,
+    ::testing::Values(CellCase{"hs", &MakeCellQHittingSet},
+                      CellCase{"sums", &MakeCellQSums},
+                      CellCase{"greedy", &MakeCellQGreedy},
+                      CellCase{"oracle", &MakeCellQOracle}),
+    [](const ::testing::TestParamInfo<CellCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CellStrategyTest, EvidenceAcceptanceGrowsWithBudget) {
+  // Acceptance is evidence-driven (§7.2.1's confidence threshold): more
+  // questions confirm more FDs, so both the accepted set and the detected
+  // fraction of true violations grow with budget.
+  Session session = MakeHospitalSession(1200);
+  auto strategy = MakeCellQHittingSet({});
+  SessionReport small = session.Run(*strategy, 50.0);
+  SessionReport big = session.Run(*strategy, 1500.0);
+  EXPECT_GE(big.result.accepted_fds.Size(), small.result.accepted_fds.Size());
+  EXPECT_GE(big.metrics.TrueViolationPct(),
+            small.metrics.TrueViolationPct());
+}
+
+TEST(CellStrategyTest, AcceptThresholdZeroAcceptsAllSurvivors) {
+  // Algorithm 2's literal `return Sigma`: with threshold 0 every candidate
+  // that was not invalidated is accepted, giving maximal recall at once.
+  Session session = MakeHospitalSession(1000);
+  CellStrategyOptions accept_all;
+  accept_all.accept_threshold = 0.0;
+  auto strategy = MakeCellQHittingSet(accept_all);
+  SessionReport report = session.Run(*strategy, 100.0);
+  // Nearly all candidates survive 100 questions (only FD-less ones and the
+  // few invalidated by "no" answers drop out). 237 of 239 here; keep a
+  // margin for other fixtures.
+  EXPECT_GE(report.result.accepted_fds.Size(),
+            session.candidates().Size() * 2 / 5);
+  EXPECT_GE(report.metrics.TrueViolationPct(), 99.0);
+}
+
+TEST(CellStrategyTest, OracleNeverWorseThanGreedyOnFalseRate) {
+  Session session = MakeHospitalSession(1500);
+  auto oracle = MakeCellQOracle({});
+  auto greedy = MakeCellQGreedy({});
+  const double budget = 300.0;
+  SessionReport oracle_report = session.Run(*oracle, budget);
+  SessionReport greedy_report = session.Run(*greedy, budget);
+  EXPECT_LE(oracle_report.metrics.FalseViolationPct(),
+            greedy_report.metrics.FalseViolationPct() + 5.0);
+}
+
+TEST(CellStrategyTest, SumsConfidenceThresholdFiltersFds) {
+  Session session = MakeHospitalSession(1000);
+  CellStrategyOptions strict;
+  strict.sums_accept_threshold = 0.95;
+  CellStrategyOptions lax;
+  lax.sums_accept_threshold = 0.0;
+  auto strict_strategy = MakeCellQSums(strict);
+  auto lax_strategy = MakeCellQSums(lax);
+  SessionReport strict_report = session.Run(*strict_strategy, 100.0);
+  SessionReport lax_report = session.Run(*lax_strategy, 100.0);
+  EXPECT_LE(strict_report.result.accepted_fds.Size(),
+            lax_report.result.accepted_fds.Size());
+}
+
+TEST(CellStrategyTest, TrueFdsAlwaysSurviveQuestioning) {
+  // FDs implied by the true set can never be invalidated by honest expert
+  // answers: every cell a true candidate flags violates a true FD (its
+  // minimal generalization flags the same pair), so the expert always
+  // answers "yes" for it. With threshold 0 (accept all survivors) every
+  // true candidate must therefore be in the accepted set.
+  Session session = MakeHospitalSession(1200);
+  CellStrategyOptions accept_all;
+  accept_all.accept_threshold = 0.0;
+  auto strategy = MakeCellQHittingSet(accept_all);
+  SessionReport report = session.Run(*strategy, 2000.0);
+  ClosureEngine true_closure(session.true_fds());
+  for (const Fd& fd : session.candidates()) {
+    if (!true_closure.Implies(fd)) continue;
+    EXPECT_TRUE(report.result.accepted_fds.Contains(fd)) << fd.ToString();
+  }
+}
+
+TEST(CellStrategyTest, SumsBestAtLimitedBudget) {
+  // §7.2.1: "the SUMS algorithm, which is based on truth discovery,
+  // performs best when the budget is limited."
+  Session session = MakeHospitalSession(1500);
+  auto sums = MakeCellQSums({});
+  auto greedy = MakeCellQGreedy({});
+  const double budget = 250.0;
+  EXPECT_GE(session.Run(*sums, budget).metrics.TrueViolationPct(),
+            session.Run(*greedy, budget).metrics.TrueViolationPct());
+}
+
+TEST(CellStrategyTest, IdkAnswersOnlySlowProgress) {
+  Session fluent = MakeHospitalSession(1000, ErrorModel::kSystematic, 0.15,
+                                       5, /*idk_rate=*/0.0);
+  Session hesitant = MakeHospitalSession(1000, ErrorModel::kSystematic, 0.15,
+                                         5, /*idk_rate=*/0.7);
+  auto strategy = MakeCellQHittingSet({});
+  SessionReport fluent_report = fluent.Run(*strategy, 400.0);
+  SessionReport hesitant_report = hesitant.Run(*strategy, 400.0);
+  // The hesitant expert wastes budget, so fewer false FDs get eliminated:
+  // accepted-set size cannot be smaller than under the fluent expert.
+  EXPECT_GE(hesitant_report.result.accepted_fds.Size(),
+            fluent_report.result.accepted_fds.Size());
+}
+
+}  // namespace
+}  // namespace uguide

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfd/cfd.h"
+#include "cfd/cfd_discovery.h"
+#include "common/rng.h"
+#include "discovery/tane.h"
+#include "fd/armstrong.h"
+#include "violations/violation_detector.h"
+
+namespace uguide {
+namespace {
+
+Relation MakeRelation(const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<std::string>>& rows) {
+  Relation rel(Schema::Make(attrs).ValueOrDie());
+  for (const auto& row : rows) rel.AddRow(row);
+  return rel;
+}
+
+// zip -> city holds only inside state CA; state NY breaks it.
+Relation ConditionalRelation() {
+  return MakeRelation({"state", "zip", "city"},
+                      {{"CA", "1", "sf"},
+                       {"CA", "1", "sf"},
+                       {"CA", "2", "la"},
+                       {"CA", "2", "la"},
+                       {"NY", "3", "nyc"},
+                       {"NY", "3", "albany"},
+                       {"NY", "4", "buffalo"}});
+}
+
+TEST(CfdTest, MakeValidatesPatternArity) {
+  EXPECT_TRUE(Cfd::Make(Fd({0, 1}, 2), {"CA", "_"}, "_").ok());
+  EXPECT_FALSE(Cfd::Make(Fd({0, 1}, 2), {"CA"}, "_").ok());
+  EXPECT_FALSE(Cfd::Make(Fd({0, 2}, 2), {"_", "_"}, "_").ok());  // trivial
+}
+
+TEST(CfdTest, PlainFdDetection) {
+  Cfd plain = Cfd::Make(Fd({0, 1}, 2), {"_", "_"}, "_").ValueOrDie();
+  EXPECT_TRUE(plain.IsPlainFd());
+  EXPECT_FALSE(plain.IsConstant());
+  Cfd conditional = Cfd::Make(Fd({0, 1}, 2), {"CA", "_"}, "_").ValueOrDie();
+  EXPECT_FALSE(conditional.IsPlainFd());
+  Cfd constant = Cfd::Make(Fd({0}, 2), {"CA"}, "sf").ValueOrDie();
+  EXPECT_TRUE(constant.IsConstant());
+}
+
+TEST(CfdTest, MatchesChecksConstantsOnly) {
+  Relation rel = ConditionalRelation();
+  Cfd cfd = Cfd::Make(Fd({0, 1}, 2), {"CA", "_"}, "_").ValueOrDie();
+  EXPECT_TRUE(cfd.Matches(rel, 0));
+  EXPECT_TRUE(cfd.Matches(rel, 3));
+  EXPECT_FALSE(cfd.Matches(rel, 4));  // NY
+}
+
+TEST(CfdTest, VariableCfdHoldsWherePlainFdFails) {
+  Relation rel = ConditionalRelation();
+  // The plain {zip}->city fails (zip 3 has two cities)...
+  EXPECT_FALSE(FdHoldsOn(rel, Fd({1}, 2)));
+  // ...but conditioned on state=CA it holds.
+  Cfd ca = Cfd::Make(Fd({0, 1}, 2), {"CA", "_"}, "_").ValueOrDie();
+  EXPECT_TRUE(CfdHoldsOn(rel, ca));
+  Cfd ny = Cfd::Make(Fd({0, 1}, 2), {"NY", "_"}, "_").ValueOrDie();
+  EXPECT_FALSE(CfdHoldsOn(rel, ny));
+}
+
+TEST(CfdTest, VariableViolationsUseParticipation) {
+  Relation rel = ConditionalRelation();
+  Cfd ny = Cfd::Make(Fd({0, 1}, 2), {"NY", "_"}, "_").ValueOrDie();
+  std::vector<Cell> cells = ViolatingCells(rel, ny);
+  ASSERT_EQ(cells.size(), 2u);  // both zip-3 tuples participate
+  EXPECT_EQ(cells[0], (Cell{4, 2}));
+  EXPECT_EQ(cells[1], (Cell{5, 2}));
+}
+
+TEST(CfdTest, ConstantCfdFlagsDeviations) {
+  Relation rel = ConditionalRelation();
+  // state=CA, zip=1 -> city=sf: holds.
+  Cfd good = Cfd::Make(Fd({0, 1}, 2), {"CA", "1"}, "sf").ValueOrDie();
+  EXPECT_TRUE(CfdHoldsOn(rel, good));
+  // state=CA, zip=1 -> city=la: both CA/1 tuples deviate.
+  Cfd bad = Cfd::Make(Fd({0, 1}, 2), {"CA", "1"}, "la").ValueOrDie();
+  std::vector<Cell> cells = ViolatingCells(rel, bad);
+  EXPECT_EQ(cells.size(), 2u);
+}
+
+TEST(CfdTest, ErrorMetric) {
+  Relation rel = ConditionalRelation();
+  Cfd ny = Cfd::Make(Fd({0, 1}, 2), {"NY", "_"}, "_").ValueOrDie();
+  // One of the two zip-3 tuples must go: 1/7.
+  EXPECT_NEAR(CfdError(rel, ny), 1.0 / 7.0, 1e-12);
+  Cfd ca = Cfd::Make(Fd({0, 1}, 2), {"CA", "_"}, "_").ValueOrDie();
+  EXPECT_EQ(CfdError(rel, ca), 0.0);
+}
+
+TEST(CfdTest, WildcardCfdEqualsPlainFd) {
+  Relation rel = ConditionalRelation();
+  const Fd fd({1}, 2);
+  Cfd plain = Cfd::Make(fd, {"_"}, "_").ValueOrDie();
+  EXPECT_EQ(CfdHoldsOn(rel, plain), FdHoldsOn(rel, fd));
+  EXPECT_EQ(ViolatingCells(rel, plain).size(),
+            ViolatingCells(rel, fd).size());
+}
+
+TEST(CfdTest, ToStringShowsPattern) {
+  Schema schema = Schema::Make({"state", "zip", "city"}).ValueOrDie();
+  Cfd cfd = Cfd::Make(Fd({0, 1}, 2), {"CA", "_"}, "_").ValueOrDie();
+  EXPECT_EQ(cfd.ToString(schema), "state=CA,zip -> city");
+  Cfd constant = Cfd::Make(Fd({0}, 2), {"NY"}, "nyc").ValueOrDie();
+  EXPECT_EQ(constant.ToString(schema), "state=NY -> city=nyc");
+}
+
+// --- Discovery --------------------------------------------------------------
+
+// A larger relation where zip -> city is conditional on country.
+Relation MiningRelation() {
+  Relation rel(Schema::Make({"country", "zip", "city"}).ValueOrDie());
+  Rng rng(3);
+  // Country A: zip determines city (zips 0..9).
+  for (int i = 0; i < 60; ++i) {
+    int zip = static_cast<int>(rng.NextBounded(10));
+    rel.AddRow({"A", "z" + std::to_string(zip), "c" + std::to_string(zip)});
+  }
+  // Country B: same zip values map to arbitrary cities.
+  for (int i = 0; i < 60; ++i) {
+    int zip = static_cast<int>(rng.NextBounded(10));
+    rel.AddRow({"B", "z" + std::to_string(zip),
+                "c" + std::to_string(rng.NextBounded(10))});
+  }
+  return rel;
+}
+
+TEST(CfdDiscoveryTest, FindsConditionalDependency) {
+  Relation rel = MiningRelation();
+  // {country, zip} -> city fails globally (country B reuses zips with
+  // conflicting cities) but holds under the condition country = A.
+  FdSet broken({Fd({0, 1}, 2)});
+  CfdDiscoveryOptions opts;
+  opts.min_support = 20;
+  std::vector<Cfd> cfds = DiscoverVariableCfds(rel, broken, opts);
+  // country=A must be among the mined conditions.
+  const bool found = std::any_of(cfds.begin(), cfds.end(), [](const Cfd& c) {
+    return c.lhs_pattern(0) == "A" && c.lhs_pattern(1) == Cfd::kWildcard;
+  });
+  EXPECT_TRUE(found);
+  // Every mined CFD must actually hold with the required support.
+  for (const Cfd& cfd : cfds) {
+    EXPECT_TRUE(CfdHoldsOn(rel, cfd)) << cfd.ToString(rel.schema());
+  }
+}
+
+TEST(CfdDiscoveryTest, SkipsGloballyHoldingFds) {
+  // An FD that already holds globally needs no conditioning, so the miner
+  // must report nothing for it.
+  Relation simple(Schema::Make({"a", "b"}).ValueOrDie());
+  simple.AddRow({"1", "x"});
+  simple.AddRow({"1", "x"});
+  simple.AddRow({"2", "y"});
+  FdSet holding({Fd({0}, 1)});
+  EXPECT_TRUE(DiscoverVariableCfds(simple, holding, {}).empty());
+}
+
+TEST(CfdDiscoveryTest, RespectsSupportThreshold) {
+  Relation rel = MiningRelation();
+  FdSet broken({Fd({0, 1}, 2)});
+  CfdDiscoveryOptions strict;
+  strict.min_support = 1000;  // more than the table has
+  EXPECT_TRUE(DiscoverVariableCfds(rel, broken, strict).empty());
+}
+
+TEST(CfdDiscoveryTest, RespectsResultCap) {
+  Relation rel = MiningRelation();
+  FdSet broken({Fd({0, 1}, 2)});
+  CfdDiscoveryOptions capped;
+  capped.min_support = 2;
+  capped.max_results = 3;
+  EXPECT_LE(DiscoverVariableCfds(rel, broken, capped).size(), 3u);
+}
+
+TEST(CfdDiscoveryTest, ConstantCfdsAreExactAndSupported) {
+  Relation rel = MiningRelation();
+  CfdDiscoveryOptions opts;
+  opts.min_support = 10;
+  std::vector<Cfd> cfds = DiscoverConstantCfds(rel, opts);
+  for (const Cfd& cfd : cfds) {
+    EXPECT_TRUE(cfd.IsConstant());
+    EXPECT_TRUE(CfdHoldsOn(rel, cfd)) << cfd.ToString(rel.schema());
+    // Its plain FD must genuinely fail (otherwise the CFD is pointless).
+    EXPECT_FALSE(FdHoldsOn(rel, cfd.embedded()));
+  }
+}
+
+TEST(CfdDiscoveryTest, MinedCfdsDetectInjectedDeviations) {
+  // Corrupt one country-A city cell: the mined country=A CFD must flag it.
+  Relation rel = MiningRelation();
+  rel.SetValue(0, 2, "weird");
+  FdSet broken({Fd({0, 1}, 2)});
+  CfdDiscoveryOptions opts;
+  opts.min_support = 20;
+  // Re-mine on the *clean* table, then detect on the dirty one.
+  Relation clean = MiningRelation();
+  std::vector<Cfd> cfds = DiscoverVariableCfds(clean, broken, opts);
+  bool flagged = false;
+  for (const Cfd& cfd : cfds) {
+    for (const Cell& cell : ViolatingCells(rel, cfd)) {
+      if (cell.row == 0) flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+}
+
+}  // namespace
+}  // namespace uguide

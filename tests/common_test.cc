@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/attribute_set.h"
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_pool.h"
+
+namespace uguide {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int code = 0; code <= 9; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
+                 "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  UGUIDE_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoublePositive(4), 8);
+  EXPECT_FALSE(DoublePositive(-1).ok());
+  EXPECT_EQ(DoublePositive(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).ValueOrDie();
+  EXPECT_EQ(moved, "payload");
+}
+
+// --- AttributeSet -----------------------------------------------------------
+
+TEST(AttributeSetTest, EmptyByDefault) {
+  AttributeSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Size(), 0);
+}
+
+TEST(AttributeSetTest, AddRemoveContains) {
+  AttributeSet s;
+  s.Add(3);
+  s.Add(5);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Size(), 2);
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Size(), 1);
+}
+
+TEST(AttributeSetTest, InitializerListAndFull) {
+  AttributeSet s = {0, 2, 4};
+  EXPECT_EQ(s.Size(), 3);
+  EXPECT_EQ(AttributeSet::Full(5).Size(), 5);
+  EXPECT_EQ(AttributeSet::Full(64).Size(), 64);
+  EXPECT_EQ(AttributeSet::Full(0).Size(), 0);
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a = {0, 1, 2};
+  AttributeSet b = {2, 3};
+  EXPECT_EQ(a.Union(b), AttributeSet({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttributeSet({2}));
+  EXPECT_EQ(a.Minus(b), AttributeSet({0, 1}));
+  EXPECT_TRUE(AttributeSet({1}).IsSubsetOf(a));
+  EXPECT_TRUE(AttributeSet({1}).IsStrictSubsetOf(a));
+  EXPECT_FALSE(a.IsStrictSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(AttributeSet({0}).Intersects(b));
+}
+
+TEST(AttributeSetTest, WithWithoutAreNonMutating) {
+  const AttributeSet a = {1};
+  EXPECT_EQ(a.With(2), AttributeSet({1, 2}));
+  EXPECT_EQ(a.Without(1), AttributeSet());
+  EXPECT_EQ(a, AttributeSet({1}));
+}
+
+TEST(AttributeSetTest, LowestHighestIteration) {
+  AttributeSet s = {5, 9, 63};
+  EXPECT_EQ(s.Lowest(), 5);
+  EXPECT_EQ(s.Highest(), 63);
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{5, 9, 63}));
+  std::vector<int> seen;
+  for (int a : s) seen.push_back(a);
+  EXPECT_EQ(seen, s.ToVector());
+}
+
+TEST(AttributeSetTest, ToStringForms) {
+  AttributeSet s = {0, 2};
+  EXPECT_EQ(s.ToString(), "{0,2}");
+  EXPECT_EQ(s.ToString({"zip", "city", "state"}), "zip,state");
+  EXPECT_EQ(AttributeSet().ToString(), "{}");
+}
+
+TEST(AttributeSetTest, HashDistinguishesNearbyMasks) {
+  AttributeSetHash hash;
+  std::set<size_t> values;
+  for (uint64_t mask = 0; mask < 128; ++mask) {
+    values.insert(hash(AttributeSet(mask)));
+  }
+  EXPECT_EQ(values.size(), 128u);
+}
+
+// Property sweep: subset/union/minus laws over a range of masks.
+class AttributeSetLawsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AttributeSetLawsTest, AlgebraLaws) {
+  const AttributeSet a(GetParam());
+  const AttributeSet b(GetParam() * 0x9e3779b97f4a7c15ULL >> 32);
+  EXPECT_TRUE(a.Intersect(b).IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a.Union(b)));
+  EXPECT_EQ(a.Minus(b).Intersect(b), AttributeSet());
+  EXPECT_EQ(a.Minus(b).Union(a.Intersect(b)), a);
+  EXPECT_EQ(a.Union(b).Size() + a.Intersect(b).Size(),
+            a.Size() + b.Size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, AttributeSetLawsTest,
+                         ::testing::Values(0ULL, 1ULL, 0b1010ULL, 0xffULL,
+                                           0xdeadbeefULL, 0x8000000000000000ULL,
+                                           ~0ULL, 0x5555555555555555ULL));
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  std::vector<uint64_t> va, vb, vc;
+  for (int i = 0; i < 32; ++i) {
+    va.push_back(a.Next());
+    vb.push_back(b.Next());
+    vc.push_back(c.Next());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 1.0, 0.0, 3.0};
+  for (int i = 0; i < 200; ++i) {
+    size_t pick = rng.NextWeighted(weights);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(RngTest, WeightedIsRoughlyProportional) {
+  Rng rng(6);
+  std::vector<double> weights = {1.0, 9.0};
+  int heavy = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.NextWeighted(weights) == 1) ++heavy;
+  }
+  EXPECT_GT(heavy, 4200);
+  EXPECT_LT(heavy, 4800);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(8);
+  int first = 0, last = 0;
+  for (int i = 0; i < 3000; ++i) {
+    size_t r = rng.NextZipf(10, 1.5);
+    if (r == 0) ++first;
+    if (r == 9) ++last;
+  }
+  EXPECT_GT(first, 10 * last);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- StringPool -------------------------------------------------------------
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  ValueCode a = pool.Intern("alpha");
+  ValueCode b = pool.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.Size(), 2u);
+}
+
+TEST(StringPoolTest, LookupRoundTrips) {
+  StringPool pool;
+  ValueCode a = pool.Intern("value");
+  EXPECT_EQ(pool.Lookup(a), "value");
+}
+
+TEST(StringPoolTest, FindWithoutIntern) {
+  StringPool pool;
+  pool.Intern("present");
+  EXPECT_EQ(pool.Find("present"), 0);
+  EXPECT_EQ(pool.Find("absent"), kNullValueCode);
+}
+
+TEST(StringPoolTest, EmptyStringIsAValue) {
+  StringPool pool;
+  ValueCode e = pool.Intern("");
+  EXPECT_EQ(pool.Lookup(e), "");
+}
+
+// --- CSV --------------------------------------------------------------------
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto r = ParseCsv("a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], "x,y");
+  EXPECT_EQ(r->rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrLfAndMissingTrailingNewline) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1][1], "4");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto r = ParseCsv("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{"plain", "with,comma"}, {"with\"quote", "line\nbreak"}};
+  std::string text = WriteCsv(t);
+  EXPECT_EQ(text,
+            "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",\"line\nbreak\"\n");
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y", "z"};
+  t.rows = {{"1", "a,b", ""}, {"\"q\"", "plain", "end"}};
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, t.header);
+  EXPECT_EQ(parsed->rows, t.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"k", "v"};
+  t.rows = {{"1", "one"}, {"2", "two"}};
+  const std::string path = ::testing::TempDir() + "/uguide_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows, t.rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/uguide.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace uguide

@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "discovery/partition.h"
+#include "discovery/relaxation.h"
+#include "discovery/tane.h"
+#include "fd/armstrong.h"
+#include "fd/closure.h"
+
+namespace uguide {
+namespace {
+
+Relation MakeRelation(const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<std::string>>& rows) {
+  Relation rel(Schema::Make(attrs).ValueOrDie());
+  for (const auto& row : rows) rel.AddRow(row);
+  return rel;
+}
+
+// Naive g3: minimum tuples to delete so the FD holds exactly, computed by
+// majority counting per LHS group.
+double NaiveG3(const Relation& rel, const Fd& fd) {
+  std::unordered_map<std::string, std::unordered_map<std::string, int>>
+      groups;
+  for (TupleId r = 0; r < rel.NumRows(); ++r) {
+    std::string key;
+    for (int c : fd.lhs) {
+      key += rel.Value(r, c);
+      key += '\x1f';
+    }
+    groups[key][rel.Value(r, fd.rhs)]++;
+  }
+  int removed = 0;
+  for (const auto& [key, counts] : groups) {
+    int total = 0, best = 0;
+    for (const auto& [value, count] : counts) {
+      total += count;
+      best = std::max(best, count);
+    }
+    removed += total - best;
+  }
+  return static_cast<double>(removed) / rel.NumRows();
+}
+
+// --- Partition --------------------------------------------------------------
+
+TEST(PartitionTest, SingleColumnStripsSingletons) {
+  Relation rel = MakeRelation({"a"}, {{"x"}, {"x"}, {"y"}, {"z"}, {"x"}});
+  Partition p = Partition::ForColumn(rel, 0);
+  ASSERT_EQ(p.NumClasses(), 1u);  // only the "x" class survives stripping
+  EXPECT_EQ(p.classes()[0], (std::vector<TupleId>{0, 1, 4}));
+  EXPECT_EQ(p.StrippedSize(), 3u);
+  EXPECT_FALSE(p.IsKey());
+}
+
+TEST(PartitionTest, KeyColumn) {
+  Relation rel = MakeRelation({"a"}, {{"1"}, {"2"}, {"3"}});
+  Partition p = Partition::ForColumn(rel, 0);
+  EXPECT_TRUE(p.IsKey());
+  EXPECT_EQ(p.KeyError(), 0.0);
+}
+
+TEST(PartitionTest, EmptySetPartition) {
+  Partition p = Partition::ForEmptySet(4);
+  ASSERT_EQ(p.NumClasses(), 1u);
+  EXPECT_EQ(p.classes()[0].size(), 4u);
+}
+
+TEST(PartitionTest, ProductRefines) {
+  Relation rel = MakeRelation(
+      {"a", "b"},
+      {{"1", "x"}, {"1", "x"}, {"1", "y"}, {"2", "x"}, {"2", "x"}});
+  Partition pa = Partition::ForColumn(rel, 0);
+  Partition pb = Partition::ForColumn(rel, 1);
+  Partition pab = pa.Product(pb);
+  // Classes: {0,1} (1,x) and {3,4} (2,x); (1,y) is a singleton.
+  EXPECT_EQ(pab.NumClasses(), 2u);
+  EXPECT_EQ(pab.StrippedSize(), 4u);
+}
+
+TEST(PartitionTest, ProductIsCommutativeInContent) {
+  Rng rng(3);
+  Relation rel(Schema::Make({"a", "b"}).ValueOrDie());
+  for (int i = 0; i < 100; ++i) {
+    rel.AddRow({std::to_string(rng.NextBounded(5)),
+                std::to_string(rng.NextBounded(4))});
+  }
+  Partition pa = Partition::ForColumn(rel, 0);
+  Partition pb = Partition::ForColumn(rel, 1);
+  Partition ab = pa.Product(pb);
+  Partition ba = pb.Product(pa);
+  EXPECT_EQ(ab.NumClasses(), ba.NumClasses());
+  EXPECT_EQ(ab.StrippedSize(), ba.StrippedSize());
+}
+
+TEST(PartitionTest, FdErrorMatchesNaiveG3) {
+  Rng rng(7);
+  Relation rel(Schema::Make({"a", "b", "c"}).ValueOrDie());
+  for (int i = 0; i < 200; ++i) {
+    rel.AddRow({std::to_string(rng.NextBounded(6)),
+                std::to_string(rng.NextBounded(3)),
+                std::to_string(rng.NextBounded(4))});
+  }
+  PartitionCache cache(&rel);
+  for (int lhs = 0; lhs < 3; ++lhs) {
+    for (int rhs = 0; rhs < 3; ++rhs) {
+      if (lhs == rhs) continue;
+      Fd fd(AttributeSet::Single(lhs), rhs);
+      EXPECT_NEAR(cache.FdError(fd), NaiveG3(rel, fd), 1e-12)
+          << fd.ToString();
+    }
+  }
+  Fd two(AttributeSet({0, 1}), 2);
+  EXPECT_NEAR(cache.FdError(two), NaiveG3(rel, two), 1e-12);
+}
+
+TEST(PartitionTest, FdErrorZeroForHoldingFd) {
+  Relation rel = MakeRelation(
+      {"zip", "city"},
+      {{"1", "ny"}, {"1", "ny"}, {"2", "la"}, {"2", "la"}});
+  PartitionCache cache(&rel);
+  EXPECT_EQ(cache.FdError(Fd({0}, 1)), 0.0);
+}
+
+TEST(PartitionTest, CacheMemoizes) {
+  Relation rel = MakeRelation({"a", "b", "c"},
+                              {{"1", "x", "p"}, {"1", "x", "q"}});
+  PartitionCache cache(&rel);
+  cache.Get(AttributeSet({0, 1}));
+  size_t size_after_first = cache.CacheSize();
+  cache.Get(AttributeSet({0, 1}));
+  EXPECT_EQ(cache.CacheSize(), size_after_first);
+}
+
+// --- TANE -------------------------------------------------------------------
+
+// Brute-force minimal FD discovery for cross-checking.
+FdSet BruteForceFds(const Relation& rel, double max_error) {
+  const int m = rel.NumAttributes();
+  PartitionCache cache(&rel);
+  std::vector<Fd> valid;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    AttributeSet lhs(mask);
+    for (int a = 0; a < m; ++a) {
+      if (lhs.Contains(a)) continue;
+      Fd fd(lhs, a);
+      if (cache.FdError(fd) <= max_error) valid.push_back(fd);
+    }
+  }
+  FdSet minimal;
+  for (const Fd& fd : valid) {
+    bool is_minimal = true;
+    for (const Fd& other : valid) {
+      if (other.rhs == fd.rhs && other.lhs.IsStrictSubsetOf(fd.lhs)) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.Add(fd);
+  }
+  return minimal;
+}
+
+TEST(TaneTest, DiscoversSimpleFd) {
+  Relation rel = MakeRelation(
+      {"zip", "city", "name"},
+      {{"1", "ny", "a"}, {"1", "ny", "b"}, {"2", "la", "c"}, {"2", "la", "d"},
+       {"3", "sf", "e"}});
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  EXPECT_TRUE(fds.Contains(Fd({0}, 1)));  // zip -> city
+  // name is a key, so name -> zip and name -> city must be found.
+  EXPECT_TRUE(fds.Contains(Fd({2}, 0)));
+  EXPECT_TRUE(fds.Contains(Fd({2}, 1)));
+}
+
+TEST(TaneTest, DiscoversConstantColumn) {
+  Relation rel = MakeRelation({"a", "b"}, {{"1", "k"}, {"2", "k"}});
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  EXPECT_TRUE(fds.Contains(Fd(AttributeSet(), 1)));
+}
+
+TEST(TaneTest, AllDiscoveredFdsHold) {
+  Relation rel = MakeRelation(
+      {"a", "b", "c", "d"},
+      {{"1", "x", "p", "u"}, {"1", "x", "p", "v"}, {"2", "x", "q", "u"},
+       {"2", "y", "q", "v"}, {"3", "y", "r", "u"}});
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  EXPECT_FALSE(fds.Empty());
+  for (const Fd& fd : fds) {
+    EXPECT_TRUE(FdHoldsOn(rel, fd)) << fd.ToString();
+  }
+}
+
+TEST(TaneTest, ResultsAreMinimal) {
+  Relation rel = MakeRelation(
+      {"a", "b", "c"},
+      {{"1", "x", "p"}, {"1", "x", "p"}, {"2", "y", "q"}, {"3", "y", "q"}});
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  for (const Fd& fd : fds) {
+    EXPECT_TRUE(fds.IsMinimalIn(fd)) << fd.ToString();
+    // Semantically minimal too: removing any LHS attribute breaks it.
+    for (int a : fd.lhs) {
+      EXPECT_FALSE(FdHoldsOn(rel, Fd(fd.lhs.Without(a), fd.rhs)))
+          << fd.ToString();
+    }
+  }
+}
+
+TEST(TaneTest, EmptyRelation) {
+  Relation rel(Schema::Make({"a", "b"}).ValueOrDie());
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  EXPECT_TRUE(fds.Empty());
+}
+
+TEST(TaneTest, SingleRowYieldsConstantFds) {
+  Relation rel = MakeRelation({"a", "b"}, {{"1", "x"}});
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  EXPECT_TRUE(fds.Contains(Fd(AttributeSet(), 0)));
+  EXPECT_TRUE(fds.Contains(Fd(AttributeSet(), 1)));
+  EXPECT_EQ(fds.Size(), 2u);
+}
+
+TEST(TaneTest, RejectsBadOptions) {
+  Relation rel = MakeRelation({"a"}, {{"1"}});
+  TaneOptions bad;
+  bad.max_error = 1.5;
+  EXPECT_FALSE(DiscoverFds(rel, bad).ok());
+  bad.max_error = -0.1;
+  EXPECT_FALSE(DiscoverFds(rel, bad).ok());
+}
+
+TEST(TaneTest, MaxLhsSizeBounds) {
+  Rng rng(11);
+  Relation rel(Schema::Make({"a", "b", "c", "d", "e"}).ValueOrDie());
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::string> row;
+    for (int c = 0; c < 5; ++c) {
+      row.push_back(std::to_string(rng.NextBounded(3)));
+    }
+    rel.AddRow(row);
+  }
+  TaneOptions opts;
+  opts.max_lhs_size = 2;
+  FdSet fds = DiscoverFds(rel, opts).ValueOrDie();
+  for (const Fd& fd : fds) {
+    EXPECT_LE(fd.lhs.Size(), 2);
+  }
+}
+
+TEST(TaneTest, ApproximateModeFindsAfds) {
+  // zip -> city holds for 9 of 10 tuples in the "1" group.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 9; ++i) rows.push_back({"1", "ny", std::to_string(i)});
+  rows.push_back({"1", "boston", "9"});
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({"2", "la", std::to_string(100 + i)});
+  }
+  Relation rel = MakeRelation({"zip", "city", "id"}, rows);
+  EXPECT_FALSE(DiscoverFds(rel).ValueOrDie().Contains(Fd({0}, 1)));
+  TaneOptions approx;
+  approx.max_error = 0.10;
+  FdSet afds = DiscoverFds(rel, approx).ValueOrDie();
+  EXPECT_TRUE(afds.Contains(Fd({0}, 1)));
+}
+
+// Property sweep: TANE output equals brute force on random small tables,
+// both exact and approximate.
+class TaneBruteForceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaneBruteForceTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int m = 4;
+  Relation rel(Schema::Make({"a", "b", "c", "d"}).ValueOrDie());
+  const int rows = 20 + static_cast<int>(rng.NextBounded(30));
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::string> row;
+    for (int c = 0; c < m; ++c) {
+      row.push_back(std::to_string(rng.NextBounded(2 + c)));
+    }
+    rel.AddRow(row);
+  }
+  for (double max_error : {0.0, 0.15}) {
+    TaneOptions opts;
+    opts.max_error = max_error;
+    FdSet tane = DiscoverFds(rel, opts).ValueOrDie();
+    FdSet brute = BruteForceFds(rel, max_error);
+    EXPECT_EQ(tane.Size(), brute.Size()) << "max_error=" << max_error;
+    for (const Fd& fd : brute) {
+      EXPECT_TRUE(tane.Contains(fd))
+          << fd.ToString() << " missing, max_error=" << max_error;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaneBruteForceTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+// --- Relaxation -------------------------------------------------------------
+
+TEST(RelaxationTest, RelaxesToTrueFd) {
+  // zip -> city has one dirty tuple, so exact discovery finds the
+  // specialization {zip, x} while relaxation recovers zip -> city. (No key
+  // column here: a key would shadow the specialization with a smaller
+  // minimal FD, which is exactly why GenerateCandidates uses approximate
+  // discovery instead of the literal relaxation walk.)
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 21; ++i) {
+    std::string zip = std::to_string(i % 4);
+    std::string city = "city" + zip;
+    rows.push_back({zip, city, std::to_string(i % 7)});
+  }
+  rows[0][1] = "corrupted";  // one error
+  Relation rel = MakeRelation({"zip", "city", "x"}, rows);
+
+  FdSet exact = DiscoverFds(rel).ValueOrDie();
+  EXPECT_FALSE(exact.Contains(Fd({0}, 1)));
+  ASSERT_TRUE(exact.Contains(Fd({0, 2}, 1)));  // {zip, x} -> city
+
+  RelaxationOptions opts;
+  opts.max_error = 0.10;
+  FdSet candidates = RelaxFds(rel, exact, opts).ValueOrDie();
+  EXPECT_TRUE(candidates.Contains(Fd({0}, 1)));
+}
+
+TEST(RelaxationTest, CandidatesRespectThreshold) {
+  Rng rng(13);
+  Relation rel(Schema::Make({"a", "b", "c"}).ValueOrDie());
+  for (int i = 0; i < 80; ++i) {
+    rel.AddRow({std::to_string(rng.NextBounded(4)),
+                std::to_string(rng.NextBounded(4)),
+                std::to_string(rng.NextBounded(3))});
+  }
+  FdSet exact = DiscoverFds(rel).ValueOrDie();
+  RelaxationOptions opts;
+  opts.max_error = 0.2;
+  FdSet candidates = RelaxFds(rel, exact, opts).ValueOrDie();
+  PartitionCache cache(&rel);
+  for (const Fd& fd : candidates) {
+    EXPECT_LE(cache.FdError(fd), 0.2) << fd.ToString();
+  }
+}
+
+TEST(RelaxationTest, MinimalOnlyKeepsFrontier) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 40; ++i) {
+    std::string zip = std::to_string(i % 4);
+    rows.push_back({zip, "city" + zip, std::to_string(i)});
+  }
+  Relation rel = MakeRelation({"zip", "city", "id"}, rows);
+  FdSet exact = DiscoverFds(rel).ValueOrDie();
+  FdSet minimal = RelaxFds(rel, exact, {}).ValueOrDie();
+  for (const Fd& fd : minimal) {
+    for (const Fd& other : minimal) {
+      if (&fd == &other) continue;
+      EXPECT_FALSE(other.rhs == fd.rhs &&
+                   other.lhs.IsStrictSubsetOf(fd.lhs))
+          << other.ToString() << " subsumes " << fd.ToString();
+    }
+  }
+}
+
+TEST(RelaxationTest, NonMinimalKeepsIntermediates) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 40; ++i) {
+    std::string zip = std::to_string(i % 4);
+    rows.push_back({zip, "city" + zip, std::to_string(i)});
+  }
+  Relation rel = MakeRelation({"zip", "city", "id"}, rows);
+  FdSet exact = DiscoverFds(rel).ValueOrDie();
+  RelaxationOptions all;
+  all.minimal_only = false;
+  FdSet everything = RelaxFds(rel, exact, all).ValueOrDie();
+  FdSet frontier = RelaxFds(rel, exact, {}).ValueOrDie();
+  EXPECT_GE(everything.Size(), frontier.Size());
+  for (const Fd& fd : frontier) {
+    EXPECT_TRUE(everything.Contains(fd));
+  }
+}
+
+TEST(RelaxationTest, RejectsBadThreshold) {
+  Relation rel = MakeRelation({"a"}, {{"1"}});
+  RelaxationOptions opts;
+  opts.max_error = 1.0;
+  EXPECT_FALSE(RelaxFds(rel, FdSet(), opts).ok());
+}
+
+TEST(RelaxationTest, TrueFdCoverageProperty) {
+  // Candidate-generation guarantee behind §3.1: with a threshold at or
+  // above the true violation rate, approximate discovery (the complete
+  // relaxation frontier) yields candidates implying every true FD -- even
+  // in the presence of a key column, where the literal relax-from-Sigma_T
+  // walk would fall short.
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 100; ++i) {
+    std::string zip = std::to_string(i % 10);
+    std::string state = std::to_string((i % 10) % 3);
+    rows.push_back({zip, "city" + zip, state, std::to_string(i)});
+  }
+  Relation clean = MakeRelation({"zip", "city", "state", "id"}, rows);
+  FdSet true_fds = DiscoverFds(clean).ValueOrDie();
+
+  Relation dirty = clean;
+  dirty.SetValue(0, 1, "oops");   // corrupt zip->city
+  dirty.SetValue(5, 2, "weird");  // corrupt zip->state
+
+  TaneOptions approx;
+  approx.max_error = 0.10;
+  FdSet candidates = DiscoverFds(dirty, approx).ValueOrDie();
+  ClosureEngine candidate_closure(candidates);
+  for (const Fd& fd : true_fds) {
+    EXPECT_TRUE(candidate_closure.Implies(fd)) << fd.ToString();
+  }
+
+  // The literal relaxation output is always a subset of the approximate
+  // frontier.
+  FdSet exact = DiscoverFds(dirty).ValueOrDie();
+  RelaxationOptions opts;
+  opts.max_error = 0.10;
+  FdSet relaxed = RelaxFds(dirty, exact, opts).ValueOrDie();
+  for (const Fd& fd : relaxed) {
+    EXPECT_TRUE(candidates.Contains(fd)) << fd.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace uguide

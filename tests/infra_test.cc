@@ -1,0 +1,88 @@
+// Tests for the low-level infrastructure: CHECK macros, logging, and the
+// hash helpers that the rest of the library builds on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace uguide {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  UGUIDE_CHECK(true);
+  UGUIDE_CHECK_EQ(1, 1);
+  UGUIDE_CHECK_NE(1, 2);
+  UGUIDE_CHECK_LT(1, 2);
+  UGUIDE_CHECK_LE(2, 2);
+  UGUIDE_CHECK_GT(3, 2);
+  UGUIDE_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(UGUIDE_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(UGUIDE_CHECK_EQ(1, 2), "Check failed");
+}
+
+TEST(CheckDeathTest, StreamedDetailAppearsInMessage) {
+  EXPECT_DEATH(UGUIDE_CHECK(1 > 2) << "custom detail 42",
+               "custom detail 42");
+}
+
+TEST(CheckTest, CheckBindsCorrectlyInsideIfElse) {
+  // The while-based macro must not steal the else branch.
+  bool reached_else = false;
+  if (false)
+    UGUIDE_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(LoggingTest, LevelThresholdGatesOutput) {
+  const LogLevel original = Logger::GetLevel();
+  Logger::SetLevel(LogLevel::kError);
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::Enabled(LogLevel::kWarning));
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kError));
+  Logger::SetLevel(LogLevel::kDebug);
+  EXPECT_TRUE(Logger::Enabled(LogLevel::kInfo));
+  Logger::SetLevel(original);
+}
+
+TEST(LoggingTest, MacroCompilesForAllLevels) {
+  const LogLevel original = Logger::GetLevel();
+  Logger::SetLevel(LogLevel::kError);  // keep test output clean
+  UGUIDE_LOG(Debug) << "debug " << 1;
+  UGUIDE_LOG(Info) << "info " << 2;
+  UGUIDE_LOG(Warning) << "warning " << 3;
+  Logger::SetLevel(original);
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  size_t ab = 0, ba = 0;
+  HashCombine(ab, 1);
+  HashCombine(ab, 2);
+  HashCombine(ba, 2);
+  HashCombine(ba, 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, PairHashDistinguishesComponents) {
+  PairHash hash;
+  std::unordered_set<size_t> values;
+  for (int a = 0; a < 20; ++a) {
+    for (int b = 0; b < 20; ++b) {
+      values.insert(hash(std::make_pair(a, b)));
+    }
+  }
+  // 400 pairs should produce (almost) 400 distinct hashes.
+  EXPECT_GE(values.size(), 395u);
+}
+
+}  // namespace
+}  // namespace uguide

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace uguide {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Make({"a", "b", "c"}).ValueOrDie();
+}
+
+TEST(SchemaTest, MakeValid) {
+  auto schema = Schema::Make({"x", "y"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->NumAttributes(), 2);
+  EXPECT_EQ(schema->Name(0), "x");
+  EXPECT_EQ(schema->Name(1), "y");
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  EXPECT_FALSE(Schema::Make({"x", "x"}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({"x", ""}).ok());
+}
+
+TEST(SchemaTest, RejectsTooManyAttributes) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 65; ++i) names.push_back("a" + std::to_string(i));
+  EXPECT_FALSE(Schema::Make(names).ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(*schema.IndexOf("b"), 1);
+  EXPECT_FALSE(schema.IndexOf("nope").ok());
+}
+
+TEST(SchemaTest, AllAttributes) {
+  EXPECT_EQ(TestSchema().AllAttributes(), AttributeSet({0, 1, 2}));
+}
+
+TEST(RelationTest, StartsEmpty) {
+  Relation rel(TestSchema());
+  EXPECT_EQ(rel.NumRows(), 0);
+  EXPECT_EQ(rel.NumAttributes(), 3);
+}
+
+TEST(RelationTest, AddRowAndRead) {
+  Relation rel(TestSchema());
+  TupleId r0 = rel.AddRow({"1", "x", "p"});
+  TupleId r1 = rel.AddRow({"1", "y", "p"});
+  EXPECT_EQ(r0, 0);
+  EXPECT_EQ(r1, 1);
+  EXPECT_EQ(rel.Value(0, 1), "x");
+  EXPECT_EQ(rel.Value(1, 1), "y");
+  // Equal strings share a dictionary code; different strings do not.
+  EXPECT_EQ(rel.Code(0, 0), rel.Code(1, 0));
+  EXPECT_NE(rel.Code(0, 1), rel.Code(1, 1));
+}
+
+TEST(RelationTest, SetValueChangesCell) {
+  Relation rel(TestSchema());
+  rel.AddRow({"1", "x", "p"});
+  rel.SetValue(0, 2, "q");
+  EXPECT_EQ(rel.Value(0, 2), "q");
+}
+
+TEST(RelationTest, AgreeSet) {
+  Relation rel(TestSchema());
+  rel.AddRow({"1", "x", "p"});
+  rel.AddRow({"1", "y", "p"});
+  EXPECT_EQ(rel.AgreeSet(0, 1), AttributeSet({0, 2}));
+  EXPECT_TRUE(rel.Agree(0, 1, AttributeSet({0})));
+  EXPECT_FALSE(rel.Agree(0, 1, AttributeSet({0, 1})));
+  EXPECT_EQ(rel.AgreeSet(0, 0), AttributeSet({0, 1, 2}));
+}
+
+TEST(RelationTest, SelectRowsCopies) {
+  Relation rel(TestSchema());
+  rel.AddRow({"1", "x", "p"});
+  rel.AddRow({"2", "y", "q"});
+  rel.AddRow({"3", "z", "r"});
+  Relation sub = rel.SelectRows({2, 0});
+  ASSERT_EQ(sub.NumRows(), 2);
+  EXPECT_EQ(sub.Value(0, 0), "3");
+  EXPECT_EQ(sub.Value(1, 0), "1");
+  // Independent pool: mutating the source does not affect the projection.
+  rel.SetValue(2, 0, "mutated");
+  EXPECT_EQ(sub.Value(0, 0), "3");
+}
+
+TEST(RelationTest, CsvRoundTrip) {
+  Relation rel(TestSchema());
+  rel.AddRow({"1", "x,y", ""});
+  CsvTable csv = rel.ToCsv();
+  auto back = Relation::FromCsv(csv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumRows(), 1);
+  EXPECT_EQ(back->Value(0, 1), "x,y");
+  EXPECT_EQ(back->Value(0, 2), "");
+}
+
+TEST(RelationTest, FromCsvRejectsBadHeader) {
+  CsvTable csv;
+  csv.header = {"a", "a"};
+  EXPECT_FALSE(Relation::FromCsv(csv).ok());
+}
+
+TEST(RelationTest, RowToString) {
+  Relation rel(TestSchema());
+  rel.AddRow({"1", "x", "p"});
+  EXPECT_EQ(rel.RowToString(0), "a=1, b=x, c=p");
+}
+
+TEST(RelationTest, CellOrderingAndHash) {
+  Cell a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Cell{0, 1}));
+  CellHash hash;
+  EXPECT_NE(hash(a), hash(b));
+}
+
+}  // namespace
+}  // namespace uguide

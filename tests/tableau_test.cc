@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "cfd/tableau.h"
+#include "common/rng.h"
+#include "fd/armstrong.h"
+#include "violations/violation_detector.h"
+
+namespace uguide {
+namespace {
+
+Relation MakeRelation(const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<std::string>>& rows) {
+  Relation rel(Schema::Make(attrs).ValueOrDie());
+  for (const auto& row : rows) rel.AddRow(row);
+  return rel;
+}
+
+// zip -> city holds inside DE and AT but not in XX.
+Relation ThreeCountries() {
+  return MakeRelation({"country", "zip", "city"},
+                      {{"DE", "1", "berlin"},
+                       {"DE", "1", "berlin"},
+                       {"AT", "2", "wien"},
+                       {"AT", "2", "wien"},
+                       {"XX", "3", "a"},
+                       {"XX", "3", "b"},
+                       {"XX", "3", "b"}});
+}
+
+Cfd Pattern(const char* country) {
+  return Cfd::Make(Fd({0, 1}, 2), {country, "_"}, "_").ValueOrDie();
+}
+
+TEST(TableauTest, MakeValidatesPatterns) {
+  EXPECT_TRUE(CfdTableau::Make(Fd({0, 1}, 2),
+                               {Pattern("DE"), Pattern("AT")})
+                  .ok());
+  // Empty tableau rejected.
+  EXPECT_FALSE(CfdTableau::Make(Fd({0, 1}, 2), {}).ok());
+  // Pattern over a different embedded FD rejected.
+  Cfd other = Cfd::Make(Fd({0}, 2), {"DE"}, "_").ValueOrDie();
+  EXPECT_FALSE(CfdTableau::Make(Fd({0, 1}, 2), {other}).ok());
+  // Trivial embedded FD rejected.
+  EXPECT_FALSE(CfdTableau::Make(Fd({0, 2}, 2), {}).ok());
+}
+
+TEST(TableauTest, MatchesAnyPattern) {
+  Relation rel = ThreeCountries();
+  CfdTableau tableau =
+      CfdTableau::Make(Fd({0, 1}, 2), {Pattern("DE"), Pattern("AT")})
+          .ValueOrDie();
+  EXPECT_TRUE(tableau.Matches(rel, 0));   // DE
+  EXPECT_TRUE(tableau.Matches(rel, 2));   // AT
+  EXPECT_FALSE(tableau.Matches(rel, 4));  // XX
+}
+
+TEST(TableauTest, HoldsWhenEveryPatternHolds) {
+  Relation rel = ThreeCountries();
+  CfdTableau good =
+      CfdTableau::Make(Fd({0, 1}, 2), {Pattern("DE"), Pattern("AT")})
+          .ValueOrDie();
+  EXPECT_TRUE(TableauHoldsOn(rel, good));
+  CfdTableau bad =
+      CfdTableau::Make(Fd({0, 1}, 2), {Pattern("DE"), Pattern("XX")})
+          .ValueOrDie();
+  EXPECT_FALSE(TableauHoldsOn(rel, bad));
+}
+
+TEST(TableauTest, ViolationsAreDeduplicatedUnion) {
+  Relation rel = ThreeCountries();
+  // Two identical XX patterns: union must not double-count.
+  CfdTableau tableau =
+      CfdTableau::Make(Fd({0, 1}, 2), {Pattern("XX"), Pattern("XX")})
+          .ValueOrDie();
+  std::vector<Cell> cells = ViolatingCells(rel, tableau);
+  EXPECT_EQ(cells.size(), 3u);  // the whole XX zip-3 class participates
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_TRUE(cells[i - 1] < cells[i]);
+  }
+}
+
+TEST(TableauTest, ToStringShowsAllPatterns) {
+  Schema schema = Schema::Make({"country", "zip", "city"}).ValueOrDie();
+  CfdTableau tableau =
+      CfdTableau::Make(Fd({0, 1}, 2), {Pattern("DE"), Pattern("AT")})
+          .ValueOrDie();
+  EXPECT_EQ(tableau.ToString(schema),
+            "country,zip->city | {DE,_||_ ; AT,_||_}");
+}
+
+TEST(TableauTest, MineTableauCoversGoodRegions) {
+  // Larger instance: zip determines city inside DE and AT, not in XX.
+  Relation rel(Schema::Make({"country", "zip", "city"}).ValueOrDie());
+  Rng rng(29);
+  for (const char* country : {"DE", "AT"}) {
+    for (int i = 0; i < 60; ++i) {
+      int zip = static_cast<int>(rng.NextBounded(8));
+      rel.AddRow({country, country + std::to_string(zip),
+                  "c" + std::to_string(zip)});
+    }
+  }
+  for (int i = 0; i < 60; ++i) {
+    rel.AddRow({"XX", "X" + std::to_string(rng.NextBounded(8)),
+                "c" + std::to_string(rng.NextBounded(8))});
+  }
+  CfdDiscoveryOptions opts;
+  opts.min_support = 30;
+  CfdTableau tableau =
+      MineTableau(rel, Fd({0, 1}, 2), opts).ValueOrDie();
+  EXPECT_TRUE(TableauHoldsOn(rel, tableau));
+  // Both good regions are matched; the bad one is not.
+  bool de = false, at = false, xx = false;
+  for (TupleId r = 0; r < rel.NumRows(); ++r) {
+    if (!tableau.Matches(rel, r)) continue;
+    de |= rel.Value(r, 0) == "DE";
+    at |= rel.Value(r, 0) == "AT";
+    xx |= rel.Value(r, 0) == "XX";
+  }
+  EXPECT_TRUE(de);
+  EXPECT_TRUE(at);
+  EXPECT_FALSE(xx);
+}
+
+TEST(TableauTest, MineTableauFailsWithoutConditions) {
+  // A relation where the FD fails everywhere: nothing to condition on.
+  Relation rel = MakeRelation({"a", "b", "c"}, {{"1", "x", "p"},
+                                                {"1", "x", "q"},
+                                                {"2", "y", "p"},
+                                                {"2", "y", "q"}});
+  auto result = MineTableau(rel, Fd({0, 1}, 2), {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace uguide

@@ -1,0 +1,39 @@
+#ifndef UGUIDE_TESTS_TEST_UTIL_H_
+#define UGUIDE_TESTS_TEST_UTIL_H_
+
+#include "core/session.h"
+#include "datagen/generators.h"
+#include "discovery/tane.h"
+#include "errorgen/error_generator.h"
+
+namespace uguide::testing {
+
+/// Builds a ready-to-run Session over a generated Hospital table with
+/// injected errors; the standard fixture for strategy tests.
+inline Session MakeHospitalSession(
+    int rows = 1200, ErrorModel model = ErrorModel::kSystematic,
+    double error_rate = 0.15, uint64_t seed = 5, double idk_rate = 0.0) {
+  DataGenOptions data;
+  data.rows = rows;
+  data.seed = seed;
+  Relation clean = GenerateHospital(data);
+
+  TaneOptions tane;
+  tane.max_lhs_size = 3;
+  FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+
+  ErrorGenOptions errors;
+  errors.model = model;
+  errors.error_rate = error_rate;
+  errors.seed = seed + 1;
+  DirtyDataset dataset = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = 3;
+  config.idk_rate = idk_rate;
+  return Session::Create(clean, std::move(dataset), config).ValueOrDie();
+}
+
+}  // namespace uguide::testing
+
+#endif  // UGUIDE_TESTS_TEST_UTIL_H_

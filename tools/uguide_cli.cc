@@ -1,0 +1,220 @@
+// uguide — command-line front end to the library, for working with your
+// own CSV files without writing C++:
+//
+//   uguide profile  data.csv [--max-lhs=N] [--max-error=E]
+//       Discover minimal (approximate) FDs and print them.
+//
+//   uguide detect   data.csv --fds=rules.txt [--out=suspects.csv]
+//       Flag cells violating the given FDs (one "lhs1,lhs2->rhs" per line,
+//       '#' comments allowed). Without --fds, candidates are discovered
+//       automatically (exact FDs relaxed to 10% g3).
+//
+//   uguide repair   data.csv --fds=rules.txt --out=repaired.csv
+//       Majority-vote repair of the violations of the given FDs.
+//
+//   uguide cfds     data.csv [--min-support=K]
+//       Mine conditional FDs: conditions under which broken FDs hold.
+//
+// Every subcommand prints a short human-readable summary to stdout; --out
+// writes machine-readable CSV.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/uguide.h"
+
+using namespace uguide;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string csv_path;
+  std::string fds_path;
+  std::string out_path;
+  int max_lhs = 3;
+  double max_error = 0.0;
+  int min_support = 8;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: uguide <profile|detect|repair|cfds> data.csv\n"
+               "              [--fds=rules.txt] [--out=file.csv]\n"
+               "              [--max-lhs=N] [--max-error=E] "
+               "[--min-support=K]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 3) return false;
+  args->command = argv[1];
+  args->csv_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--fds=", 0) == 0) {
+      args->fds_path = arg.substr(6);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      args->out_path = arg.substr(6);
+    } else if (arg.rfind("--max-lhs=", 0) == 0) {
+      args->max_lhs = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--max-error=", 0) == 0) {
+      args->max_error = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--min-support=", 0) == 0) {
+      args->min_support = std::atoi(arg.c_str() + 14);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Dies with a message on error; the CLI has no one to propagate to.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+FdSet LoadOrDiscoverFds(const Args& args, const Relation& rel) {
+  if (!args.fds_path.empty()) {
+    std::FILE* f = std::fopen(args.fds_path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", args.fds_path.c_str());
+      std::exit(1);
+    }
+    std::string text;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+      text.append(buffer, n);
+    }
+    std::fclose(f);
+    return Unwrap(FdSet::Parse(text, rel.schema()), "parsing FD rules");
+  }
+  std::printf("no --fds given; discovering candidates (exact FDs relaxed "
+              "to 10%% g3)...\n");
+  CandidateGenOptions opts;
+  opts.max_lhs_size = args.max_lhs;
+  CandidateSet candidates =
+      Unwrap(GenerateCandidates(rel, opts), "discovering candidates");
+  return candidates.candidates;
+}
+
+int RunProfile(const Args& args, const Relation& rel) {
+  TaneOptions opts;
+  opts.max_lhs_size = args.max_lhs;
+  opts.max_error = args.max_error;
+  FdSet fds = Unwrap(DiscoverFds(rel, opts), "profiling");
+  std::printf("# %zu minimal %sFDs (max LHS %d%s)\n", fds.Size(),
+              args.max_error > 0 ? "approximate " : "", args.max_lhs,
+              args.max_error > 0
+                  ? (", g3 <= " + std::to_string(args.max_error)).c_str()
+                  : "");
+  std::printf("%s", fds.ToString(rel.schema()).c_str());
+  return 0;
+}
+
+int RunDetect(const Args& args, const Relation& rel) {
+  FdSet fds = LoadOrDiscoverFds(args, rel);
+  std::vector<Cell> suspects = AllDetections(rel, fds);
+  std::printf("%zu FD(s) flag %zu suspect cell(s) across %d rows\n",
+              fds.Size(), suspects.size(), rel.NumRows());
+  const size_t preview = std::min<size_t>(suspects.size(), 15);
+  for (size_t i = 0; i < preview; ++i) {
+    const Cell& cell = suspects[i];
+    std::printf("  row %-7d %-20s '%s'\n", cell.row,
+                rel.schema().Name(cell.col).c_str(),
+                rel.Value(cell).c_str());
+  }
+  if (suspects.size() > preview) {
+    std::printf("  ... (%zu more)\n", suspects.size() - preview);
+  }
+  if (!args.out_path.empty()) {
+    CsvTable out;
+    out.header = {"row", "attribute", "value"};
+    for (const Cell& cell : suspects) {
+      out.rows.push_back({std::to_string(cell.row),
+                          rel.schema().Name(cell.col), rel.Value(cell)});
+    }
+    Status st = WriteCsvFile(out, args.out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", args.out_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.out_path.c_str());
+  }
+  return 0;
+}
+
+int RunRepair(const Args& args, const Relation& rel) {
+  FdSet fds = LoadOrDiscoverFds(args, rel);
+  RepairResult result = RepairWithFds(rel, fds);
+  std::printf("%zu correction(s) proposed\n", result.repairs.size());
+  const size_t preview = std::min<size_t>(result.repairs.size(), 10);
+  for (size_t i = 0; i < preview; ++i) {
+    const CellRepair& r = result.repairs[i];
+    std::printf("  row %-7d %-20s '%s' -> '%s'\n", r.cell.row,
+                rel.schema().Name(r.cell.col).c_str(), r.old_value.c_str(),
+                r.new_value.c_str());
+  }
+  if (!args.out_path.empty()) {
+    Status st = WriteCsvFile(result.repaired.ToCsv(), args.out_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", args.out_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote repaired table to %s\n", args.out_path.c_str());
+  }
+  return 0;
+}
+
+int RunCfds(const Args& args, const Relation& rel) {
+  // Broken FDs worth conditioning: the approximate frontier at 20% g3
+  // whose members fail exactly.
+  TaneOptions opts;
+  opts.max_lhs_size = args.max_lhs;
+  opts.max_error = 0.20;
+  FdSet afds = Unwrap(DiscoverFds(rel, opts), "profiling");
+  CfdDiscoveryOptions mine;
+  mine.min_support = args.min_support;
+  std::vector<Cfd> variable = DiscoverVariableCfds(rel, afds, mine);
+  std::vector<Cfd> constant = DiscoverConstantCfds(rel, mine);
+  std::printf("# %zu variable CFD(s)\n", variable.size());
+  for (const Cfd& cfd : variable) {
+    std::printf("%s\n", cfd.ToString(rel.schema()).c_str());
+  }
+  std::printf("# %zu constant CFD(s)\n", constant.size());
+  for (const Cfd& cfd : constant) {
+    std::printf("%s\n", cfd.ToString(rel.schema()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  Relation rel =
+      Unwrap(Relation::FromCsvFile(args.csv_path), "loading CSV");
+  std::printf("loaded %s: %d rows x %d attributes\n", args.csv_path.c_str(),
+              rel.NumRows(), rel.NumAttributes());
+
+  if (args.command == "profile") return RunProfile(args, rel);
+  if (args.command == "detect") return RunDetect(args, rel);
+  if (args.command == "repair") return RunRepair(args, rel);
+  if (args.command == "cfds") return RunCfds(args, rel);
+  Usage();
+  return 2;
+}
