@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tuple_questions.dir/bench_fig5_tuple_questions.cc.o"
+  "CMakeFiles/bench_fig5_tuple_questions.dir/bench_fig5_tuple_questions.cc.o.d"
+  "bench_fig5_tuple_questions"
+  "bench_fig5_tuple_questions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tuple_questions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

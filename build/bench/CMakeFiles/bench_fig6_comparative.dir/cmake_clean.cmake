@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_comparative.dir/bench_fig6_comparative.cc.o"
+  "CMakeFiles/bench_fig6_comparative.dir/bench_fig6_comparative.cc.o.d"
+  "bench_fig6_comparative"
+  "bench_fig6_comparative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

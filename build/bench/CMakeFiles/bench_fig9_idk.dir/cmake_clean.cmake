@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_idk.dir/bench_fig9_idk.cc.o"
+  "CMakeFiles/bench_fig9_idk.dir/bench_fig9_idk.cc.o.d"
+  "bench_fig9_idk"
+  "bench_fig9_idk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_idk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_extension.dir/cfd_extension.cpp.o"
+  "CMakeFiles/cfd_extension.dir/cfd_extension.cpp.o.d"
+  "cfd_extension"
+  "cfd_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

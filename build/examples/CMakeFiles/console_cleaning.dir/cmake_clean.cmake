@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/console_cleaning.dir/console_cleaning.cpp.o"
+  "CMakeFiles/console_cleaning.dir/console_cleaning.cpp.o.d"
+  "console_cleaning"
+  "console_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/console_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

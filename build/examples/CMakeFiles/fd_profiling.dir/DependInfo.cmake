@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fd_profiling.cpp" "examples/CMakeFiles/fd_profiling.dir/fd_profiling.cpp.o" "gcc" "examples/CMakeFiles/fd_profiling.dir/fd_profiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uguide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/uguide_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/uguide_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/errorgen/CMakeFiles/uguide_errorgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/violations/CMakeFiles/uguide_violations.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/uguide_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfd/CMakeFiles/uguide_cfd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/uguide_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/uguide_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uguide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

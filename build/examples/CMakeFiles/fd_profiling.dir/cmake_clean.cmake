@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_profiling.dir/fd_profiling.cpp.o"
+  "CMakeFiles/fd_profiling.dir/fd_profiling.cpp.o.d"
+  "fd_profiling"
+  "fd_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_cleaning.dir/interactive_cleaning.cpp.o"
+  "CMakeFiles/interactive_cleaning.dir/interactive_cleaning.cpp.o.d"
+  "interactive_cleaning"
+  "interactive_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_pipeline.dir/repair_pipeline.cpp.o"
+  "CMakeFiles/repair_pipeline.dir/repair_pipeline.cpp.o.d"
+  "repair_pipeline"
+  "repair_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

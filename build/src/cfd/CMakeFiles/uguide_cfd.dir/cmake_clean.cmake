@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_cfd.dir/cfd.cc.o"
+  "CMakeFiles/uguide_cfd.dir/cfd.cc.o.d"
+  "CMakeFiles/uguide_cfd.dir/cfd_discovery.cc.o"
+  "CMakeFiles/uguide_cfd.dir/cfd_discovery.cc.o.d"
+  "CMakeFiles/uguide_cfd.dir/tableau.cc.o"
+  "CMakeFiles/uguide_cfd.dir/tableau.cc.o.d"
+  "libuguide_cfd.a"
+  "libuguide_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

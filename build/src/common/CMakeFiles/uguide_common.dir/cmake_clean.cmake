@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_common.dir/attribute_set.cc.o"
+  "CMakeFiles/uguide_common.dir/attribute_set.cc.o.d"
+  "CMakeFiles/uguide_common.dir/csv.cc.o"
+  "CMakeFiles/uguide_common.dir/csv.cc.o.d"
+  "CMakeFiles/uguide_common.dir/rng.cc.o"
+  "CMakeFiles/uguide_common.dir/rng.cc.o.d"
+  "CMakeFiles/uguide_common.dir/status.cc.o"
+  "CMakeFiles/uguide_common.dir/status.cc.o.d"
+  "CMakeFiles/uguide_common.dir/string_pool.cc.o"
+  "CMakeFiles/uguide_common.dir/string_pool.cc.o.d"
+  "libuguide_common.a"
+  "libuguide_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

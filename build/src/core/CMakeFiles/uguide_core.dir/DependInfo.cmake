@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_gen.cc" "src/core/CMakeFiles/uguide_core.dir/candidate_gen.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/candidate_gen.cc.o.d"
+  "/root/repo/src/core/cell_strategies.cc" "src/core/CMakeFiles/uguide_core.dir/cell_strategies.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/cell_strategies.cc.o.d"
+  "/root/repo/src/core/fd_strategies.cc" "src/core/CMakeFiles/uguide_core.dir/fd_strategies.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/fd_strategies.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/uguide_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/uguide_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/uguide_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/session.cc.o.d"
+  "/root/repo/src/core/tuple_strategies.cc" "src/core/CMakeFiles/uguide_core.dir/tuple_strategies.cc.o" "gcc" "src/core/CMakeFiles/uguide_core.dir/tuple_strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oracle/CMakeFiles/uguide_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/errorgen/CMakeFiles/uguide_errorgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/violations/CMakeFiles/uguide_violations.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/uguide_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/uguide_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/uguide_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uguide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_core.dir/candidate_gen.cc.o"
+  "CMakeFiles/uguide_core.dir/candidate_gen.cc.o.d"
+  "CMakeFiles/uguide_core.dir/cell_strategies.cc.o"
+  "CMakeFiles/uguide_core.dir/cell_strategies.cc.o.d"
+  "CMakeFiles/uguide_core.dir/fd_strategies.cc.o"
+  "CMakeFiles/uguide_core.dir/fd_strategies.cc.o.d"
+  "CMakeFiles/uguide_core.dir/metrics.cc.o"
+  "CMakeFiles/uguide_core.dir/metrics.cc.o.d"
+  "CMakeFiles/uguide_core.dir/repair.cc.o"
+  "CMakeFiles/uguide_core.dir/repair.cc.o.d"
+  "CMakeFiles/uguide_core.dir/session.cc.o"
+  "CMakeFiles/uguide_core.dir/session.cc.o.d"
+  "CMakeFiles/uguide_core.dir/tuple_strategies.cc.o"
+  "CMakeFiles/uguide_core.dir/tuple_strategies.cc.o.d"
+  "libuguide_core.a"
+  "libuguide_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_datagen.dir/generators.cc.o"
+  "CMakeFiles/uguide_datagen.dir/generators.cc.o.d"
+  "libuguide_datagen.a"
+  "libuguide_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuguide_datagen.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_discovery.dir/partition.cc.o"
+  "CMakeFiles/uguide_discovery.dir/partition.cc.o.d"
+  "CMakeFiles/uguide_discovery.dir/relaxation.cc.o"
+  "CMakeFiles/uguide_discovery.dir/relaxation.cc.o.d"
+  "CMakeFiles/uguide_discovery.dir/tane.cc.o"
+  "CMakeFiles/uguide_discovery.dir/tane.cc.o.d"
+  "libuguide_discovery.a"
+  "libuguide_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_errorgen.dir/error_generator.cc.o"
+  "CMakeFiles/uguide_errorgen.dir/error_generator.cc.o.d"
+  "libuguide_errorgen.a"
+  "libuguide_errorgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_errorgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

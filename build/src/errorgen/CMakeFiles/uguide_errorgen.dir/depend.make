@@ -1,0 +1,2 @@
+# Empty dependencies file for uguide_errorgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/armstrong.cc" "src/fd/CMakeFiles/uguide_fd.dir/armstrong.cc.o" "gcc" "src/fd/CMakeFiles/uguide_fd.dir/armstrong.cc.o.d"
+  "/root/repo/src/fd/closure.cc" "src/fd/CMakeFiles/uguide_fd.dir/closure.cc.o" "gcc" "src/fd/CMakeFiles/uguide_fd.dir/closure.cc.o.d"
+  "/root/repo/src/fd/fd.cc" "src/fd/CMakeFiles/uguide_fd.dir/fd.cc.o" "gcc" "src/fd/CMakeFiles/uguide_fd.dir/fd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/uguide_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uguide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

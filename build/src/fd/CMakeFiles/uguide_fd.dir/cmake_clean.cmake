@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_fd.dir/armstrong.cc.o"
+  "CMakeFiles/uguide_fd.dir/armstrong.cc.o.d"
+  "CMakeFiles/uguide_fd.dir/closure.cc.o"
+  "CMakeFiles/uguide_fd.dir/closure.cc.o.d"
+  "CMakeFiles/uguide_fd.dir/fd.cc.o"
+  "CMakeFiles/uguide_fd.dir/fd.cc.o.d"
+  "libuguide_fd.a"
+  "libuguide_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/cost_model.cc" "src/oracle/CMakeFiles/uguide_oracle.dir/cost_model.cc.o" "gcc" "src/oracle/CMakeFiles/uguide_oracle.dir/cost_model.cc.o.d"
+  "/root/repo/src/oracle/simulated_expert.cc" "src/oracle/CMakeFiles/uguide_oracle.dir/simulated_expert.cc.o" "gcc" "src/oracle/CMakeFiles/uguide_oracle.dir/simulated_expert.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/errorgen/CMakeFiles/uguide_errorgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/violations/CMakeFiles/uguide_violations.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/uguide_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/uguide_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uguide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

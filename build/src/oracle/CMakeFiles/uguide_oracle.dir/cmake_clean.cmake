@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_oracle.dir/cost_model.cc.o"
+  "CMakeFiles/uguide_oracle.dir/cost_model.cc.o.d"
+  "CMakeFiles/uguide_oracle.dir/simulated_expert.cc.o"
+  "CMakeFiles/uguide_oracle.dir/simulated_expert.cc.o.d"
+  "libuguide_oracle.a"
+  "libuguide_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_relation.dir/relation.cc.o"
+  "CMakeFiles/uguide_relation.dir/relation.cc.o.d"
+  "CMakeFiles/uguide_relation.dir/schema.cc.o"
+  "CMakeFiles/uguide_relation.dir/schema.cc.o.d"
+  "libuguide_relation.a"
+  "libuguide_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/violations/bipartite_graph.cc" "src/violations/CMakeFiles/uguide_violations.dir/bipartite_graph.cc.o" "gcc" "src/violations/CMakeFiles/uguide_violations.dir/bipartite_graph.cc.o.d"
+  "/root/repo/src/violations/violation_detector.cc" "src/violations/CMakeFiles/uguide_violations.dir/violation_detector.cc.o" "gcc" "src/violations/CMakeFiles/uguide_violations.dir/violation_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fd/CMakeFiles/uguide_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/uguide_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uguide_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_violations.dir/bipartite_graph.cc.o"
+  "CMakeFiles/uguide_violations.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/uguide_violations.dir/violation_detector.cc.o"
+  "CMakeFiles/uguide_violations.dir/violation_detector.cc.o.d"
+  "libuguide_violations.a"
+  "libuguide_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

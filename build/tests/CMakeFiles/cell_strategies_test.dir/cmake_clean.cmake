@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_strategies_test.dir/cell_strategies_test.cc.o"
+  "CMakeFiles/cell_strategies_test.dir/cell_strategies_test.cc.o.d"
+  "cell_strategies_test"
+  "cell_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errorgen_test.dir/errorgen_test.cc.o"
+  "CMakeFiles/errorgen_test.dir/errorgen_test.cc.o.d"
+  "errorgen_test"
+  "errorgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errorgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

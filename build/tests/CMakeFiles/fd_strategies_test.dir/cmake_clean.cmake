@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_strategies_test.dir/fd_strategies_test.cc.o"
+  "CMakeFiles/fd_strategies_test.dir/fd_strategies_test.cc.o.d"
+  "fd_strategies_test"
+  "fd_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_strategies_test.dir/tuple_strategies_test.cc.o"
+  "CMakeFiles/tuple_strategies_test.dir/tuple_strategies_test.cc.o.d"
+  "tuple_strategies_test"
+  "tuple_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uguide_cli.dir/uguide_cli.cc.o"
+  "CMakeFiles/uguide_cli.dir/uguide_cli.cc.o.d"
+  "uguide"
+  "uguide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uguide_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
