@@ -58,6 +58,39 @@ void BM_TaneApproximate(benchmark::State& state) {
 BENCHMARK(BM_TaneApproximate)->Arg(1000)->Arg(5000)->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
+// Thread-scaling sweep on the widest relation (Tax, 15 attributes): the
+// BENCH json captures the speedup curve at 1/2/4/8 workers. threads=1 runs
+// the serial fallback (no pool workers spawned), so it doubles as the
+// regression baseline for the parallel refactor.
+void BM_TaneExactThreads(benchmark::State& state) {
+  DataGenOptions gen;
+  gen.rows = 5000;
+  Relation rel = GenerateTax(gen);
+  TaneOptions opts;
+  opts.max_lhs_size = 3;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverFds(rel, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_TaneExactThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TaneApproximateThreads(benchmark::State& state) {
+  DataGenOptions gen;
+  gen.rows = 5000;
+  Relation rel = GenerateTax(gen);
+  TaneOptions opts;
+  opts.max_lhs_size = 3;
+  opts.max_error = 0.10;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscoverFds(rel, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_TaneApproximateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CandidateGeneration(benchmark::State& state) {
   Relation rel = HospitalAtScale(static_cast<int>(state.range(0)));
   CandidateGenOptions opts;

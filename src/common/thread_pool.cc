@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace uguide {
+
+ThreadPool::ThreadPool(int num_threads) {
+  UGUIDE_CHECK(num_threads >= 0);
+  if (num_threads == kAuto) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::max(num_threads, 1);
+  // The caller is strand #0; spawn the rest. num_threads_ == 1 spawns
+  // nothing and every entry point degrades to an inline call.
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: ParallelFor joins depend on
+      // every submitted task eventually running.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  UGUIDE_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Fork/join state lives on the caller's stack: the join below guarantees
+  // every helper task has finished (and released `mu`) before it goes out
+  // of scope.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    size_t n = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done;
+    int pending = 0;
+  };
+  ForState state;
+  state.n = n;
+  state.fn = &fn;
+  const size_t strands = std::min(workers_.size() + 1, n);
+  // Chunked dynamic claiming: big enough to amortize the atomic, small
+  // enough to balance skewed per-iteration cost (partition products vary
+  // wildly in size).
+  state.chunk = std::max<size_t>(1, n / (strands * 8));
+  const int helpers = static_cast<int>(strands) - 1;
+  state.pending = helpers;
+
+  auto drain = [](ForState* s) {
+    size_t start;
+    while ((start = s->next.fetch_add(s->chunk, std::memory_order_relaxed)) <
+           s->n) {
+      const size_t end = std::min(s->n, start + s->chunk);
+      for (size_t i = start; i < end; ++i) (*s->fn)(i);
+    }
+  };
+  for (int h = 0; h < helpers; ++h) {
+    Submit([&state, drain] {
+      drain(&state);
+      // Notify under the lock: the caller may only destroy `state` after
+      // this task released `mu`, which its join's wait() re-acquisition
+      // enforces.
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending == 0) state.done.notify_one();
+    });
+  }
+  drain(&state);
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.pending == 0; });
+}
+
+}  // namespace uguide

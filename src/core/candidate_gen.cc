@@ -7,6 +7,7 @@ Result<CandidateSet> GenerateCandidates(const Relation& dirty,
   TaneOptions tane;
   tane.max_error = 0.0;
   tane.max_lhs_size = options.max_lhs_size;
+  tane.num_threads = options.num_threads;
   UGUIDE_ASSIGN_OR_RETURN(FdSet exact, DiscoverFds(dirty, tane));
 
   // Candidate AFDs: all minimal FDs with g3 error within the relaxation

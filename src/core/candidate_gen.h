@@ -18,6 +18,10 @@ struct CandidateGenOptions {
   /// Bound on LHS size during exact discovery; keeps the lattice walk
   /// tractable on wide schemas without affecting the paper's datasets.
   int max_lhs_size = 6;
+
+  /// Worker threads for the two discovery passes (see TaneOptions); the
+  /// candidate set is identical for every thread count.
+  int num_threads = 1;
 };
 
 /// Output of candidate generation: the exact FDs of the dirty table and

@@ -30,6 +30,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_pool.h"
+#include "common/thread_pool.h"
 #include "core/candidate_gen.h"
 #include "core/cell_strategies.h"
 #include "core/fd_strategies.h"

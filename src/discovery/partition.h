@@ -17,6 +17,11 @@ namespace uguide {
 /// empty class list means the attribute set is a key. Partitions support the
 /// linear-time product used by level-wise FD discovery and the g3
 /// approximation error of Kivinen & Mannila used throughout the paper.
+///
+/// Thread safety: a Partition is immutable after construction, and every
+/// const member (Product, FdError, KeyError, accessors) touches only local
+/// state — concurrent calls on shared Partition objects are safe. Parallel
+/// TANE relies on this (see DESIGN.md "Parallel discovery").
 class Partition {
  public:
   /// The partition where every tuple is in one class (projection onto the
@@ -70,6 +75,9 @@ class Partition {
 /// Caches every requested attribute-set partition; composite sets are built
 /// by recursive products. Also answers g3 error queries for arbitrary FDs,
 /// which is the workhorse of candidate-FD relaxation (§3.1).
+///
+/// NOT thread-safe: Get() mutates the cache. Use one PartitionCache per
+/// thread, or the shared immutable Partition API above, when parallelizing.
 class PartitionCache {
  public:
   explicit PartitionCache(const Relation* relation);

@@ -1,9 +1,13 @@
 #include "discovery/tane.h"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "discovery/partition.h"
 
 namespace uguide {
@@ -20,12 +24,23 @@ using Level = std::unordered_map<AttributeSet, Node, AttributeSetHash>;
 // Keeps only FDs that are minimal within the emitted set (same RHS, no
 // strictly smaller LHS). Needed because approximate-mode pruning cannot
 // guarantee minimality in every corner case.
+//
+// Complexity: FDs are bucketed by RHS, so the pairwise subset scan is
+// O(sum_r n_r^2) where n_r is the count emitted for RHS r — worst case
+// O(n^2) in the total emitted count, but the per-RHS buckets are small in
+// practice (C+ pruning already suppresses almost all non-minimal
+// emissions; this pass is noise in bench_discovery even on the widest
+// 15-attribute relation). Each subset test is one mask comparison.
+// Output preserves the emission order, which downstream question-selection
+// heuristics observe through FdSet iteration.
 FdSet FilterMinimal(const std::vector<Fd>& fds) {
+  std::unordered_map<int, std::vector<const Fd*>> by_rhs;
+  for (const Fd& fd : fds) by_rhs[fd.rhs].push_back(&fd);
   FdSet out;
   for (const Fd& fd : fds) {
     bool minimal = true;
-    for (const Fd& other : fds) {
-      if (other.rhs == fd.rhs && other.lhs.IsStrictSubsetOf(fd.lhs)) {
+    for (const Fd* other : by_rhs[fd.rhs]) {
+      if (other->lhs.IsStrictSubsetOf(fd.lhs)) {
         minimal = false;
         break;
       }
@@ -33,6 +48,56 @@ FdSet FilterMinimal(const std::vector<Fd>& fds) {
     if (minimal) out.Add(fd);
   }
   return out;
+}
+
+// One node's dependency check: compute C+(X) from the frozen previous
+// level, emit the FDs X\{a} -> a that pass the error threshold, and prune
+// this node's C+ accordingly. Pure function of (`x`, `node`, `prev`), so
+// nodes of one level can be checked concurrently — each call writes only
+// its own `node` and its own `found` list.
+void CheckNode(const AttributeSet& x, Node& node, const Level& prev,
+               const AttributeSet& all_attrs, const TaneOptions& options,
+               std::vector<Fd>& found) {
+  // C+(X) = intersection of C+(X \ {A}) over A in X.
+  AttributeSet cplus = all_attrs;
+  for (int a : x) {
+    auto it = prev.find(x.Without(a));
+    if (it == prev.end()) {
+      // Subset was pruned (empty C+), so nothing can be a candidate here.
+      // The node itself is erased at this level's prune step; the regression
+      // test TaneTest.PrunedParentEmitsNothing pins that it emits no FDs in
+      // the meantime (candidates below intersect to the empty set).
+      cplus = AttributeSet();
+      break;
+    }
+    cplus = cplus.Intersect(it->second.cplus);
+  }
+  node.cplus = cplus;
+
+  AttributeSet candidates = x.Intersect(node.cplus);
+  for (int a : candidates) {
+    auto it = prev.find(x.Without(a));
+    if (it == prev.end()) continue;
+    const double error = it->second.partition.FdError(node.partition);
+    const bool exact = error == 0.0;
+    const bool valid = error <= options.max_error;
+    if (valid) {
+      found.emplace_back(x.Without(a), a);
+    }
+    if (exact) {
+      node.cplus.Remove(a);
+      // Remove R \ X: no attribute outside X can be a minimal RHS for
+      // any superset of X once X\{a} -> a holds exactly. (This step is
+      // only sound for exact FDs -- the implication arguments behind it
+      // break under g3 slack.)
+      node.cplus = node.cplus.Intersect(x);
+    } else if (valid && options.prune_on_approximate) {
+      // An approximate FD prunes only its own RHS: supersets of the
+      // LHS cannot yield a *minimal* AFD for `a` anymore, but other
+      // RHS candidates stay live.
+      node.cplus.Remove(a);
+    }
+  }
 }
 
 }  // namespace
@@ -45,11 +110,18 @@ Result<FdSet> DiscoverFds(const Relation& relation,
   if (options.max_lhs_size < 0) {
     return Status::InvalidArgument("max_lhs_size must be non-negative");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be non-negative");
+  }
   const int m = relation.NumAttributes();
   const AttributeSet all_attrs = AttributeSet::Full(m);
   std::vector<Fd> emitted;
 
   if (m == 0 || relation.NumRows() == 0) return FdSet();
+
+  // Shared worker pool for the whole traversal; with num_threads <= 1 this
+  // spawns nothing and every ParallelFor below runs inline, serially.
+  ThreadPool pool(options.num_threads);
 
   // Level 0: the empty attribute set. Its partition has one class.
   Level prev;
@@ -66,46 +138,25 @@ Result<FdSet> DiscoverFds(const Relation& relation,
   for (int level_size = 1; level_size <= m && !current.empty();
        ++level_size) {
     // --- Compute dependencies -------------------------------------------
-    for (auto& [x, node] : current) {
-      // C+(X) = intersection of C+(X \ {A}) over A in X.
-      AttributeSet cplus = all_attrs;
-      for (int a : x) {
-        auto it = prev.find(x.Without(a));
-        if (it == prev.end()) {
-          // Subset was pruned; inherit the tightest information we have:
-          // a pruned subset had empty C+ (or was a key, handled below), so
-          // nothing can be a candidate here.
-          cplus = AttributeSet();
-          break;
-        }
-        cplus = cplus.Intersect(it->second.cplus);
-      }
-      node.cplus = cplus;
-
-      AttributeSet candidates = x.Intersect(node.cplus);
-      for (int a : candidates) {
-        auto it = prev.find(x.Without(a));
-        if (it == prev.end()) continue;
-        const double error = it->second.partition.FdError(node.partition);
-        const bool exact = error == 0.0;
-        const bool valid = error <= options.max_error;
-        if (valid) {
-          emitted.emplace_back(x.Without(a), a);
-        }
-        if (exact) {
-          node.cplus.Remove(a);
-          // Remove R \ X: no attribute outside X can be a minimal RHS for
-          // any superset of X once X\{a} -> a holds exactly. (This step is
-          // only sound for exact FDs -- the implication arguments behind it
-          // break under g3 slack.)
-          node.cplus = node.cplus.Intersect(x);
-        } else if (valid && options.prune_on_approximate) {
-          // An approximate FD prunes only its own RHS: supersets of the
-          // LHS cannot yield a *minimal* AFD for `a` anymore, but other
-          // RHS candidates stay live.
-          node.cplus.Remove(a);
-        }
-      }
+    // Freeze-prev / shard-current: `prev` is read-only from here on, and
+    // each node of `current` is checked independently against it. Shards
+    // follow the level map's iteration order — fixed once the level is
+    // built, and built identically for every thread count — and each
+    // worker writes only its own node's C+ and its own FD list, merged in
+    // shard order below. The emitted FD sequence is therefore bit-identical
+    // to the serial traversal (and to the pre-parallel implementation,
+    // which downstream question-selection heuristics are sensitive to).
+    std::vector<Level::value_type*> nodes;
+    nodes.reserve(current.size());
+    for (auto& entry : current) nodes.push_back(&entry);
+    const Level& frozen_prev = prev;
+    std::vector<std::vector<Fd>> found(nodes.size());
+    pool.ParallelFor(nodes.size(), [&](size_t i) {
+      CheckNode(nodes[i]->first, nodes[i]->second, frozen_prev, all_attrs,
+                options, found[i]);
+    });
+    for (const std::vector<Fd>& shard : found) {
+      emitted.insert(emitted.end(), shard.begin(), shard.end());
     }
 
     // --- Prune -----------------------------------------------------------
@@ -126,7 +177,20 @@ Result<FdSet> DiscoverFds(const Relation& relation,
     if (level_size >= options.max_lhs_size + 1) break;
 
     // --- Generate the next level ----------------------------------------
-    Level next;
+    // Candidate enumeration is cheap and stays serial; the partition
+    // products (the expensive part) run in parallel. Each Z is generated
+    // exactly once — from its prefix X = Z \ {Z.Highest()} — so the
+    // candidate list needs no dedup, and Product() is a pure const
+    // function of two frozen partitions, so products are independent.
+    // Inserting into `next` in enumeration order reproduces the serial
+    // map's insertion sequence, keeping level iteration order (and hence
+    // the emission order above) independent of the thread count.
+    struct Candidate {
+      AttributeSet z;
+      const Partition* left;
+      const Partition* right;
+    };
+    std::vector<Candidate> cands;
     for (const auto& [x, node] : current) {
       const int highest = x.Highest();
       for (int a = highest + 1; a < m; ++a) {
@@ -143,15 +207,25 @@ Result<FdSet> DiscoverFds(const Relation& relation,
           if (b != a) other = &it->second;  // any co-generator works
         }
         if (!all_present || other == nullptr) continue;
-        next.emplace(z, Node{node.partition.Product(other->partition),
-                             AttributeSet()});
+        cands.push_back({z, &node.partition, &other->partition});
       }
+    }
+    std::vector<std::optional<Partition>> products(cands.size());
+    pool.ParallelFor(cands.size(), [&](size_t i) {
+      products[i] = cands[i].left->Product(*cands[i].right);
+    });
+    // No reserve(): the map must grow exactly as the serial version's did,
+    // bucket count included, so its iteration order matches bit-for-bit.
+    Level next;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      next.emplace(cands[i].z,
+                   Node{std::move(*products[i]), AttributeSet()});
     }
     prev = std::move(current);
     current = std::move(next);
   }
 
-  return FilterMinimal(emitted);
+  return FilterMinimal(std::move(emitted));
 }
 
 }  // namespace uguide

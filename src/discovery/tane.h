@@ -23,6 +23,14 @@ struct TaneOptions {
   /// AFD prunes its specializations just like an exact FD would, so only
   /// minimal AFDs are reported. If false, only exactly-holding FDs prune.
   bool prune_on_approximate = true;
+
+  /// Worker threads for the level-wise traversal. 1 (the default) runs
+  /// fully serially; 0 uses std::thread::hardware_concurrency(). The
+  /// discovered FdSet is identical for every thread count — each lattice
+  /// node's dependency check and partition product is a pure function of
+  /// the frozen previous level, so parallelism changes only wall-clock
+  /// time (see DESIGN.md "Parallel discovery").
+  int num_threads = 1;
 };
 
 /// \brief Discovers all minimal, non-trivial FDs (or AFDs) of `relation`.

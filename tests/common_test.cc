@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/attribute_set.h"
@@ -11,6 +13,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_pool.h"
+#include "common/thread_pool.h"
 
 namespace uguide {
 namespace {
@@ -359,6 +362,82 @@ TEST(CsvTest, ReadMissingFileFails) {
   auto r = ReadCsvFile("/nonexistent/uguide.csv");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, AutoResolvesToAtLeastOneThread) {
+  ThreadPool pool;  // kAuto
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadedFallbackRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(8, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // no synchronization needed: inline execution
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  bool ran = false;
+  pool.Submit([&] { ran = true; });  // synchronous in the fallback
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });  // n == 1 runs inline
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrder) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<int> in(1000);
+    for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<int>(i);
+    std::vector<int> out = pool.ParallelMap(in, [](const int& v) {
+      return v * v;
+    });
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+      ASSERT_EQ(out[i], in[i] * in[i]);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossForkJoins) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(100, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queue and joins
+  EXPECT_EQ(ran.load(), 50);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "datagen/generators.h"
 #include "discovery/partition.h"
 #include "discovery/relaxation.h"
 #include "discovery/tane.h"
@@ -263,6 +264,93 @@ TEST(TaneTest, ApproximateModeFindsAfds) {
   approx.max_error = 0.10;
   FdSet afds = DiscoverFds(rel, approx).ValueOrDie();
   EXPECT_TRUE(afds.Contains(Fd({0}, 1)));
+}
+
+TEST(TaneTest, PrunedParentEmitsNothing) {
+  // Regression for the pruned-subset fallback: a constant column `k` makes
+  // {} -> k hold exactly, which empties C+({k}) (Remove(k) then intersect
+  // with {k}), so the {k} node is dropped at the level-1 prune step. Pin
+  // that (a) it emits nothing beyond the constant FD itself — candidates
+  // intersect to the empty set once C+ is empty — and (b) no superset
+  // containing k is ever generated, i.e. no FD with k in its LHS appears
+  // (any such FD would be non-minimal anyway).
+  Relation rel = MakeRelation(
+      {"a", "b", "k"},
+      {{"1", "x", "c"}, {"1", "x", "c"}, {"2", "y", "c"}, {"2", "z", "c"}});
+  FdSet fds = DiscoverFds(rel).ValueOrDie();
+  EXPECT_TRUE(fds.Contains(Fd(AttributeSet(), 2)));  // {} -> k
+  for (const Fd& fd : fds) {
+    EXPECT_FALSE(fd.lhs.Contains(2))
+        << fd.ToString() << " has the pruned constant column in its LHS";
+    EXPECT_TRUE(fds.IsMinimalIn(fd)) << fd.ToString();
+  }
+}
+
+// Parallel discovery must be a pure wall-clock optimization: identical
+// FdSets for every thread count, in exact and approximate mode, on both a
+// structured (Tax generator) and an adversarially random relation.
+void ExpectSameFds(const FdSet& a, const FdSet& b, const std::string& what) {
+  EXPECT_EQ(a.Size(), b.Size()) << what;
+  for (const Fd& fd : a) {
+    EXPECT_TRUE(b.Contains(fd)) << what << ": " << fd.ToString();
+  }
+}
+
+TEST(TaneTest, ThreadCountDoesNotChangeResultOnTax) {
+  DataGenOptions gen;
+  gen.rows = 2000;
+  Relation rel = GenerateTax(gen);
+  for (double max_error : {0.0, 0.05}) {
+    TaneOptions serial;
+    serial.max_lhs_size = 3;
+    serial.max_error = max_error;
+    serial.num_threads = 1;
+    FdSet baseline = DiscoverFds(rel, serial).ValueOrDie();
+    EXPECT_FALSE(baseline.Empty());
+    for (int threads : {4, 0}) {  // 0 = hardware concurrency
+      TaneOptions parallel = serial;
+      parallel.num_threads = threads;
+      FdSet got = DiscoverFds(rel, parallel).ValueOrDie();
+      ExpectSameFds(baseline, got,
+                    "tax, threads=" + std::to_string(threads) +
+                        ", max_error=" + std::to_string(max_error));
+    }
+  }
+}
+
+TEST(TaneTest, ThreadCountDoesNotChangeResultOnRandomRelation) {
+  Rng rng(1234);  // fixed seed: the relation is identical on every run
+  const int m = 6;
+  Relation rel(
+      Schema::Make({"a", "b", "c", "d", "e", "f"}).ValueOrDie());
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::string> row;
+    for (int c = 0; c < m; ++c) {
+      row.push_back(std::to_string(rng.NextBounded(2 + c)));
+    }
+    rel.AddRow(row);
+  }
+  for (double max_error : {0.0, 0.15}) {
+    TaneOptions serial;
+    serial.max_error = max_error;
+    serial.num_threads = 1;
+    FdSet baseline = DiscoverFds(rel, serial).ValueOrDie();
+    for (int threads : {4, 0}) {
+      TaneOptions parallel = serial;
+      parallel.num_threads = threads;
+      FdSet got = DiscoverFds(rel, parallel).ValueOrDie();
+      ExpectSameFds(baseline, got,
+                    "random, threads=" + std::to_string(threads) +
+                        ", max_error=" + std::to_string(max_error));
+    }
+  }
+}
+
+TEST(TaneTest, RejectsNegativeThreads) {
+  Relation rel = MakeRelation({"a"}, {{"1"}});
+  TaneOptions bad;
+  bad.num_threads = -2;
+  EXPECT_FALSE(DiscoverFds(rel, bad).ok());
 }
 
 // Property sweep: TANE output equals brute force on random small tables,

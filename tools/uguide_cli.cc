@@ -36,6 +36,7 @@ struct Args {
   int max_lhs = 3;
   double max_error = 0.0;
   int min_support = 8;
+  int threads = 1;  // 0 = all hardware threads
 };
 
 void Usage() {
@@ -43,7 +44,10 @@ void Usage() {
                "usage: uguide <profile|detect|repair|cfds> data.csv\n"
                "              [--fds=rules.txt] [--out=file.csv]\n"
                "              [--max-lhs=N] [--max-error=E] "
-               "[--min-support=K]\n");
+               "[--min-support=K] [--threads=N]\n"
+               "\n"
+               "  --threads=N   worker threads for FD discovery "
+               "(default 1; 0 = all cores)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -62,6 +66,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->max_error = std::atof(arg.c_str() + 12);
     } else if (arg.rfind("--min-support=", 0) == 0) {
       args->min_support = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args->threads = std::atoi(arg.c_str() + 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -101,6 +107,7 @@ FdSet LoadOrDiscoverFds(const Args& args, const Relation& rel) {
               "to 10%% g3)...\n");
   CandidateGenOptions opts;
   opts.max_lhs_size = args.max_lhs;
+  opts.num_threads = args.threads;
   CandidateSet candidates =
       Unwrap(GenerateCandidates(rel, opts), "discovering candidates");
   return candidates.candidates;
@@ -110,6 +117,7 @@ int RunProfile(const Args& args, const Relation& rel) {
   TaneOptions opts;
   opts.max_lhs_size = args.max_lhs;
   opts.max_error = args.max_error;
+  opts.num_threads = args.threads;
   FdSet fds = Unwrap(DiscoverFds(rel, opts), "profiling");
   std::printf("# %zu minimal %sFDs (max LHS %d%s)\n", fds.Size(),
               args.max_error > 0 ? "approximate " : "", args.max_lhs,
@@ -182,6 +190,7 @@ int RunCfds(const Args& args, const Relation& rel) {
   TaneOptions opts;
   opts.max_lhs_size = args.max_lhs;
   opts.max_error = 0.20;
+  opts.num_threads = args.threads;
   FdSet afds = Unwrap(DiscoverFds(rel, opts), "profiling");
   CfdDiscoveryOptions mine;
   mine.min_support = args.min_support;
