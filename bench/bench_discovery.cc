@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/uguide.h"
 
 namespace uguide {
@@ -137,4 +141,30 @@ BENCHMARK(BM_ArmstrongConstruction)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace uguide
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): default to machine-readable
+// JSON alongside the console table so CI and scaling-curve tooling can
+// diff runs without scraping text. Any caller-provided --benchmark_out=
+// wins; console output is unchanged either way.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_discovery.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -7,14 +9,23 @@ namespace uguide {
 
 namespace {
 
+// All records of a parse, each tagged with the 1-based physical line it
+// starts on (quoted fields can span lines, so record index != line number).
+struct RawRecords {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<size_t> lines;
+};
+
 // Parses all records of `text` into rows of fields.
-Result<std::vector<std::vector<std::string>>> ParseRecords(
-    std::string_view text) {
-  std::vector<std::vector<std::string>> records;
+Result<RawRecords> ParseRecords(std::string_view text) {
+  RawRecords records;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  size_t line = 1;            // current physical (newline-counted) line
+  size_t row_start_line = 1;  // line the in-progress record started on
+  size_t quote_open_line = 0; // line of the last opening quote
 
   auto end_field = [&] {
     row.push_back(std::move(field));
@@ -23,7 +34,8 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
   };
   auto end_row = [&] {
     end_field();
-    records.push_back(std::move(row));
+    records.rows.push_back(std::move(row));
+    records.lines.push_back(row_start_line);
     row.clear();
   };
 
@@ -38,6 +50,7 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field += c;
       }
       continue;
@@ -47,9 +60,11 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
         if (field.empty() && !field_started) {
           in_quotes = true;
           field_started = true;
+          quote_open_line = line;
         } else {
           return Status::InvalidArgument(
-              "quote inside unquoted field at offset " + std::to_string(i));
+              "line " + std::to_string(line) +
+              ": quote inside unquoted field");
         }
         break;
       case ',':
@@ -60,6 +75,8 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
         break;
       case '\n':
         end_row();
+        ++line;
+        row_start_line = line;
         break;
       default:
         field += c;
@@ -68,7 +85,8 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
     }
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted field");
+    return Status::InvalidArgument("line " + std::to_string(quote_open_line) +
+                                   ": unterminated quoted field");
   }
   // Final record without trailing newline.
   if (field_started || !field.empty() || !row.empty()) {
@@ -97,23 +115,22 @@ void AppendField(std::string& out, std::string_view field) {
 }  // namespace
 
 Result<CsvTable> ParseCsv(std::string_view text) {
-  UGUIDE_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
-                          ParseRecords(text));
-  if (records.empty()) {
+  UGUIDE_ASSIGN_OR_RETURN(RawRecords records, ParseRecords(text));
+  if (records.rows.empty()) {
     return Status::InvalidArgument("CSV has no header row");
   }
   CsvTable table;
-  table.header = std::move(records.front());
+  table.header = std::move(records.rows.front());
   const size_t width = table.header.size();
-  table.rows.reserve(records.size() - 1);
-  for (size_t i = 1; i < records.size(); ++i) {
-    if (records[i].size() != width) {
+  table.rows.reserve(records.rows.size() - 1);
+  for (size_t i = 1; i < records.rows.size(); ++i) {
+    if (records.rows[i].size() != width) {
       return Status::InvalidArgument(
-          "row " + std::to_string(i) + " has " +
-          std::to_string(records[i].size()) + " fields, expected " +
-          std::to_string(width));
+          "line " + std::to_string(records.lines[i]) + ": expected " +
+          std::to_string(width) + " fields, got " +
+          std::to_string(records.rows[i].size()));
     }
-    table.rows.push_back(std::move(records[i]));
+    table.rows.push_back(std::move(records.rows[i]));
   }
   return table;
 }
@@ -121,11 +138,21 @@ Result<CsvTable> ParseCsv(std::string_view text) {
 Result<CsvTable> ReadCsvFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return Status::IoError("cannot open " + path);
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseCsv(buffer.str());
+  if (in.bad()) {
+    return Status::IoError("read failed for " + path);
+  }
+  Result<CsvTable> table = ParseCsv(buffer.str());
+  if (!table.ok()) {
+    // Prefix parse errors with the file so "line N" points somewhere.
+    return Status(table.status().code(),
+                  path + ": " + table.status().message());
+  }
+  return table;
 }
 
 std::string WriteCsv(const CsvTable& table) {

@@ -1,0 +1,238 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace uguide {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses a non-negative integer; false on garbage or empty input (atoi's
+// silent 0 would turn a typo like "@x" into "every hit").
+bool ParseInt(std::string_view s, int* out) {
+  if (s.empty()) return false;
+  long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > std::numeric_limits<int>::max()) return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string copy(s);
+  char* end = nullptr;
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+// Parses the "@trigger" suffix into the rule's trigger fields.
+Status ParseTrigger(std::string_view trigger, FaultRule* rule) {
+  trigger = Trim(trigger);
+  if (trigger.empty()) {
+    return Status::InvalidArgument("empty fault trigger after '@'");
+  }
+  if (trigger.front() == 'p') {
+    double p = 0.0;
+    if (!ParseDouble(trigger.substr(1), &p) || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad fault probability: " +
+                                     std::string(trigger));
+    }
+    rule->probabilistic = true;
+    rule->probability = p;
+    return Status::OK();
+  }
+  if (trigger.back() == '+') {
+    int first = 0;
+    if (!ParseInt(trigger.substr(0, trigger.size() - 1), &first) ||
+        first < 1) {
+      return Status::InvalidArgument("bad fault hit range: " +
+                                     std::string(trigger));
+    }
+    rule->first_hit = first;
+    return Status::OK();
+  }
+  const size_t dash = trigger.find('-');
+  int first = 0;
+  int last = 0;
+  if (dash == std::string_view::npos) {
+    if (!ParseInt(trigger, &first) || first < 1) {
+      return Status::InvalidArgument("bad fault hit: " +
+                                     std::string(trigger));
+    }
+    rule->first_hit = first;
+    rule->last_hit = first;
+    return Status::OK();
+  }
+  if (!ParseInt(trigger.substr(0, dash), &first) ||
+      !ParseInt(trigger.substr(dash + 1), &last) || first < 1 ||
+      last < first) {
+    return Status::InvalidArgument("bad fault hit range: " +
+                                   std::string(trigger));
+  }
+  rule->first_hit = first;
+  rule->last_hit = last;
+  return Status::OK();
+}
+
+Status ParseAction(std::string_view action, FaultRule* rule) {
+  action = Trim(action);
+  if (action == "unavailable") {
+    rule->action = FaultAction::kUnavailable;
+    return Status::OK();
+  }
+  if (action == "crash") {
+    rule->action = FaultAction::kCrash;
+    return Status::OK();
+  }
+  if (action.rfind("latency:", 0) == 0) {
+    double ms = 0.0;
+    if (!ParseDouble(action.substr(8), &ms) || ms < 0.0) {
+      return Status::InvalidArgument("bad latency value: " +
+                                     std::string(action));
+    }
+    rule->action = FaultAction::kLatency;
+    rule->latency_ms = ms;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown fault action: " +
+                                 std::string(action));
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+Status FaultRegistry::LoadPlan(std::string_view plan) {
+  std::vector<FaultRule> rules;
+  uint64_t seed = 11;
+  std::string_view rest = plan;
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    std::string_view clause = Trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view()
+                                         : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault clause missing '=': " +
+                                     std::string(clause));
+    }
+    const std::string_view key = Trim(clause.substr(0, eq));
+    const std::string_view value = clause.substr(eq + 1);
+    if (key.empty()) {
+      return Status::InvalidArgument("fault clause missing site: " +
+                                     std::string(clause));
+    }
+    if (key == "seed") {
+      double parsed = 0.0;
+      if (!ParseDouble(value, &parsed) || parsed < 0.0) {
+        return Status::InvalidArgument("bad fault seed: " +
+                                       std::string(value));
+      }
+      seed = static_cast<uint64_t>(parsed);
+      continue;
+    }
+    FaultRule rule;
+    rule.site = std::string(key);
+    const size_t at = value.find('@');
+    UGUIDE_RETURN_NOT_OK(ParseAction(value.substr(0, at), &rule));
+    if (at != std::string_view::npos) {
+      UGUIDE_RETURN_NOT_OK(ParseTrigger(value.substr(at + 1), &rule));
+    }
+    rules.push_back(std::move(rule));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(rules);
+  hits_.clear();
+  rng_.emplace(seed);
+  clock_skew_us_.store(0, std::memory_order_relaxed);
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+  hits_.clear();
+  rng_.reset();
+  clock_skew_us_.store(0, std::memory_order_relaxed);
+}
+
+Status FaultRegistry::OnPoint(std::string_view site) {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  const int hit = ++hits_[std::string(site)];
+  Status injected = Status::OK();
+  for (const FaultRule& rule : rules_) {
+    if (rule.site != site) continue;
+    bool triggered;
+    if (rule.probabilistic) {
+      // Always draw so the stream stays aligned across sites and hits.
+      triggered = rng_->NextBool(rule.probability);
+    } else {
+      triggered = hit >= rule.first_hit && hit <= rule.last_hit;
+    }
+    if (!triggered) continue;
+    switch (rule.action) {
+      case FaultAction::kCrash:
+        // Die exactly here: no flushing, no destructors — only what was
+        // already fsync'd survives, which is what crash tests verify.
+        std::_Exit(kCrashExitCode);
+      case FaultAction::kLatency:
+        clock_skew_us_.fetch_add(static_cast<int64_t>(rule.latency_ms * 1e3),
+                                 std::memory_order_relaxed);
+        break;
+      case FaultAction::kUnavailable:
+        if (injected.ok()) {
+          injected = Status::Unavailable(
+              "injected fault at " + std::string(site) + " (hit " +
+              std::to_string(hit) + ")");
+        }
+        break;
+    }
+  }
+  return injected;
+}
+
+int FaultRegistry::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(std::string(site));
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::chrono::steady_clock::time_point FaultRegistry::Now() const {
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(
+             clock_skew_us_.load(std::memory_order_relaxed));
+}
+
+void FaultRegistry::AdvanceClockMs(double ms) {
+  clock_skew_us_.fetch_add(static_cast<int64_t>(ms * 1e3),
+                           std::memory_order_relaxed);
+}
+
+std::vector<FaultRule> FaultRegistry::rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_;
+}
+
+}  // namespace uguide

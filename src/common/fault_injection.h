@@ -1,0 +1,139 @@
+#ifndef UGUIDE_COMMON_FAULT_INJECTION_H_
+#define UGUIDE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace uguide {
+
+/// What a matching fault rule does when its site fires.
+enum class FaultAction {
+  kUnavailable,  ///< the call fails transiently (Status::Unavailable)
+  kLatency,      ///< the call is slow: advances the registry's virtual clock
+  kCrash,        ///< the process dies on the spot (std::_Exit)
+};
+
+/// \brief One parsed clause of a fault plan: when site `site` fires and the
+/// trigger matches, apply `action`.
+struct FaultRule {
+  std::string site;
+  FaultAction action = FaultAction::kUnavailable;
+  /// Virtual milliseconds added to the clock by kLatency.
+  double latency_ms = 0.0;
+  /// Trigger: either a probability per hit (seeded, deterministic) or an
+  /// inclusive 1-based hit range [first_hit, last_hit].
+  bool probabilistic = false;
+  double probability = 0.0;
+  int first_hit = 1;
+  int last_hit = std::numeric_limits<int>::max();
+};
+
+/// \brief Process-wide, deterministic fault-injection registry.
+///
+/// Code declares named fault *sites* (`UGUIDE_FAULT_POINT("oracle.answer")`
+/// or `FaultRegistry::Global().OnPoint(...)`); a *fault plan* — a parseable
+/// string, typically from a test or the CLI's `--fault-plan` — decides what
+/// happens there. With no plan loaded the registry is off and a site costs
+/// one relaxed atomic load, so production paths can keep their fault points
+/// compiled in.
+///
+/// Plan grammar (clauses separated by ';', spaces ignored):
+///
+///   plan    := clause (';' clause)*
+///   clause  := "seed=" uint64
+///            | site '=' action ('@' trigger)?
+///   action  := "unavailable" | "latency:" ms | "crash"
+///   trigger := 'p' float          probability per hit (seeded)
+///            | N                  exactly the N-th hit (1-based)
+///            | N '-' M            hits N..M inclusive
+///            | N '+'              every hit from N on
+///
+/// Without a trigger the rule fires on every hit. Examples:
+///
+///   "oracle.answer=unavailable@1-3"            first three answers fail
+///   "oracle.answer=latency:50@p0.25;seed=9"    a quarter of answers slow
+///   "session.record=crash@4"                   die after the 4th record
+///
+/// Determinism: hit counters are per site, probability draws come from one
+/// seeded Rng in clause order, and latency advances a *virtual* clock
+/// (`Now()`) instead of sleeping — a plan therefore produces the identical
+/// fault sequence on every run, which the kill/resume and deadline tests
+/// rely on.
+class FaultRegistry {
+ public:
+  /// Exit code of the kCrash action, asserted by kill/resume tests.
+  static constexpr int kCrashExitCode = 42;
+
+  /// The process-wide registry instance.
+  static FaultRegistry& Global();
+
+  /// Parses `plan` and replaces the active plan (counters and clock reset).
+  /// An empty plan disables the registry.
+  Status LoadPlan(std::string_view plan);
+
+  /// Disables the registry and clears rules, counters, and the clock skew.
+  void Reset();
+
+  /// True iff a non-empty plan is loaded. Single relaxed atomic load; the
+  /// fast-path gate for every fault point.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Fires the fault site: bumps its hit counter and applies every matching
+  /// rule. kLatency advances the virtual clock and the call still succeeds;
+  /// kUnavailable returns a transient error; kCrash terminates the process
+  /// with kCrashExitCode (the whole point: nothing gets to flush except
+  /// what was already fsync'd). No-op returning OK when no rule matches.
+  Status OnPoint(std::string_view site);
+
+  /// How many times `site` has fired since the plan was loaded.
+  int HitCount(std::string_view site) const;
+
+  /// The fault-aware clock: steady_clock plus all injected/modelled
+  /// latency. Deadline checks throughout the library read this clock so
+  /// latency plans can push them over the edge deterministically.
+  std::chrono::steady_clock::time_point Now() const;
+
+  /// Advances the virtual clock, modelling a wait without sleeping (used
+  /// by retry backoff and the latency action).
+  void AdvanceClockMs(double ms);
+
+  /// Parsed view of the active rules (for tests and diagnostics).
+  std::vector<FaultRule> rules() const;
+
+ private:
+  FaultRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::vector<FaultRule> rules_;
+  std::unordered_map<std::string, int> hits_;
+  std::optional<Rng> rng_;
+  std::atomic<int64_t> clock_skew_us_{0};
+};
+
+}  // namespace uguide
+
+/// Fires a named fault site from a Status-returning function: injected
+/// unavailability propagates to the caller. Zero-cost (one relaxed load)
+/// when no plan is loaded.
+#define UGUIDE_FAULT_POINT(site)                                      \
+  do {                                                                \
+    if (::uguide::FaultRegistry::Global().enabled()) {                \
+      ::uguide::Status _uguide_fault =                                \
+          ::uguide::FaultRegistry::Global().OnPoint(site);            \
+      if (!_uguide_fault.ok()) return _uguide_fault;                  \
+    }                                                                 \
+  } while (false)
+
+#endif  // UGUIDE_COMMON_FAULT_INJECTION_H_

@@ -19,6 +19,9 @@ enum class StatusCode {
   kInternal = 7,
   kNotImplemented = 8,
   kResourceExhausted = 9,
+  /// Transient failure: the operation may succeed if retried (flaky
+  /// expert, injected fault). The retry layers key on this code.
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -72,9 +75,18 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// True iff this is a transient (retryable) failure.
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Explicitly discards the status (e.g. best-effort cleanup paths).
+  void IgnoreError() const {}
 
   StatusCode code() const { return code_; }
 

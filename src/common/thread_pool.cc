@@ -41,7 +41,15 @@ void ThreadPool::WorkerMain() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A throwing task must not take the worker (and the process) down.
+      // Keep the first exception for TakeSubmitError; ParallelFor's helper
+      // tasks catch their own exceptions and never reach this.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!submit_error_) submit_error_ = std::current_exception();
+    }
   }
 }
 
@@ -56,6 +64,13 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   ready_.notify_one();
+}
+
+std::exception_ptr ThreadPool::TakeSubmitError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::exception_ptr error = submit_error_;
+  submit_error_ = nullptr;
+  return error;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -76,6 +91,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::mutex mu;
     std::condition_variable done;
     int pending = 0;
+    /// Set when any strand throws: remaining strands stop claiming chunks.
+    std::atomic<bool> cancelled{false};
+    /// First exception thrown by any strand (guarded by mu).
+    std::exception_ptr error;
   };
   ForState state;
   state.n = n;
@@ -90,15 +109,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   auto drain = [](ForState* s) {
     size_t start;
-    while ((start = s->next.fetch_add(s->chunk, std::memory_order_relaxed)) <
-           s->n) {
+    // Cancellation is polled per chunk (the claim loop only), keeping the
+    // inner iteration loop free of extra loads.
+    while (!s->cancelled.load(std::memory_order_relaxed) &&
+           (start = s->next.fetch_add(s->chunk, std::memory_order_relaxed)) <
+               s->n) {
       const size_t end = std::min(s->n, start + s->chunk);
       for (size_t i = start; i < end; ++i) (*s->fn)(i);
     }
   };
+  // A strand that throws records the first exception, cancels the claim
+  // loop, and still reports completion — the join below must always see
+  // every strand finish, or `state` would be destroyed under a live task.
+  auto capture = [](ForState* s) {
+    s->cancelled.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!s->error) s->error = std::current_exception();
+  };
   for (int h = 0; h < helpers; ++h) {
-    Submit([&state, drain] {
-      drain(&state);
+    Submit([&state, drain, capture] {
+      try {
+        drain(&state);
+      } catch (...) {
+        capture(&state);
+      }
       // Notify under the lock: the caller may only destroy `state` after
       // this task released `mu`, which its join's wait() re-acquisition
       // enforces.
@@ -106,9 +140,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       if (--state.pending == 0) state.done.notify_one();
     });
   }
-  drain(&state);
+  try {
+    drain(&state);
+  } catch (...) {
+    capture(&state);
+  }
   std::unique_lock<std::mutex> lock(state.mu);
   state.done.wait(lock, [&state] { return state.pending == 0; });
+  const std::exception_ptr error = state.error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace uguide

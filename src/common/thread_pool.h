@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,8 +27,15 @@ namespace uguide {
 ///
 /// `num_threads` counts the calling thread: a pool built with N spawns
 /// N - 1 workers, and ParallelFor has the caller participate, so exactly N
-/// strands execute loop bodies. Tasks must not throw (the library is
-/// exception-free; see DESIGN.md §5).
+/// strands execute loop bodies.
+///
+/// The library itself is exception-free (see DESIGN.md §5), but tasks may
+/// still throw — std::bad_alloc, or user callbacks running on the pool. A
+/// throwing task no longer terminates the process or deadlocks a join:
+/// ParallelFor rethrows the first exception on the calling thread after
+/// all strands have stopped (remaining iterations are abandoned at chunk
+/// granularity), and an exception from a Submit task is captured and
+/// surfaced via TakeSubmitError().
 class ThreadPool {
  public:
   /// Passing kAuto sizes the pool to std::thread::hardware_concurrency().
@@ -44,8 +52,13 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Enqueues `task` for asynchronous execution on a worker. In the
-  /// single-threaded fallback the task runs synchronously, inline.
+  /// single-threaded fallback the task runs synchronously, inline (an
+  /// exception then propagates directly to the caller).
   void Submit(std::function<void()> task);
+
+  /// The first exception thrown by a Submit task on a worker since the
+  /// last call, or null. Calling this clears the slot.
+  std::exception_ptr TakeSubmitError();
 
   /// Runs fn(i) for every i in [0, n), blocking until all calls return.
   /// The calling thread participates, so the loop makes progress even when
@@ -56,6 +69,11 @@ class ThreadPool {
   /// call concurrently from several threads and must not itself call
   /// ParallelFor on the same pool (no nested forks: a worker blocking on an
   /// inner join could deadlock the outer one).
+  ///
+  /// If fn throws, the loop is cancelled at chunk granularity (some
+  /// iterations may never run), every strand is joined, and the first
+  /// exception is rethrown here on the calling thread. The pool remains
+  /// usable afterwards.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Maps `fn` over `items`, returning the results in input order
@@ -78,6 +96,8 @@ class ThreadPool {
   std::condition_variable ready_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  /// First exception thrown by a Submit task on a worker (guarded by mu_).
+  std::exception_ptr submit_error_;
 };
 
 }  // namespace uguide

@@ -8,7 +8,9 @@ Result<CandidateSet> GenerateCandidates(const Relation& dirty,
   tane.max_error = 0.0;
   tane.max_lhs_size = options.max_lhs_size;
   tane.num_threads = options.num_threads;
-  UGUIDE_ASSIGN_OR_RETURN(FdSet exact, DiscoverFds(dirty, tane));
+  tane.deadline_ms = options.discovery_deadline_ms;
+  UGUIDE_ASSIGN_OR_RETURN(DiscoveryOutcome exact,
+                          DiscoverFdsDetailed(dirty, tane));
 
   // Candidate AFDs: all minimal FDs with g3 error within the relaxation
   // threshold. This is the complete frontier the paper's §3.1 relaxation
@@ -19,9 +21,11 @@ Result<CandidateSet> GenerateCandidates(const Relation& dirty,
   // g3-passing region and therefore provably covers the relaxation output.
   TaneOptions approx = tane;
   approx.max_error = options.relax_threshold;
-  UGUIDE_ASSIGN_OR_RETURN(FdSet candidates, DiscoverFds(dirty, approx));
+  UGUIDE_ASSIGN_OR_RETURN(DiscoveryOutcome candidates,
+                          DiscoverFdsDetailed(dirty, approx));
 
-  return CandidateSet{std::move(exact), std::move(candidates)};
+  return CandidateSet{std::move(exact.fds), std::move(candidates.fds),
+                      exact.truncated || candidates.truncated};
 }
 
 }  // namespace uguide

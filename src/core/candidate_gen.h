@@ -22,6 +22,11 @@ struct CandidateGenOptions {
   /// Worker threads for the two discovery passes (see TaneOptions); the
   /// candidate set is identical for every thread count.
   int num_threads = 1;
+
+  /// Soft deadline forwarded to each discovery pass (see
+  /// TaneOptions::deadline_ms); 0 = none. A pass cut short yields a sound
+  /// but incomplete candidate set, flagged via CandidateSet::truncated.
+  double discovery_deadline_ms = 0.0;
 };
 
 /// Output of candidate generation: the exact FDs of the dirty table and
@@ -29,6 +34,9 @@ struct CandidateGenOptions {
 struct CandidateSet {
   FdSet exact;       ///< Sigma_T: minimal exact FDs of the dirty table.
   FdSet candidates;  ///< Sigma_cand: maximally relaxed AFDs.
+  /// True iff either discovery pass hit the deadline; the sets above then
+  /// under-approximate the full candidate frontier.
+  bool truncated = false;
 };
 
 /// \brief Runs the paper's §3.1 pipeline on a dirty table: exact discovery,

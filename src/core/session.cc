@@ -1,6 +1,8 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "discovery/tane.h"
 #include "oracle/simulated_expert.h"
@@ -41,20 +43,80 @@ SessionReport Session::Run(Strategy& strategy) const {
 }
 
 SessionReport Session::Run(Strategy& strategy, double budget) const {
+  return Run(strategy, budget, SessionRunOptions{}).ValueOrDie();
+}
+
+Result<SessionReport> Session::Run(Strategy& strategy, double budget,
+                                   const SessionRunOptions& options) const {
+  const int votes = std::max(1, config_.expert_votes);
   SimulatedExpert expert(&true_violations_, &truth_,
                          dirty_.NumAttributes(), true_fds_,
                          config_.idk_rate, config_.expert_seed,
                          config_.wrong_rate);
-  MajorityVoteExpert voting(&expert, std::max(1, config_.expert_votes));
+  MajorityVoteExpert voting(&expert, votes);
+  Expert* head = config_.expert_votes > 1 ? static_cast<Expert*>(&voting)
+                                          : static_cast<Expert*>(&expert);
+
+  // The resilience stack sits between voting and journaling so retries are
+  // recorded once (as the final answer), not once per attempt.
+  std::optional<FlakyExpert> flaky;
+  std::optional<RetryingExpert> retrying;
+  if (options.resilient) {
+    flaky.emplace(head);
+    retrying.emplace(&*flaky, options.retry, config_.cost,
+                     dirty_.NumAttributes());
+    head = &*retrying;
+  }
+
+  JournalHeader header;
+  header.strategy_name = std::string(strategy.name());
+  header.budget = budget;
+  header.expert_seed = config_.expert_seed;
+  header.expert_votes = votes;
+  header.idk_rate = config_.idk_rate;
+  header.wrong_rate = config_.wrong_rate;
+
+  std::vector<JournalRecord> replay;
+  if (options.resume) {
+    if (options.journal_path.empty()) {
+      return Status::InvalidArgument("resume requires a journal path");
+    }
+    UGUIDE_ASSIGN_OR_RETURN(LoadedJournal journal,
+                            LoadJournal(options.journal_path));
+    if (!journal.header.Matches(header)) {
+      return Status::InvalidArgument(
+          "journal " + options.journal_path +
+          " was written by a different session configuration (header \"" +
+          FormatJournalHeader(journal.header) + "\" vs expected \"" +
+          FormatJournalHeader(header) + "\")");
+    }
+    replay = std::move(journal.records);
+  }
+
+  std::optional<JournalWriter> writer;
+  if (!options.journal_path.empty()) {
+    UGUIDE_ASSIGN_OR_RETURN(
+        writer, JournalWriter::Open(options.journal_path, header,
+                                    /*resume=*/options.resume));
+  }
+
+  std::optional<JournalingExpert> journaling;
+  const size_t replay_count = replay.size();
+  if (writer.has_value() || !replay.empty()) {
+    journaling.emplace(head, writer.has_value() ? &*writer : nullptr,
+                       std::move(replay), config_.cost,
+                       dirty_.NumAttributes());
+    head = &*journaling;
+  }
+
   QuestionContext ctx;
   ctx.dirty = &dirty_;
   ctx.candidates = &candidates_.candidates;
-  ctx.expert = config_.expert_votes > 1 ? static_cast<Expert*>(&voting)
-                                        : static_cast<Expert*>(&expert);
+  ctx.expert = head;
   ctx.cost = config_.cost;
   // Majority voting multiplies the expert effort per question; charge it
   // against the budget.
-  ctx.budget = budget / std::max(1, config_.expert_votes);
+  ctx.budget = budget / votes;
   ctx.exact_fds = &candidates_.exact;
   ctx.true_fds = &true_fds_;
   ctx.true_violations = &true_violations_;
@@ -63,6 +125,19 @@ SessionReport Session::Run(Strategy& strategy, double budget) const {
   SessionReport report;
   report.strategy_name = std::string(strategy.name());
   report.result = strategy.Run(ctx);
+  if (retrying.has_value()) {
+    // Retries are charged after the fact: the strategy budgets with nominal
+    // costs, the report carries the true (surcharged) spend.
+    report.retry_cost = retrying->retry_cost();
+    report.result.cost_spent += retrying->retry_cost();
+    report.questions_exhausted = retrying->exhausted();
+  }
+  if (journaling.has_value()) {
+    report.questions_replayed =
+        static_cast<int>(replay_count - journaling->replay_remaining());
+    if (!journaling->write_status().ok()) return journaling->write_status();
+  }
+  if (writer.has_value()) UGUIDE_RETURN_NOT_OK(writer->Close());
   report.metrics = EvaluateDetections(dirty_, report.result.accepted_fds,
                                       true_violations_, &truth_);
   return report;

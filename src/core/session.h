@@ -5,9 +5,11 @@
 
 #include "core/candidate_gen.h"
 #include "core/metrics.h"
+#include "core/session_journal.h"
 #include "core/strategy.h"
 #include "errorgen/error_generator.h"
 #include "oracle/cost_model.h"
+#include "oracle/resilient_expert.h"
 #include "relation/relation.h"
 
 namespace uguide {
@@ -35,6 +37,26 @@ struct SessionReport {
   std::string strategy_name;
   StrategyResult result;
   DetectionMetrics metrics;
+  /// Retry surcharge included in result.cost_spent (resilient runs only).
+  double retry_cost = 0.0;
+  /// Questions that degraded to kIdk after retries/deadline ran out.
+  int questions_exhausted = 0;
+  /// Answered questions served from the journal on resume.
+  int questions_replayed = 0;
+};
+
+/// Per-run fault-tolerance options for Session::Run.
+struct SessionRunOptions {
+  /// When non-empty, every answered question is durably appended here
+  /// (write + fsync per record) before the strategy sees the answer.
+  std::string journal_path;
+  /// Replay `journal_path` before asking live questions, reproducing an
+  /// interrupted run bit-for-bit (see DESIGN.md, "Fault tolerance").
+  bool resume = false;
+  /// Wrap the expert in the Flaky/Retrying decorators so injected faults
+  /// are retried with backoff instead of crashing the strategy.
+  bool resilient = false;
+  RetryPolicy retry;
 };
 
 /// \brief End-to-end experiment harness mirroring Figure 1.
@@ -59,6 +81,12 @@ class Session {
   /// Runs `strategy` under an explicit budget override.
   SessionReport Run(Strategy& strategy, double budget) const;
 
+  /// Runs `strategy` with fault-tolerance options: journaling, crash-safe
+  /// resume, and the retry/backoff expert stack. Fails on journal I/O or
+  /// header-mismatch errors instead of aborting.
+  Result<SessionReport> Run(Strategy& strategy, double budget,
+                            const SessionRunOptions& options) const;
+
   const Relation& dirty() const { return dirty_; }
   /// The error-injection ledger (which cells the generator changed).
   const GroundTruth& truth() const { return truth_; }
@@ -67,6 +95,8 @@ class Session {
   const FdSet& true_fds() const { return true_fds_; }
   const FdSet& exact_fds() const { return candidates_.exact; }
   const FdSet& candidates() const { return candidates_.candidates; }
+  /// True iff candidate generation was cut short by a discovery deadline.
+  bool discovery_truncated() const { return candidates_.truncated; }
   const SessionConfig& config() const { return config_; }
 
  private:

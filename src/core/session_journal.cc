@@ -1,0 +1,466 @@
+#include "core/session_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace uguide {
+
+namespace {
+
+const char* KindTag(QuestionKind kind) {
+  switch (kind) {
+    case QuestionKind::kCell:
+      return "c";
+    case QuestionKind::kTuple:
+      return "t";
+    case QuestionKind::kFd:
+      return "f";
+  }
+  return "?";
+}
+
+/// Formats a double as a C hexfloat: exact round-trip through strtod.
+std::string HexDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+bool ParseStrictDouble(std::string_view token, double* out) {
+  std::string owned(token);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(owned.c_str(), &end);
+  if (errno != 0 || end != owned.c_str() + owned.size() || owned.empty()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  std::string owned(token);
+  char* end = nullptr;
+  errno = 0;
+  uint64_t value = std::strtoull(owned.c_str(), &end, 10);
+  if (errno != 0 || end != owned.c_str() + owned.size() || owned.empty()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseHexU64(std::string_view token, uint64_t* out) {
+  std::string owned(token);
+  char* end = nullptr;
+  errno = 0;
+  uint64_t value = std::strtoull(owned.c_str(), &end, 16);
+  if (errno != 0 || end != owned.c_str() + owned.size() || owned.empty()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view token, int* out) {
+  uint64_t value = 0;
+  bool negative = false;
+  if (!token.empty() && token.front() == '-') {
+    negative = true;
+    token.remove_prefix(1);
+  }
+  if (!ParseU64(token, &value)) return false;
+  *out = negative ? -static_cast<int>(value) : static_cast<int>(value);
+  return true;
+}
+
+bool ParseAnswer(std::string_view token, Answer* out) {
+  if (token == "yes") {
+    *out = Answer::kYes;
+  } else if (token == "no") {
+    *out = Answer::kNo;
+  } else if (token == "idk") {
+    *out = Answer::kIdk;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// True iff `a` and `b` ask the same question (answer/cost ignored).
+bool SameQuestion(const JournalRecord& a, const JournalRecord& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case QuestionKind::kCell:
+      return a.cell == b.cell;
+    case QuestionKind::kTuple:
+      return a.row == b.row;
+    case QuestionKind::kFd:
+      return a.fd == b.fd;
+  }
+  return false;
+}
+
+Status Errno(const std::string& action, const std::string& path) {
+  return Status::IoError(action + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool JournalRecord::operator==(const JournalRecord& other) const {
+  return SameQuestion(*this, other) && answer == other.answer &&
+         cost == other.cost;
+}
+
+bool JournalHeader::Matches(const JournalHeader& other) const {
+  return strategy_name == other.strategy_name && budget == other.budget &&
+         expert_seed == other.expert_seed &&
+         expert_votes == other.expert_votes && idk_rate == other.idk_rate &&
+         wrong_rate == other.wrong_rate;
+}
+
+std::string FormatJournalRecord(const JournalRecord& record) {
+  std::ostringstream out;
+  out << KindTag(record.kind) << ' ';
+  switch (record.kind) {
+    case QuestionKind::kCell:
+      out << record.cell.row << ' ' << record.cell.col;
+      break;
+    case QuestionKind::kTuple:
+      out << record.row;
+      break;
+    case QuestionKind::kFd: {
+      char mask[24];
+      std::snprintf(mask, sizeof(mask), "%" PRIx64, record.fd.lhs.mask());
+      out << mask << ' ' << record.fd.rhs;
+      break;
+    }
+  }
+  out << ' ' << AnswerName(record.answer) << ' ' << HexDouble(record.cost);
+  return out.str();
+}
+
+Result<JournalRecord> ParseJournalRecord(std::string_view line) {
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  const Status malformed =
+      Status::InvalidArgument("malformed journal record: " + std::string(line));
+  if (tokens.empty()) return malformed;
+
+  JournalRecord record;
+  size_t expected = 0;
+  if (tokens[0] == "c") {
+    record.kind = QuestionKind::kCell;
+    expected = 5;
+    if (tokens.size() != expected || !ParseInt(tokens[1], &record.cell.row) ||
+        !ParseInt(tokens[2], &record.cell.col)) {
+      return malformed;
+    }
+  } else if (tokens[0] == "t") {
+    record.kind = QuestionKind::kTuple;
+    expected = 4;
+    int row = 0;
+    if (tokens.size() != expected || !ParseInt(tokens[1], &row)) {
+      return malformed;
+    }
+    record.row = row;
+  } else if (tokens[0] == "f") {
+    record.kind = QuestionKind::kFd;
+    expected = 5;
+    uint64_t mask = 0;
+    int rhs = 0;
+    if (tokens.size() != expected || !ParseHexU64(tokens[1], &mask) ||
+        !ParseInt(tokens[2], &rhs)) {
+      return malformed;
+    }
+    record.fd = Fd(AttributeSet(mask), rhs);
+  } else {
+    return malformed;
+  }
+  if (!ParseAnswer(tokens[expected - 2], &record.answer) ||
+      !ParseStrictDouble(tokens[expected - 1], &record.cost)) {
+    return malformed;
+  }
+  return record;
+}
+
+std::string FormatJournalHeader(const JournalHeader& header) {
+  std::ostringstream out;
+  out << "uguide-journal v=1 strategy=" << header.strategy_name
+      << " budget=" << HexDouble(header.budget)
+      << " seed=" << header.expert_seed << " votes=" << header.expert_votes
+      << " idk=" << HexDouble(header.idk_rate)
+      << " wrong=" << HexDouble(header.wrong_rate);
+  return out.str();
+}
+
+Result<JournalHeader> ParseJournalHeader(std::string_view line) {
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  const Status malformed =
+      Status::InvalidArgument("malformed journal header: " + std::string(line));
+  if (tokens.size() != 8 || tokens[0] != "uguide-journal" || tokens[1] != "v=1")
+    return malformed;
+
+  JournalHeader header;
+  bool seen[6] = {false, false, false, false, false, false};
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return malformed;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "strategy") {
+      header.strategy_name = std::string(value);
+      seen[0] = true;
+    } else if (key == "budget") {
+      if (!ParseStrictDouble(value, &header.budget)) return malformed;
+      seen[1] = true;
+    } else if (key == "seed") {
+      if (!ParseU64(value, &header.expert_seed)) return malformed;
+      seen[2] = true;
+    } else if (key == "votes") {
+      if (!ParseInt(value, &header.expert_votes)) return malformed;
+      seen[3] = true;
+    } else if (key == "idk") {
+      if (!ParseStrictDouble(value, &header.idk_rate)) return malformed;
+      seen[4] = true;
+    } else if (key == "wrong") {
+      if (!ParseStrictDouble(value, &header.wrong_rate)) return malformed;
+      seen[5] = true;
+    } else {
+      return malformed;
+    }
+  }
+  for (bool s : seen) {
+    if (!s) return malformed;
+  }
+  return header;
+}
+
+Result<LoadedJournal> LoadJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Errno("cannot open journal", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for journal " + path);
+  const std::string contents = buffer.str();
+
+  // Split into lines, remembering whether the final line was terminated —
+  // an unterminated tail is the footprint of a crash mid-append.
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  bool terminated = true;
+  const std::string_view view = contents;
+  while (start < view.size()) {
+    const size_t nl = view.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(view.substr(start));
+      terminated = false;
+      break;
+    }
+    lines.push_back(view.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("journal " + path + " is empty");
+  }
+
+  LoadedJournal journal;
+  UGUIDE_ASSIGN_OR_RETURN(journal.header, ParseJournalHeader(lines[0]));
+  if (!terminated && lines.size() == 1) {
+    // Header itself is torn; nothing trustworthy in the file.
+    return Status::InvalidArgument("journal " + path + " has a torn header");
+  }
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const bool is_tail = i + 1 == lines.size();
+    if (is_tail && !terminated) {
+      // A torn (unterminated) tail is dropped even if its prefix happens to
+      // parse — a partial write proves nothing about the record.
+      journal.torn_tail = true;
+      break;
+    }
+    Result<JournalRecord> record = ParseJournalRecord(lines[i]);
+    if (!record.ok()) {
+      if (is_tail) {
+        journal.torn_tail = true;
+        break;
+      }
+      return Status::InvalidArgument("journal " + path + " line " +
+                                     std::to_string(i + 1) + ": " +
+                                     record.status().ToString());
+    }
+    journal.records.push_back(*std::move(record));
+  }
+  return journal;
+}
+
+Result<JournalWriter> JournalWriter::Open(const std::string& path,
+                                          const JournalHeader& header,
+                                          bool resume) {
+  const int flags = O_WRONLY | O_CREAT | (resume ? O_APPEND : O_TRUNC);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("cannot open journal", path);
+  JournalWriter writer(fd);
+  if (!resume) {
+    const std::string line = FormatJournalHeader(header) + "\n";
+    const ssize_t written = ::write(fd, line.data(), line.size());
+    if (written != static_cast<ssize_t>(line.size())) {
+      return Errno("cannot write journal header to", path);
+    }
+    if (::fsync(fd) != 0) return Errno("cannot fsync journal", path);
+  }
+  return writer;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    Close().IgnoreError();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() { Close().IgnoreError(); }
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal writer is closed");
+  const std::string line = FormatJournalRecord(record) + "\n";
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t written = ::write(fd_, line.data() + off, line.size() - off);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("journal append failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(written);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("journal fsync failed: ") +
+                           std::strerror(errno));
+  }
+  // Fires *after* the fsync: a crash@k plan leaves exactly k durable
+  // records, which the kill/resume tests assert.
+  UGUIDE_FAULT_POINT("session.record");
+  return Status::OK();
+}
+
+Status JournalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    return Status::IoError(std::string("journal close failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+JournalingExpert::JournalingExpert(Expert* live, JournalWriter* writer,
+                                   std::vector<JournalRecord> replay,
+                                   const CostModel& cost, int num_attributes)
+    : live_(live),
+      writer_(writer),
+      replay_(std::move(replay)),
+      cost_(cost),
+      num_attributes_(num_attributes) {}
+
+Answer JournalingExpert::Record(JournalRecord record, Answer live_answer) {
+  if (writer_ != nullptr && write_status_.ok()) {
+    Status status = writer_->Append(record);
+    if (!status.ok()) write_status_ = std::move(status);
+  }
+  return live_answer;
+}
+
+bool JournalingExpert::Replay(const JournalRecord& expected, Answer* out) {
+  if (replay_abandoned_ || replay_pos_ >= replay_.size()) return false;
+  const JournalRecord& next = replay_[replay_pos_];
+  if (!SameQuestion(next, expected)) {
+    // The strategy diverged from the journal (different build or inputs).
+    // Replay is no longer trustworthy; fall back to live answers.
+    ++mismatches_;
+    replay_abandoned_ = true;
+    return false;
+  }
+  ++replay_pos_;
+  *out = next.answer;
+  return true;
+}
+
+Answer JournalingExpert::IsCellErroneous(const Cell& cell) {
+  JournalRecord record;
+  record.kind = QuestionKind::kCell;
+  record.cell = cell;
+  record.cost = cost_.CellCost();
+  Answer replayed;
+  if (Replay(record, &replayed)) {
+    // Ask the live expert anyway (answer discarded) so its RNG state
+    // advances exactly as in the original run.
+    live_->IsCellErroneous(cell);
+    return replayed;
+  }
+  const Answer answer = live_->IsCellErroneous(cell);
+  record.answer = answer;
+  return Record(record, answer);
+}
+
+Answer JournalingExpert::IsTupleClean(TupleId row) {
+  JournalRecord record;
+  record.kind = QuestionKind::kTuple;
+  record.row = row;
+  record.cost = cost_.TupleCost(num_attributes_);
+  Answer replayed;
+  if (Replay(record, &replayed)) {
+    live_->IsTupleClean(row);
+    return replayed;
+  }
+  const Answer answer = live_->IsTupleClean(row);
+  record.answer = answer;
+  return Record(record, answer);
+}
+
+Answer JournalingExpert::IsFdValid(const Fd& fd) {
+  JournalRecord record;
+  record.kind = QuestionKind::kFd;
+  record.fd = fd;
+  record.cost = cost_.FdCost(fd, 0);
+  Answer replayed;
+  if (Replay(record, &replayed)) {
+    live_->IsFdValid(fd);
+    return replayed;
+  }
+  const Answer answer = live_->IsFdValid(fd);
+  record.answer = answer;
+  return Record(record, answer);
+}
+
+}  // namespace uguide

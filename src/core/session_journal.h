@@ -1,0 +1,162 @@
+#ifndef UGUIDE_CORE_SESSION_JOURNAL_H_
+#define UGUIDE_CORE_SESSION_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fd/fd.h"
+#include "oracle/cost_model.h"
+#include "oracle/expert.h"
+#include "relation/relation.h"
+
+namespace uguide {
+
+/// The three question kinds a journal record can describe.
+enum class QuestionKind { kCell, kTuple, kFd };
+
+/// \brief One answered question: what was asked, what the expert said, and
+/// what it cost.
+///
+/// Costs are serialized as C hexfloats (`%a`) so a record round-trips
+/// bit-exactly — replayed sessions must reproduce `cost_spent` to the last
+/// ulp or the resume-determinism contract breaks.
+struct JournalRecord {
+  QuestionKind kind = QuestionKind::kCell;
+  Cell cell;       ///< kCell: the cell asked about.
+  TupleId row = 0; ///< kTuple: the tuple asked about.
+  Fd fd;           ///< kFd: the FD asked about.
+  Answer answer = Answer::kIdk;
+  double cost = 0.0;
+
+  bool operator==(const JournalRecord& other) const;
+};
+
+/// \brief The journal header: enough session identity to refuse a resume
+/// against a journal written under different conditions.
+struct JournalHeader {
+  std::string strategy_name;
+  double budget = 0.0;
+  uint64_t expert_seed = 0;
+  int expert_votes = 1;
+  double idk_rate = 0.0;
+  double wrong_rate = 0.0;
+
+  bool Matches(const JournalHeader& other) const;
+};
+
+/// A parsed journal: the header plus every intact record.
+struct LoadedJournal {
+  JournalHeader header;
+  std::vector<JournalRecord> records;
+  /// True iff the file ended in a torn (incomplete) last line, which was
+  /// dropped — the expected shape after a crash mid-write.
+  bool torn_tail = false;
+};
+
+/// Serializes one record as a single journal line (no trailing newline).
+std::string FormatJournalRecord(const JournalRecord& record);
+
+/// Parses one journal line. Fails on any deviation from the format.
+Result<JournalRecord> ParseJournalRecord(std::string_view line);
+
+/// Serializes the header line (no trailing newline).
+std::string FormatJournalHeader(const JournalHeader& header);
+
+/// Parses the header line.
+Result<JournalHeader> ParseJournalHeader(std::string_view line);
+
+/// \brief Reads a journal file.
+///
+/// A torn final line (no terminating newline, or unparseable) is dropped
+/// and reported via `torn_tail` — that is what a crash between write and
+/// completion leaves behind. A malformed line anywhere *before* the tail
+/// means the file is not a journal (or is corrupt) and fails the load.
+Result<LoadedJournal> LoadJournal(const std::string& path);
+
+/// \brief Append-only, fsync-per-record journal writer.
+///
+/// Every Append writes one line and fsyncs before returning, so a record
+/// the caller saw succeed survives any subsequent crash. The fault site
+/// "session.record" fires *after* the fsync: a `crash@k` plan therefore
+/// leaves exactly k durable records — the invariant the kill/resume tests
+/// are built on.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending. When `resume` is false the file is
+  /// truncated and `header` written as the first line; when true the file
+  /// is extended as-is (the caller has already validated the header).
+  static Result<JournalWriter> Open(const std::string& path,
+                                    const JournalHeader& header, bool resume);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Durably appends one record (write + fsync), then fires the
+  /// "session.record" fault site.
+  Status Append(const JournalRecord& record);
+
+  /// Fsyncs and closes the file. Idempotent; also run by the destructor.
+  Status Close();
+
+ private:
+  explicit JournalWriter(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// \brief Expert decorator that records answers and replays them on resume.
+///
+/// In recording mode every answered question is appended (durably) to the
+/// writer before the answer reaches the strategy. In replay mode the first
+/// `records` questions are served from the journal instead — and the live
+/// expert underneath is *still asked* (its answer discarded) so its RNG and
+/// counters advance exactly as they did in the original run; questions
+/// after the journal runs out therefore get bit-identical answers to an
+/// uninterrupted session.
+///
+/// If a replayed question does not match its record (the strategy diverged,
+/// e.g. a different binary), replay is abandoned: the mismatch is counted
+/// and the session continues live from that point.
+class JournalingExpert : public Expert {
+ public:
+  /// `live` must outlive the wrapper; `writer` may be null (no recording).
+  JournalingExpert(Expert* live, JournalWriter* writer,
+                   std::vector<JournalRecord> replay, const CostModel& cost,
+                   int num_attributes);
+
+  Answer IsCellErroneous(const Cell& cell) override;
+  Answer IsTupleClean(TupleId row) override;
+  Answer IsFdValid(const Fd& fd) override;
+
+  /// Questions still to be served from the journal.
+  size_t replay_remaining() const { return replay_.size() - replay_pos_; }
+  /// Replayed questions that did not match their journal record.
+  int mismatches() const { return mismatches_; }
+  /// First non-OK status from the writer, if any (sticky).
+  const Status& write_status() const { return write_status_; }
+
+ private:
+  Answer Record(JournalRecord record, Answer live_answer);
+  /// Serves `expected` from the journal if it matches the next record;
+  /// returns false once replay is exhausted or diverged.
+  bool Replay(const JournalRecord& expected, Answer* out);
+
+  Expert* live_;
+  JournalWriter* writer_;
+  std::vector<JournalRecord> replay_;
+  size_t replay_pos_ = 0;
+  CostModel cost_;
+  int num_attributes_;
+  int mismatches_ = 0;
+  bool replay_abandoned_ = false;
+  Status write_status_ = Status::OK();
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_SESSION_JOURNAL_H_

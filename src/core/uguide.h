@@ -25,6 +25,7 @@
 #include "cfd/tableau.h"
 #include "common/attribute_set.h"
 #include "common/csv.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -37,6 +38,7 @@
 #include "core/metrics.h"
 #include "core/repair.h"
 #include "core/session.h"
+#include "core/session_journal.h"
 #include "core/strategy.h"
 #include "core/tuple_strategies.h"
 #include "datagen/generators.h"
@@ -49,6 +51,7 @@
 #include "fd/fd.h"
 #include "oracle/cost_model.h"
 #include "oracle/expert.h"
+#include "oracle/resilient_expert.h"
 #include "oracle/simulated_expert.h"
 #include "relation/relation.h"
 #include "relation/schema.h"

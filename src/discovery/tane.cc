@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "discovery/partition.h"
 
@@ -104,6 +105,13 @@ void CheckNode(const AttributeSet& x, Node& node, const Level& prev,
 
 Result<FdSet> DiscoverFds(const Relation& relation,
                           const TaneOptions& options) {
+  UGUIDE_ASSIGN_OR_RETURN(DiscoveryOutcome outcome,
+                          DiscoverFdsDetailed(relation, options));
+  return std::move(outcome.fds);
+}
+
+Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
+                                             const TaneOptions& options) {
   if (options.max_error < 0.0 || options.max_error >= 1.0) {
     return Status::InvalidArgument("max_error must be in [0, 1)");
   }
@@ -113,11 +121,25 @@ Result<FdSet> DiscoverFds(const Relation& relation,
   if (options.num_threads < 0) {
     return Status::InvalidArgument("num_threads must be non-negative");
   }
+  if (options.deadline_ms < 0.0) {
+    return Status::InvalidArgument("deadline_ms must be non-negative");
+  }
   const int m = relation.NumAttributes();
   const AttributeSet all_attrs = AttributeSet::Full(m);
   std::vector<Fd> emitted;
 
-  if (m == 0 || relation.NumRows() == 0) return FdSet();
+  DiscoveryOutcome outcome;
+  if (m == 0 || relation.NumRows() == 0) return outcome;
+
+  FaultRegistry& registry = FaultRegistry::Global();
+  const auto start = registry.Now();
+  auto past_deadline = [&] {
+    if (options.deadline_ms <= 0.0) return false;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(registry.Now() - start)
+            .count();
+    return elapsed_ms > options.deadline_ms;
+  };
 
   // Shared worker pool for the whole traversal; with num_threads <= 1 this
   // spawns nothing and every ParallelFor below runs inline, serially.
@@ -137,6 +159,15 @@ Result<FdSet> DiscoverFds(const Relation& relation,
 
   for (int level_size = 1; level_size <= m && !current.empty();
        ++level_size) {
+    // Graceful degradation: the deadline (and the fault site) is honored
+    // only at level boundaries, so whatever is returned is every minimal FD
+    // up to the last completed level -- never a half-checked level.
+    UGUIDE_FAULT_POINT("discovery.level");
+    if (past_deadline()) {
+      outcome.truncated = true;
+      break;
+    }
+
     // --- Compute dependencies -------------------------------------------
     // Freeze-prev / shard-current: `prev` is read-only from here on, and
     // each node of `current` is checked independently against it. Shards
@@ -158,6 +189,7 @@ Result<FdSet> DiscoverFds(const Relation& relation,
     for (const std::vector<Fd>& shard : found) {
       emitted.insert(emitted.end(), shard.begin(), shard.end());
     }
+    outcome.levels_completed = level_size;
 
     // --- Prune -----------------------------------------------------------
     // Only C+-emptiness prunes nodes. TANE's classical key pruning
@@ -225,7 +257,8 @@ Result<FdSet> DiscoverFds(const Relation& relation,
     current = std::move(next);
   }
 
-  return FilterMinimal(std::move(emitted));
+  outcome.fds = FilterMinimal(emitted);
+  return outcome;
 }
 
 }  // namespace uguide

@@ -31,6 +31,26 @@ struct TaneOptions {
   /// the frozen previous level, so parallelism changes only wall-clock
   /// time (see DESIGN.md "Parallel discovery").
   int num_threads = 1;
+
+  /// Soft deadline on the traversal in milliseconds; 0 = none. Checked at
+  /// level boundaries only (a level is never abandoned halfway), so the
+  /// result is always every minimal FD with an LHS up to the last completed
+  /// level — a sound under-approximation, flagged via
+  /// DiscoveryOutcome::truncated. Time is read from the FaultRegistry's
+  /// virtual clock, so latency fault plans can exercise truncation
+  /// deterministically.
+  double deadline_ms = 0.0;
+};
+
+/// \brief What DiscoverFdsDetailed produced, plus how far it got.
+struct DiscoveryOutcome {
+  FdSet fds;
+  /// True iff the deadline cut the traversal short; `fds` then covers only
+  /// LHS sizes up to `levels_completed`.
+  bool truncated = false;
+  /// Lattice levels fully processed (level k checks LHS candidates of
+  /// size k).
+  int levels_completed = 0;
 };
 
 /// \brief Discovers all minimal, non-trivial FDs (or AFDs) of `relation`.
@@ -43,6 +63,15 @@ struct TaneOptions {
 /// FDs with an empty LHS (constant columns) are reported when applicable.
 Result<FdSet> DiscoverFds(const Relation& relation,
                           const TaneOptions& options = {});
+
+/// \brief DiscoverFds plus progress/truncation metadata.
+///
+/// Identical traversal; use this form when a deadline is set (or when the
+/// caller wants to know how deep discovery went). Also fires the
+/// "discovery.level" fault site once per level, so fault plans can inject
+/// latency or failure into the traversal.
+Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
+                                             const TaneOptions& options = {});
 
 }  // namespace uguide
 

@@ -1,0 +1,93 @@
+#include "oracle/resilient_expert.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace uguide {
+
+FlakyExpert::FlakyExpert(Expert* inner, std::string site)
+    : inner_(inner), site_(std::move(site)) {}
+
+Status FlakyExpert::Fire() {
+  FaultRegistry& registry = FaultRegistry::Global();
+  if (!registry.enabled()) return Status::OK();
+  Status status = registry.OnPoint(site_);
+  if (!status.ok()) ++faults_injected_;
+  return status;
+}
+
+Result<Answer> FlakyExpert::TryIsCellErroneous(const Cell& cell) {
+  UGUIDE_RETURN_NOT_OK(Fire());
+  return inner_->IsCellErroneous(cell);
+}
+
+Result<Answer> FlakyExpert::TryIsTupleClean(TupleId row) {
+  UGUIDE_RETURN_NOT_OK(Fire());
+  return inner_->IsTupleClean(row);
+}
+
+Result<Answer> FlakyExpert::TryIsFdValid(const Fd& fd) {
+  UGUIDE_RETURN_NOT_OK(Fire());
+  return inner_->IsFdValid(fd);
+}
+
+RetryingExpert::RetryingExpert(TryExpert* inner, const RetryPolicy& policy,
+                               const CostModel& cost, int num_attributes)
+    : inner_(inner),
+      policy_(policy),
+      cost_(cost),
+      num_attributes_(num_attributes),
+      rng_(policy.seed) {}
+
+template <typename AskFn>
+Answer RetryingExpert::Ask(double question_cost, AskFn ask) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  const auto start = registry.Now();
+  const bool has_deadline = policy_.question_deadline_ms > 0.0;
+  auto past_deadline = [&] {
+    if (!has_deadline) return false;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(registry.Now() - start)
+            .count();
+    return elapsed_ms > policy_.question_deadline_ms;
+  };
+
+  double backoff_ms = policy_.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    Result<Answer> reply = ask();
+    if (reply.ok()) {
+      if (!past_deadline()) return *reply;
+      // The answer exists but arrived too late (injected latency):
+      // indistinguishable from no answer under the deadline contract.
+      ++timeouts_;
+    }
+    if (attempt >= policy_.max_attempts || past_deadline()) break;
+    // Back off before re-asking. The wait is modelled on the virtual
+    // clock — deterministic, and still visible to the deadline check.
+    const double jittered =
+        backoff_ms * (1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0));
+    registry.AdvanceClockMs(std::min(jittered, policy_.max_backoff_ms));
+    backoff_ms *= policy_.backoff_multiplier;
+    ++retries_;
+    retry_cost_ += question_cost * policy_.retry_cost_factor;
+  }
+  ++exhausted_;
+  return Answer::kIdk;
+}
+
+Answer RetryingExpert::IsCellErroneous(const Cell& cell) {
+  return Ask(cost_.CellCost(),
+             [&] { return inner_->TryIsCellErroneous(cell); });
+}
+
+Answer RetryingExpert::IsTupleClean(TupleId row) {
+  return Ask(cost_.TupleCost(num_attributes_),
+             [&] { return inner_->TryIsTupleClean(row); });
+}
+
+Answer RetryingExpert::IsFdValid(const Fd& fd) {
+  return Ask(cost_.FdCost(fd, 0), [&] { return inner_->TryIsFdValid(fd); });
+}
+
+}  // namespace uguide

@@ -1,0 +1,135 @@
+#ifndef UGUIDE_ORACLE_RESILIENT_EXPERT_H_
+#define UGUIDE_ORACLE_RESILIENT_EXPERT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "oracle/cost_model.h"
+#include "oracle/expert.h"
+
+namespace uguide {
+
+/// \brief An expert whose answers can fail transiently.
+///
+/// The plain Expert interface has no failure channel — fine for the
+/// simulated oracle, wrong for a real deployment where the expert is a
+/// human on a flaky connection or a remote labeling service. TryExpert
+/// makes the failure explicit: a question either yields an Answer or a
+/// transient error (typically Status::Unavailable) that a retry layer can
+/// absorb.
+class TryExpert {
+ public:
+  virtual ~TryExpert() = default;
+
+  virtual Result<Answer> TryIsCellErroneous(const Cell& cell) = 0;
+  virtual Result<Answer> TryIsTupleClean(TupleId row) = 0;
+  virtual Result<Answer> TryIsFdValid(const Fd& fd) = 0;
+};
+
+/// \brief Decorator that makes a reliable Expert flaky on demand.
+///
+/// Every question first fires the fault site `site` (default
+/// "oracle.answer") on the global FaultRegistry: an injected
+/// `unavailable` becomes a transient failure, `latency` models a slow
+/// answer on the registry's virtual clock (so per-question deadlines can
+/// expire), and `crash` kills the process mid-session. With no fault plan
+/// loaded the decorator is a pass-through costing one relaxed atomic load
+/// per question.
+class FlakyExpert : public TryExpert {
+ public:
+  explicit FlakyExpert(Expert* inner, std::string site = "oracle.answer");
+
+  Result<Answer> TryIsCellErroneous(const Cell& cell) override;
+  Result<Answer> TryIsTupleClean(TupleId row) override;
+  Result<Answer> TryIsFdValid(const Fd& fd) override;
+
+  /// Transient failures injected so far.
+  int faults_injected() const { return faults_injected_; }
+
+ private:
+  /// Fires the fault site; returns the injected failure, if any.
+  Status Fire();
+
+  Expert* inner_;
+  std::string site_;
+  int faults_injected_ = 0;
+};
+
+/// Retry/backoff/deadline knobs for RetryingExpert.
+struct RetryPolicy {
+  /// Total asks per question, the first attempt included.
+  int max_attempts = 4;
+
+  /// Exponential backoff between attempts: the n-th retry waits
+  /// initial_backoff_ms * backoff_multiplier^(n-1), jittered by
+  /// +/- jitter (a fraction), capped at max_backoff_ms. Waits advance the
+  /// FaultRegistry's virtual clock instead of sleeping, so tests run at
+  /// full speed while deadlines still observe the modelled time.
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 250.0;
+  double jitter = 0.5;
+
+  /// Per-question deadline on the fault-aware clock; 0 = none. An answer
+  /// arriving after the deadline (e.g. under injected latency) counts as a
+  /// timeout, and no further attempts are made once it has passed.
+  double question_deadline_ms = 0.0;
+
+  /// Each retry is charged this fraction of the question's nominal cost —
+  /// re-asking a human costs real effort, so robustness has an honest
+  /// price on the session budget.
+  double retry_cost_factor = 0.25;
+
+  /// Seed of the jitter stream (deterministic retries).
+  uint64_t seed = 17;
+};
+
+/// \brief Decorator that turns a flaky TryExpert back into a total Expert.
+///
+/// Failed attempts are retried with capped exponential backoff and jitter
+/// under an optional per-question deadline. When attempts or the deadline
+/// run out the question degrades to Answer::kIdk — the strategies already
+/// handle "I don't know" (§7.2.6), so a flaky expert degrades the session
+/// instead of failing it. Retries accumulate `retry_cost()` through the
+/// CostModel; Session::Run adds it to the reported cost.
+class RetryingExpert : public Expert {
+ public:
+  /// `inner` must outlive the wrapper. `num_attributes` prices tuple
+  /// questions; FD retries are charged at the minimal-form cost.
+  RetryingExpert(TryExpert* inner, const RetryPolicy& policy,
+                 const CostModel& cost, int num_attributes);
+
+  Answer IsCellErroneous(const Cell& cell) override;
+  Answer IsTupleClean(TupleId row) override;
+  Answer IsFdValid(const Fd& fd) override;
+
+  /// Budget surcharge accumulated by retries.
+  double retry_cost() const { return retry_cost_; }
+  /// Re-asks beyond each question's first attempt.
+  int retries() const { return retries_; }
+  /// Questions degraded to kIdk after exhausting attempts or deadline.
+  int exhausted() const { return exhausted_; }
+  /// Answers discarded because they arrived past the deadline.
+  int timeouts() const { return timeouts_; }
+
+ private:
+  template <typename AskFn>
+  Answer Ask(double question_cost, AskFn ask);
+
+  TryExpert* inner_;
+  RetryPolicy policy_;
+  CostModel cost_;
+  int num_attributes_;
+  Rng rng_;
+  double retry_cost_ = 0.0;
+  int retries_ = 0;
+  int exhausted_ = 0;
+  int timeouts_ = 0;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_ORACLE_RESILIENT_EXPERT_H_

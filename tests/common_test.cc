@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -320,10 +322,45 @@ TEST(CsvTest, RejectsRaggedRows) {
   auto r = ParseCsv("a,b\n1\n");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The message names the 1-based physical line and both field counts.
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("expected 2 fields, got 1"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(CsvTest, RaggedRowReportsPhysicalLineAcrossQuotedNewlines) {
+  // The quoted field on line 2 spans two physical lines, so the ragged
+  // row is record #3 but starts on physical line 4.
+  auto r = ParseCsv("a,b\n\"x\ny\",2\n1,2,3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("expected 2 fields, got 3"),
+            std::string::npos)
+      << r.status().message();
 }
 
 TEST(CsvTest, RejectsUnterminatedQuote) {
-  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+  auto r = ParseCsv("a\n\"oops\n");
+  ASSERT_FALSE(r.ok());
+  // Points at the line the quote opened on, not the end of input.
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("unterminated quoted field"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(CsvTest, RejectsQuoteInsideUnquotedField) {
+  auto r = ParseCsv("a,b\n1,2\nx\"y,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("quote inside unquoted field"),
+            std::string::npos)
+      << r.status().message();
 }
 
 TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
@@ -362,6 +399,27 @@ TEST(CsvTest, ReadMissingFileFails) {
   auto r = ReadCsvFile("/nonexistent/uguide.csv");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // The path and the OS reason both appear.
+  EXPECT_NE(r.status().message().find("/nonexistent/uguide.csv"),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("No such file"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(CsvTest, ReadFileWrapsParseErrorsWithPath) {
+  const std::string path = ::testing::TempDir() + "/uguide_ragged.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\n1,2,3\n";
+  }
+  auto r = ReadCsvFile(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(path), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
 }
 
 // --- ThreadPool ------------------------------------------------------------
@@ -438,6 +496,47 @@ TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
     }
   }  // destructor drains the queue and joins
   EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForSurfacesTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      pool.ParallelFor(10000,
+                       [&](size_t i) {
+                         calls.fetch_add(1);
+                         if (i == 137) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // Cancellation is chunk-granular: some iterations never ran.
+  EXPECT_GT(calls.load(), 0);
+  // The pool survives a throwing fork/join and is fully reusable.
+  std::atomic<int> total{0};
+  pool.ParallelFor(500, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPoolTest, InlineParallelForPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t i) {
+                     if (i == 3) throw std::runtime_error("inline boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitCapturesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.TakeSubmitError(), nullptr);
+  pool.Submit([] { throw std::runtime_error("async boom"); });
+  // A ParallelFor is a full barrier over the workers, so the throwing task
+  // has definitely finished once it returns.
+  pool.ParallelFor(64, [](size_t) {});
+  std::exception_ptr error = pool.TakeSubmitError();
+  ASSERT_NE(error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(error), std::runtime_error);
+  // Taking the error clears the slot.
+  EXPECT_EQ(pool.TakeSubmitError(), nullptr);
 }
 
 }  // namespace

@@ -184,6 +184,53 @@ TEST(MajorityVoteExpertTest, OutvotesOccasionalMistakes) {
   EXPECT_LT(wrong, 40);
 }
 
+TEST(SimulatedExpertTest, SameSeedGivesIdenticalAnswerSequence) {
+  ExpertFixture fx;
+  SimulatedExpert a(&fx.violations, &fx.ledger, 3, fx.true_fds,
+                    /*idk_rate=*/0.3, /*seed=*/21, /*wrong_rate=*/0.3);
+  SimulatedExpert b(&fx.violations, &fx.ledger, 3, fx.true_fds,
+                    /*idk_rate=*/0.3, /*seed=*/21, /*wrong_rate=*/0.3);
+  for (int i = 0; i < 500; ++i) {
+    const Cell cell{i % 4, 1};
+    ASSERT_EQ(a.IsCellErroneous(cell), b.IsCellErroneous(cell)) << i;
+    ASSERT_EQ(a.IsTupleClean(i % 4), b.IsTupleClean(i % 4)) << i;
+    ASSERT_EQ(a.IsFdValid(Fd({0}, 1)), b.IsFdValid(Fd({0}, 1))) << i;
+  }
+  EXPECT_EQ(a.wrong_answers(), b.wrong_answers());
+  EXPECT_EQ(a.idk_answers(), b.idk_answers());
+}
+
+// Deterministic stand-in: answers wrong on every 3rd question. With three
+// votes per question, at most one vote is wrong, so majority always wins.
+class EveryThirdWrongExpert : public Expert {
+ public:
+  Answer IsCellErroneous(const Cell&) override { return Next(Answer::kNo); }
+  Answer IsTupleClean(TupleId) override { return Next(Answer::kYes); }
+  Answer IsFdValid(const Fd&) override { return Next(Answer::kYes); }
+
+ private:
+  Answer Next(Answer truth) {
+    const bool wrong = (++calls_ % 3) == 0;
+    if (!wrong) return truth;
+    return truth == Answer::kYes ? Answer::kNo : Answer::kYes;
+  }
+  int calls_ = 0;
+};
+
+TEST(MajorityVoteExpertTest, TwoOfThreeAlwaysBeatsEveryThirdMistake) {
+  EveryThirdWrongExpert inner;
+  MajorityVoteExpert voting(&inner, 3);
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_EQ(voting.IsCellErroneous(Cell{0, 0}), Answer::kNo) << i;
+  }
+  EveryThirdWrongExpert inner2;
+  MajorityVoteExpert voting2(&inner2, 3);
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_EQ(voting2.IsTupleClean(0), Answer::kYes) << i;
+    ASSERT_EQ(voting2.IsFdValid(Fd({0}, 1)), Answer::kYes) << i;
+  }
+}
+
 TEST(MajorityVoteExpertTest, AllIdkYieldsIdk) {
   TrueViolationSet violations;
   GroundTruth ledger;

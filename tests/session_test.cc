@@ -129,6 +129,45 @@ TEST(SessionTest, ComparativeShapeMatchesPaper) {
             fd_report.metrics.FalseViolationPct());
 }
 
+TEST(SessionTest, MajorityVotingScalesBudgetByVotes) {
+  // expert_votes = v charges the strategy an effective budget of B/v: each
+  // question really costs v expert consultations.
+  DataGenOptions data;
+  data.rows = 800;
+  data.seed = 5;
+  Relation clean = GenerateHospital(data);
+  TaneOptions tane;
+  tane.max_lhs_size = 3;
+  FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+  ErrorGenOptions errors;
+  errors.seed = 6;
+  DirtyDataset dirty = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+  auto run = [&](int votes, double budget) {
+    SessionConfig config;
+    config.candidate_options.max_lhs_size = 3;
+    config.expert_votes = votes;
+    DirtyDataset copy = dirty;
+    Session session =
+        Session::Create(clean, std::move(copy), config).ValueOrDie();
+    auto strategy = MakeFdQBudgetedMaxCoverage({});
+    return session.Run(*strategy, budget);
+  };
+
+  const double budget = 300.0;
+  SessionReport voted = run(3, budget);
+  // The strategy can never spend past the scaled budget...
+  EXPECT_LE(voted.result.cost_spent, budget / 3);
+  // ...and with a perfectly reliable expert, a 3-vote run behaves exactly
+  // like a 1-vote run given a third of the budget (the majority of three
+  // identical answers is that answer).
+  SessionReport third = run(1, budget / 3);
+  EXPECT_EQ(voted.result.questions_asked, third.result.questions_asked);
+  EXPECT_EQ(voted.result.cost_spent, third.result.cost_spent);
+  EXPECT_EQ(voted.result.accepted_fds.Size(),
+            third.result.accepted_fds.Size());
+}
+
 TEST(SessionTest, NoisyExpertDegradesDetection) {
   // §9 future work: incorrect answers hurt; majority voting (at 3x the
   // per-question effort) recovers most of the loss.

@@ -15,10 +15,22 @@
 //   uguide cfds     data.csv [--min-support=K]
 //       Mine conditional FDs: conditions under which broken FDs hold.
 //
+//   uguide session  clean.csv [--strategy=fd|cell|tuple] [--budget=B]
+//                   [--error-rate=E] [--journal=J] [--resume] [--seed=S]
+//       Inject errors into a clean table and run one interactive session
+//       against the simulated expert. --journal records every answered
+//       question durably; --resume replays the journal to finish an
+//       interrupted run with the identical report.
+//
+// Global flags: --fault-plan=PLAN loads a deterministic fault-injection
+// plan (see fault_injection.h for the grammar); --discovery-deadline-ms=D
+// bounds FD discovery, returning a truncated-but-sound FD set.
+//
 // Every subcommand prints a short human-readable summary to stdout; --out
 // writes machine-readable CSV.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -37,17 +49,37 @@ struct Args {
   double max_error = 0.0;
   int min_support = 8;
   int threads = 1;  // 0 = all hardware threads
+  // Fault tolerance / session flags.
+  std::string fault_plan;
+  double discovery_deadline_ms = 0.0;
+  std::string strategy = "fd";
+  double budget = 500.0;
+  double error_rate = 0.15;
+  std::string journal_path;
+  bool resume = false;
+  uint64_t seed = 11;
 };
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: uguide <profile|detect|repair|cfds> data.csv\n"
+               "usage: uguide <profile|detect|repair|cfds|session> data.csv\n"
                "              [--fds=rules.txt] [--out=file.csv]\n"
                "              [--max-lhs=N] [--max-error=E] "
                "[--min-support=K] [--threads=N]\n"
+               "              [--fault-plan=PLAN] "
+               "[--discovery-deadline-ms=D]\n"
+               "              [--strategy=fd|cell|tuple] [--budget=B] "
+               "[--error-rate=E]\n"
+               "              [--journal=J] [--resume] [--seed=S]\n"
                "\n"
                "  --threads=N   worker threads for FD discovery "
-               "(default 1; 0 = all cores)\n");
+               "(default 1; 0 = all cores)\n"
+               "  --fault-plan=PLAN            deterministic fault injection "
+               "(see fault_injection.h)\n"
+               "  --discovery-deadline-ms=D    bound FD discovery; results "
+               "may be truncated\n"
+               "  session: --journal=J records answered questions durably; "
+               "--resume replays J\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -68,6 +100,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->min_support = std::atoi(arg.c_str() + 14);
     } else if (arg.rfind("--threads=", 0) == 0) {
       args->threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      args->fault_plan = arg.substr(13);
+    } else if (arg.rfind("--discovery-deadline-ms=", 0) == 0) {
+      args->discovery_deadline_ms = std::atof(arg.c_str() + 24);
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      args->strategy = arg.substr(11);
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      args->budget = std::atof(arg.c_str() + 9);
+    } else if (arg.rfind("--error-rate=", 0) == 0) {
+      args->error_rate = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      args->journal_path = arg.substr(10);
+    } else if (arg == "--resume") {
+      args->resume = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -108,8 +156,14 @@ FdSet LoadOrDiscoverFds(const Args& args, const Relation& rel) {
   CandidateGenOptions opts;
   opts.max_lhs_size = args.max_lhs;
   opts.num_threads = args.threads;
+  opts.discovery_deadline_ms = args.discovery_deadline_ms;
   CandidateSet candidates =
       Unwrap(GenerateCandidates(rel, opts), "discovering candidates");
+  if (candidates.truncated) {
+    std::printf("warning: discovery hit the %.0fms deadline; candidate set "
+                "is truncated\n",
+                args.discovery_deadline_ms);
+  }
   return candidates.candidates;
 }
 
@@ -118,7 +172,15 @@ int RunProfile(const Args& args, const Relation& rel) {
   opts.max_lhs_size = args.max_lhs;
   opts.max_error = args.max_error;
   opts.num_threads = args.threads;
-  FdSet fds = Unwrap(DiscoverFds(rel, opts), "profiling");
+  opts.deadline_ms = args.discovery_deadline_ms;
+  DiscoveryOutcome outcome =
+      Unwrap(DiscoverFdsDetailed(rel, opts), "profiling");
+  const FdSet& fds = outcome.fds;
+  if (outcome.truncated) {
+    std::printf("warning: discovery hit the %.0fms deadline after %d "
+                "level(s); FD set is truncated\n",
+                args.discovery_deadline_ms, outcome.levels_completed);
+  }
   std::printf("# %zu minimal %sFDs (max LHS %d%s)\n", fds.Size(),
               args.max_error > 0 ? "approximate " : "", args.max_lhs,
               args.max_error > 0
@@ -191,7 +253,15 @@ int RunCfds(const Args& args, const Relation& rel) {
   opts.max_lhs_size = args.max_lhs;
   opts.max_error = 0.20;
   opts.num_threads = args.threads;
-  FdSet afds = Unwrap(DiscoverFds(rel, opts), "profiling");
+  opts.deadline_ms = args.discovery_deadline_ms;
+  DiscoveryOutcome outcome =
+      Unwrap(DiscoverFdsDetailed(rel, opts), "profiling");
+  if (outcome.truncated) {
+    std::printf("warning: discovery hit the %.0fms deadline; AFD set is "
+                "truncated\n",
+                args.discovery_deadline_ms);
+  }
+  const FdSet& afds = outcome.fds;
   CfdDiscoveryOptions mine;
   mine.min_support = args.min_support;
   std::vector<Cfd> variable = DiscoverVariableCfds(rel, afds, mine);
@@ -207,6 +277,78 @@ int RunCfds(const Args& args, const Relation& rel) {
   return 0;
 }
 
+// Runs one interactive session on a clean table: inject errors, generate
+// candidates, question the simulated expert. The fault-tolerance machinery
+// (journal, resume, retries) is exercised end-to-end here.
+int RunSession(const Args& args, const Relation& clean) {
+  std::unique_ptr<Strategy> strategy;
+  if (args.strategy == "fd") {
+    strategy = MakeFdQBudgetedMaxCoverage();
+  } else if (args.strategy == "cell") {
+    strategy = MakeCellQSums();
+  } else if (args.strategy == "tuple") {
+    strategy = MakeTupleSamplingSaturationSets();
+  } else {
+    std::fprintf(stderr, "unknown strategy '%s' (want fd|cell|tuple)\n",
+                 args.strategy.c_str());
+    return 2;
+  }
+
+  TaneOptions tane;
+  tane.max_lhs_size = args.max_lhs;
+  tane.num_threads = args.threads;
+  FdSet true_fds = Unwrap(DiscoverFds(clean, tane), "discovering true FDs");
+
+  ErrorGenOptions errors;
+  errors.error_rate = args.error_rate;
+  errors.seed = args.seed;
+  DirtyDataset dataset =
+      Unwrap(InjectErrors(clean, true_fds, errors), "injecting errors");
+
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = args.max_lhs;
+  config.candidate_options.num_threads = args.threads;
+  config.candidate_options.discovery_deadline_ms = args.discovery_deadline_ms;
+  config.budget = args.budget;
+  config.expert_seed = args.seed;
+  Session session = Unwrap(
+      Session::Create(clean, std::move(dataset), config), "creating session");
+  if (session.discovery_truncated()) {
+    std::printf("warning: candidate discovery hit the %.0fms deadline; "
+                "candidate set is truncated\n",
+                args.discovery_deadline_ms);
+  }
+
+  SessionRunOptions run;
+  run.journal_path = args.journal_path;
+  run.resume = args.resume;
+  run.resilient = !args.fault_plan.empty();
+  SessionReport report = Unwrap(
+      session.Run(*strategy, args.budget, run), "running session");
+
+  std::printf("strategy %s: %d question(s), cost %.2f of %.2f\n",
+              report.strategy_name.c_str(), report.result.questions_asked,
+              report.result.cost_spent, args.budget);
+  if (report.questions_replayed > 0) {
+    std::printf("  resumed: %d question(s) replayed from %s\n",
+                report.questions_replayed, args.journal_path.c_str());
+  }
+  if (run.resilient) {
+    std::printf("  resilience: retry surcharge %.2f, %d question(s) "
+                "degraded to idk\n",
+                report.retry_cost, report.questions_exhausted);
+  }
+  std::printf("accepted %zu FD(s):\n%s",
+              report.result.accepted_fds.Size(),
+              report.result.accepted_fds.ToString(clean.schema()).c_str());
+  std::printf("detections: %zu (%zu true, %zu false); %.1f%% of true "
+              "violations found\n",
+              report.metrics.detections, report.metrics.true_positives,
+              report.metrics.false_positives,
+              report.metrics.TrueViolationPct());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +356,14 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage();
     return 2;
+  }
+  if (!args.fault_plan.empty()) {
+    Status st = FaultRegistry::Global().LoadPlan(args.fault_plan);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error parsing --fault-plan: %s\n",
+                   st.ToString().c_str());
+      return 2;
+    }
   }
   Relation rel =
       Unwrap(Relation::FromCsvFile(args.csv_path), "loading CSV");
@@ -224,6 +374,7 @@ int main(int argc, char** argv) {
   if (args.command == "detect") return RunDetect(args, rel);
   if (args.command == "repair") return RunRepair(args, rel);
   if (args.command == "cfds") return RunCfds(args, rel);
+  if (args.command == "session") return RunSession(args, rel);
   Usage();
   return 2;
 }
