@@ -1,0 +1,32 @@
+// Fuzz target for the fault-plan grammar (--fault-plan on the CLI, plan
+// strings in tests). Contract under test: LoadPlan returns a Status for
+// any byte sequence; it never crashes and never leaves the registry in a
+// state whose later use is UB (e.g. a NaN probability or a latency that
+// overflows the virtual-clock cast).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/fault_injection.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view plan(reinterpret_cast<const char*>(data), size);
+  uguide::FaultRegistry& registry = uguide::FaultRegistry::Global();
+  if (registry.LoadPlan(plan).ok()) {
+    // Exercise the rules a parse admitted: a plan that loads must also be
+    // safe to *fire*. Crash actions are the one exception — they exist to
+    // kill the process — so skip plans that contain one.
+    bool has_crash = false;
+    for (const uguide::FaultRule& rule : registry.rules()) {
+      if (rule.action == uguide::FaultAction::kCrash) has_crash = true;
+    }
+    if (!has_crash) {
+      for (const uguide::FaultRule& rule : registry.rules()) {
+        (void)registry.OnPoint(rule.site);
+      }
+    }
+  }
+  registry.Reset();
+  return 0;
+}

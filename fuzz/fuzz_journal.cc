@@ -1,0 +1,28 @@
+// Fuzz target for the session-journal loader. A journal is read back
+// after a crash, possibly truncated or corrupted arbitrarily, so the
+// parser must treat it as hostile. Contract under test: ParseJournalText
+// returns a Status for any byte sequence — malformed records, overflowing
+// integers ("c -2147483648 ..."), and out-of-range attribute indices
+// ("f 0 99 ...") are all rejected instead of feeding DCHECK-aborting or
+// UB-casting code downstream.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/session_journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view contents(reinterpret_cast<const char*>(data), size);
+  uguide::Result<uguide::LoadedJournal> journal =
+      uguide::ParseJournalText(contents, "fuzz");
+  if (journal.ok()) {
+    // Accepted records must round-trip: format then re-parse bit-exactly.
+    for (const uguide::JournalRecord& record : journal->records) {
+      uguide::Result<uguide::JournalRecord> again =
+          uguide::ParseJournalRecord(uguide::FormatJournalRecord(record));
+      if (!again.ok() || !(*again == record)) __builtin_trap();
+    }
+  }
+  return 0;
+}

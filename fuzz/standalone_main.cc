@@ -1,0 +1,56 @@
+// File-driven driver for the fuzz targets when libFuzzer is unavailable
+// (gcc-only toolchains, plain test runs). Each argument is a corpus file
+// or a directory of them; every file is fed to LLVMFuzzerTestOneInput
+// once. Exit 0 iff no input crashed — which is exactly what the
+// fuzz-regression ctest label asserts over the checked-in corpora.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(contents.data()),
+                         contents.size());
+  std::printf("ok   %s (%zu bytes)\n", path.c_str(), contents.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      // Sorted for a stable log; directory iteration order is unspecified.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) failures += RunFile(file);
+    } else {
+      failures += RunFile(arg);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -115,6 +115,11 @@ void AppendField(std::string& out, std::string_view field) {
 }  // namespace
 
 Result<CsvTable> ParseCsv(std::string_view text) {
+  // Strip a UTF-8 BOM; spreadsheet exports prepend one, and leaving it in
+  // would silently mangle the first header name.
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);
+  }
   UGUIDE_ASSIGN_OR_RETURN(RawRecords records, ParseRecords(text));
   if (records.rows.empty()) {
     return Status::InvalidArgument("CSV has no header row");

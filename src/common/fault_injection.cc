@@ -1,6 +1,8 @@
 #include "common/fault_injection.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace uguide {
@@ -39,6 +41,24 @@ bool ParseDouble(std::string_view s, double* out) {
   return end == copy.c_str() + copy.size();
 }
 
+// Parses a decimal uint64; false on garbage, sign, or overflow. The seed
+// used to go through ParseDouble, where "1e300" parsed fine and the cast to
+// uint64_t was undefined behaviour.
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
 // Parses the "@trigger" suffix into the rule's trigger fields.
 Status ParseTrigger(std::string_view trigger, FaultRule* rule) {
   trigger = Trim(trigger);
@@ -47,7 +67,9 @@ Status ParseTrigger(std::string_view trigger, FaultRule* rule) {
   }
   if (trigger.front() == 'p') {
     double p = 0.0;
-    if (!ParseDouble(trigger.substr(1), &p) || p < 0.0 || p > 1.0) {
+    // The negated-range form rejects NaN, which slips through `p < 0 || p >
+    // 1` and would poison every NextBool draw.
+    if (!ParseDouble(trigger.substr(1), &p) || !(p >= 0.0 && p <= 1.0)) {
       return Status::InvalidArgument("bad fault probability: " +
                                      std::string(trigger));
     }
@@ -100,7 +122,10 @@ Status ParseAction(std::string_view action, FaultRule* rule) {
   }
   if (action.rfind("latency:", 0) == 0) {
     double ms = 0.0;
-    if (!ParseDouble(action.substr(8), &ms) || ms < 0.0) {
+    // Bounded so `latency_ms * 1e3` always fits an int64 microsecond count
+    // in OnPoint; "latency:inf" (or NaN, or 1e300) made that cast undefined.
+    if (!ParseDouble(action.substr(8), &ms) || !std::isfinite(ms) ||
+        !(ms >= 0.0 && ms <= 1e12)) {
       return Status::InvalidArgument("bad latency value: " +
                                      std::string(action));
     }
@@ -141,12 +166,10 @@ Status FaultRegistry::LoadPlan(std::string_view plan) {
                                      std::string(clause));
     }
     if (key == "seed") {
-      double parsed = 0.0;
-      if (!ParseDouble(value, &parsed) || parsed < 0.0) {
+      if (!ParseUint64(Trim(value), &seed)) {
         return Status::InvalidArgument("bad fault seed: " +
                                        std::string(value));
       }
-      seed = static_cast<uint64_t>(parsed);
       continue;
     }
     FaultRule rule;

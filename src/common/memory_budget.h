@@ -1,0 +1,113 @@
+#ifndef UGUIDE_COMMON_MEMORY_BUDGET_H_
+#define UGUIDE_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace uguide {
+
+/// \brief Thread-safe memory accountant with a soft and a hard limit.
+///
+/// Subsystems that materialize large recomputable state (stripped
+/// partitions, partition products) charge every allocation against a budget
+/// and release it when the object dies. Two thresholds drive two different
+/// policies at the call sites:
+///
+///  - **soft limit**: advisory. Crossing it never fails a charge; callers
+///    poll `OverSoftLimit()` and respond by shedding recomputable state
+///    (e.g. the LRU partition eviction in `PartitionStore`). 0 = none.
+///  - **hard limit**: binding. `TryCharge` refuses to cross it, and callers
+///    degrade gracefully (TANE stops growing the lattice and reports
+///    `memory_truncated`) instead of letting the process OOM. 0 = none.
+///
+/// `ForceCharge` exists for state that *must* materialize to preserve
+/// correctness (a recomputed partition the caller already depends on); it
+/// can transiently overshoot the hard limit but still feeds the high-water
+/// statistics, so accounting stays honest.
+///
+/// All counters are relaxed atomics: a budget may be shared by every worker
+/// of a discovery pool. The accounting is approximate by design (container
+/// payloads, not allocator metadata); see DESIGN.md §8.
+class MemoryBudget {
+ public:
+  /// An unlimited budget: nothing ever fails, but charges and the
+  /// high-water mark are still tracked (bench reporting uses this).
+  MemoryBudget() = default;
+
+  /// 0 for either limit disables it. `soft_limit <= hard_limit` is not
+  /// enforced, but anything else defeats the eviction-before-truncation
+  /// cascade.
+  MemoryBudget(size_t soft_limit_bytes, size_t hard_limit_bytes)
+      : soft_limit_(soft_limit_bytes), hard_limit_(hard_limit_bytes) {}
+
+  /// The CLI's `--memory-budget-mb=N` semantics: hard limit N MiB, soft
+  /// limit 80% of that so eviction kicks in before truncation.
+  static MemoryBudget FromMegabytes(size_t mb) {
+    const size_t hard = mb * (size_t{1} << 20);
+    return MemoryBudget(hard - hard / 5, hard);
+  }
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Charges `bytes` unless doing so would cross the hard limit, in which
+  /// case nothing is charged and false is returned.
+  bool TryCharge(size_t bytes) {
+    const size_t after = charged_.fetch_add(bytes, std::memory_order_relaxed)
+                         + bytes;
+    if (hard_limit_ != 0 && after > hard_limit_) {
+      charged_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    UpdateHighWater(after);
+    return true;
+  }
+
+  /// Charges unconditionally (may overshoot the hard limit). For state the
+  /// caller cannot refuse to materialize.
+  void ForceCharge(size_t bytes) {
+    const size_t after = charged_.fetch_add(bytes, std::memory_order_relaxed)
+                         + bytes;
+    UpdateHighWater(after);
+  }
+
+  /// Returns `bytes` previously charged to the budget.
+  void Release(size_t bytes) {
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes currently charged.
+  size_t charged() const { return charged_.load(std::memory_order_relaxed); }
+
+  /// The largest value `charged()` ever reached.
+  size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  size_t soft_limit() const { return soft_limit_; }
+  size_t hard_limit() const { return hard_limit_; }
+
+  /// True iff a soft limit is set and currently exceeded.
+  bool OverSoftLimit() const {
+    return soft_limit_ != 0 && charged() > soft_limit_;
+  }
+
+ private:
+  void UpdateHighWater(size_t candidate) {
+    size_t seen = high_water_.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !high_water_.compare_exchange_weak(seen, candidate,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  size_t soft_limit_ = 0;
+  size_t hard_limit_ = 0;
+  std::atomic<size_t> charged_{0};
+  std::atomic<size_t> high_water_{0};
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_MEMORY_BUDGET_H_

@@ -1,5 +1,7 @@
 #include "core/candidate_gen.h"
 
+#include <algorithm>
+
 namespace uguide {
 
 Result<CandidateSet> GenerateCandidates(const Relation& dirty,
@@ -9,6 +11,7 @@ Result<CandidateSet> GenerateCandidates(const Relation& dirty,
   tane.max_lhs_size = options.max_lhs_size;
   tane.num_threads = options.num_threads;
   tane.deadline_ms = options.discovery_deadline_ms;
+  tane.memory_budget = options.memory_budget;
   UGUIDE_ASSIGN_OR_RETURN(DiscoveryOutcome exact,
                           DiscoverFdsDetailed(dirty, tane));
 
@@ -24,8 +27,11 @@ Result<CandidateSet> GenerateCandidates(const Relation& dirty,
   UGUIDE_ASSIGN_OR_RETURN(DiscoveryOutcome candidates,
                           DiscoverFdsDetailed(dirty, approx));
 
-  return CandidateSet{std::move(exact.fds), std::move(candidates.fds),
-                      exact.truncated || candidates.truncated};
+  return CandidateSet{
+      std::move(exact.fds), std::move(candidates.fds),
+      exact.truncated || candidates.truncated,
+      exact.memory_truncated || candidates.memory_truncated,
+      std::max(exact.peak_memory_bytes, candidates.peak_memory_bytes)};
 }
 
 }  // namespace uguide

@@ -27,6 +27,13 @@ struct CandidateGenOptions {
   /// TaneOptions::deadline_ms); 0 = none. A pass cut short yields a sound
   /// but incomplete candidate set, flagged via CandidateSet::truncated.
   double discovery_deadline_ms = 0.0;
+
+  /// Memory budget forwarded to both discovery passes (see
+  /// TaneOptions::memory_budget); null = ungoverned. The two passes charge
+  /// the same budget, so the reported peak covers the whole pipeline. A
+  /// pass stopped by the hard limit yields a sound but incomplete candidate
+  /// set, flagged via CandidateSet::memory_truncated.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 /// Output of candidate generation: the exact FDs of the dirty table and
@@ -37,6 +44,11 @@ struct CandidateSet {
   /// True iff either discovery pass hit the deadline; the sets above then
   /// under-approximate the full candidate frontier.
   bool truncated = false;
+  /// True iff either discovery pass hit its memory budget's hard limit;
+  /// same under-approximation contract as `truncated`.
+  bool memory_truncated = false;
+  /// Peak bytes charged across both passes (0 when ungoverned).
+  size_t peak_memory_bytes = 0;
 };
 
 /// \brief Runs the paper's §3.1 pipeline on a dirty table: exact discovery,

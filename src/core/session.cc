@@ -83,12 +83,10 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
     }
     UGUIDE_ASSIGN_OR_RETURN(LoadedJournal journal,
                             LoadJournal(options.journal_path));
-    if (!journal.header.Matches(header)) {
-      return Status::InvalidArgument(
-          "journal " + options.journal_path +
-          " was written by a different session configuration (header \"" +
-          FormatJournalHeader(journal.header) + "\" vs expected \"" +
-          FormatJournalHeader(header) + "\")");
+    Status header_ok = ValidateJournalHeader(header, journal.header);
+    if (!header_ok.ok()) {
+      return Status::InvalidArgument("journal " + options.journal_path + ": " +
+                                     header_ok.message());
     }
     replay = std::move(journal.records);
   }

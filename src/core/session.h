@@ -97,6 +97,12 @@ class Session {
   const FdSet& candidates() const { return candidates_.candidates; }
   /// True iff candidate generation was cut short by a discovery deadline.
   bool discovery_truncated() const { return candidates_.truncated; }
+  /// True iff candidate generation was cut short by its memory budget's
+  /// hard limit. The session consumes the partial lattice identically in
+  /// both truncation cases — strategies only ever see the candidate set.
+  bool discovery_memory_truncated() const {
+    return candidates_.memory_truncated;
+  }
   const SessionConfig& config() const { return config_; }
 
  private:

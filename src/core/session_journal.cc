@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -81,6 +82,13 @@ bool ParseInt(std::string_view token, int* out) {
     token.remove_prefix(1);
   }
   if (!ParseU64(token, &value)) return false;
+  // Reject out-of-range magnitudes instead of casting: a hostile journal
+  // line like "c -2147483648 0 ..." used to reach `-static_cast<int>(...)`
+  // and overflow (UB, found by the journal fuzz target). INT_MIN itself is
+  // rejected too — no journal field legitimately holds it.
+  if (value > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return false;
+  }
   *out = negative ? -static_cast<int>(value) : static_cast<int>(value);
   return true;
 }
@@ -175,14 +183,16 @@ Result<JournalRecord> ParseJournalRecord(std::string_view line) {
     record.kind = QuestionKind::kCell;
     expected = 5;
     if (tokens.size() != expected || !ParseInt(tokens[1], &record.cell.row) ||
-        !ParseInt(tokens[2], &record.cell.col)) {
+        !ParseInt(tokens[2], &record.cell.col) || record.cell.row < 0 ||
+        record.cell.col < 0 ||
+        record.cell.col >= AttributeSet::kMaxAttributes) {
       return malformed;
     }
   } else if (tokens[0] == "t") {
     record.kind = QuestionKind::kTuple;
     expected = 4;
     int row = 0;
-    if (tokens.size() != expected || !ParseInt(tokens[1], &row)) {
+    if (tokens.size() != expected || !ParseInt(tokens[1], &row) || row < 0) {
       return malformed;
     }
     record.row = row;
@@ -191,8 +201,12 @@ Result<JournalRecord> ParseJournalRecord(std::string_view line) {
     expected = 5;
     uint64_t mask = 0;
     int rhs = 0;
+    // The rhs must be a legal attribute index: a journal is untrusted
+    // input, and an out-of-range rhs would poison every later
+    // AttributeSet::Contains (whose DCHECK aborts debug builds).
     if (tokens.size() != expected || !ParseHexU64(tokens[1], &mask) ||
-        !ParseInt(tokens[2], &rhs)) {
+        !ParseInt(tokens[2], &rhs) || rhs < 0 ||
+        rhs >= AttributeSet::kMaxAttributes) {
       return malformed;
     }
     record.fd = Fd(AttributeSet(mask), rhs);
@@ -259,14 +273,44 @@ Result<JournalHeader> ParseJournalHeader(std::string_view line) {
   return header;
 }
 
-Result<LoadedJournal> LoadJournal(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Errno("cannot open journal", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IoError("read failed for journal " + path);
-  const std::string contents = buffer.str();
+Status ValidateJournalHeader(const JournalHeader& expected,
+                             const JournalHeader& found) {
+  auto mismatch = [](const std::string& field, const std::string& want,
+                     const std::string& got) {
+    return Status::InvalidArgument(
+        "journal header mismatch: field '" + field + "' expected " + want +
+        ", found " + got +
+        " — the journal was written under a different session "
+        "configuration and cannot be resumed");
+  };
+  if (found.strategy_name != expected.strategy_name) {
+    return mismatch("strategy", expected.strategy_name, found.strategy_name);
+  }
+  if (found.budget != expected.budget) {
+    return mismatch("budget", std::to_string(expected.budget),
+                    std::to_string(found.budget));
+  }
+  if (found.expert_seed != expected.expert_seed) {
+    return mismatch("seed", std::to_string(expected.expert_seed),
+                    std::to_string(found.expert_seed));
+  }
+  if (found.expert_votes != expected.expert_votes) {
+    return mismatch("votes", std::to_string(expected.expert_votes),
+                    std::to_string(found.expert_votes));
+  }
+  if (found.idk_rate != expected.idk_rate) {
+    return mismatch("idk", std::to_string(expected.idk_rate),
+                    std::to_string(found.idk_rate));
+  }
+  if (found.wrong_rate != expected.wrong_rate) {
+    return mismatch("wrong", std::to_string(expected.wrong_rate),
+                    std::to_string(found.wrong_rate));
+  }
+  return Status::OK();
+}
 
+Result<LoadedJournal> ParseJournalText(std::string_view contents,
+                                       const std::string& origin) {
   // Split into lines, remembering whether the final line was terminated —
   // an unterminated tail is the footprint of a crash mid-append.
   std::vector<std::string_view> lines;
@@ -284,14 +328,14 @@ Result<LoadedJournal> LoadJournal(const std::string& path) {
     start = nl + 1;
   }
   if (lines.empty()) {
-    return Status::InvalidArgument("journal " + path + " is empty");
+    return Status::InvalidArgument("journal " + origin + " is empty");
   }
 
   LoadedJournal journal;
   UGUIDE_ASSIGN_OR_RETURN(journal.header, ParseJournalHeader(lines[0]));
   if (!terminated && lines.size() == 1) {
     // Header itself is torn; nothing trustworthy in the file.
-    return Status::InvalidArgument("journal " + path + " has a torn header");
+    return Status::InvalidArgument("journal " + origin + " has a torn header");
   }
   for (size_t i = 1; i < lines.size(); ++i) {
     const bool is_tail = i + 1 == lines.size();
@@ -307,13 +351,22 @@ Result<LoadedJournal> LoadJournal(const std::string& path) {
         journal.torn_tail = true;
         break;
       }
-      return Status::InvalidArgument("journal " + path + " line " +
+      return Status::InvalidArgument("journal " + origin + " line " +
                                      std::to_string(i + 1) + ": " +
                                      record.status().ToString());
     }
     journal.records.push_back(*std::move(record));
   }
   return journal;
+}
+
+Result<LoadedJournal> LoadJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Errno("cannot open journal", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for journal " + path);
+  return ParseJournalText(buffer.str(), path);
 }
 
 Result<JournalWriter> JournalWriter::Open(const std::string& path,

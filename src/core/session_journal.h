@@ -67,6 +67,25 @@ std::string FormatJournalHeader(const JournalHeader& header);
 /// Parses the header line.
 Result<JournalHeader> ParseJournalHeader(std::string_view line);
 
+/// \brief Compares a loaded journal header against the resume
+/// configuration.
+///
+/// Returns OK on a full match; otherwise an InvalidArgument naming the
+/// first mismatching pinned field (strategy, budget, seed, votes, idk,
+/// wrong) with its expected and found values, so a failed resume says
+/// exactly which knob diverged instead of dumping both headers.
+Status ValidateJournalHeader(const JournalHeader& expected,
+                             const JournalHeader& found);
+
+/// \brief Parses the full text of a journal (header line + records).
+///
+/// The pure-parsing core of LoadJournal, exposed so hostile input can be
+/// driven directly (fuzzing) without touching the filesystem. `origin` is
+/// used in error messages only. Never crashes: any malformed input yields
+/// a Status.
+Result<LoadedJournal> ParseJournalText(std::string_view contents,
+                                       const std::string& origin);
+
 /// \brief Reads a journal file.
 ///
 /// A torn final line (no terminating newline, or unparseable) is dropped

@@ -11,6 +11,9 @@ Partition::Partition(TupleId num_rows,
     UGUIDE_DCHECK(cls.size() >= 2);
     stripped_size_ += cls.size();
   }
+  approx_bytes_ = sizeof(Partition) +
+                  classes_.size() * sizeof(std::vector<TupleId>) +
+                  stripped_size_ * sizeof(TupleId);
 }
 
 Partition Partition::ForEmptySet(TupleId num_rows) {
@@ -148,6 +151,135 @@ double PartitionCache::FdError(const Fd& fd) {
   const Partition& lhs = cache_.at(fd.lhs);
   const Partition& both = cache_.at(fd.lhs.With(fd.rhs));
   return lhs.FdError(both);
+}
+
+PartitionStore::PartitionStore(const Relation* relation, MemoryBudget* budget)
+    : relation_(relation), budget_(budget) {
+  UGUIDE_CHECK(relation != nullptr);
+}
+
+std::shared_ptr<const Partition> PartitionStore::Account(
+    Partition partition) const {
+  // The caller has already charged ApproxBytes(); the deleter returns them
+  // when the last holder (store entry or pinned Get handle) lets go, so
+  // eviction can never under-release and an in-use partition stays
+  // accounted for.
+  if (budget_ == nullptr) {
+    return std::make_shared<const Partition>(std::move(partition));
+  }
+  const size_t bytes = partition.ApproxBytes();
+  MemoryBudget* budget = budget_;
+  return std::shared_ptr<const Partition>(
+      new Partition(std::move(partition)), [budget, bytes](const Partition* p) {
+        budget->Release(bytes);
+        delete p;
+      });
+}
+
+template <typename Fits>
+bool PartitionStore::EvictUntilLocked(const Fits& fits) {
+  if (fits()) return true;
+  // Walk the LRU list from cold to hot. Entries still held by a caller
+  // (use_count > 1) are skipped: evicting them would free nothing until the
+  // pin drops, so they cannot help this caller fit.
+  auto victim = lru_.end();
+  while (victim != lru_.begin()) {
+    --victim;
+    auto it = entries_.find(*victim);
+    UGUIDE_DCHECK(it != entries_.end());
+    if (it->second.partition.use_count() > 1) continue;
+    entries_.erase(it);
+    victim = lru_.erase(victim);
+    ++evictions_;
+    if (fits()) return true;
+  }
+  return fits();
+}
+
+std::shared_ptr<const Partition> PartitionStore::Get(
+    const AttributeSet& attrs) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(attrs);
+    if (it != entries_.end()) {
+      if (!it->second.pinned) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      }
+      return it->second.partition;
+    }
+    ++recomputes_;
+  }
+  // Evicted (or never admitted): rebuild outside the lock — products of
+  // column partitions, the same computation that produced it originally.
+  // The rebuild is force-charged: the caller depends on it existing, so the
+  // budget absorbs a transient overshoot rather than fail; re-admission
+  // below restores the soft limit by evicting colder entries.
+  Partition rebuilt = Partition::ForAttributes(*relation_, attrs);
+  if (budget_ != nullptr) budget_->ForceCharge(rebuilt.ApproxBytes());
+  std::shared_ptr<const Partition> handle = Account(std::move(rebuilt));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(attrs);
+  if (!inserted) return it->second.partition;  // lost a rebuild race
+  it->second.partition = handle;
+  lru_.push_front(attrs);
+  it->second.lru_pos = lru_.begin();
+  if (budget_ != nullptr && budget_->OverSoftLimit()) {
+    EvictUntilLocked([&] { return !budget_->OverSoftLimit(); });
+  }
+  return handle;
+}
+
+bool PartitionStore::Put(const AttributeSet& attrs, Partition partition,
+                         bool pinned) {
+  const size_t bytes = partition.ApproxBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(attrs) != 0) return true;  // already resident
+  if (budget_ != nullptr &&
+      !EvictUntilLocked([&] { return budget_->TryCharge(bytes); })) {
+    return false;
+  }
+  auto [it, inserted] = entries_.try_emplace(attrs);
+  UGUIDE_DCHECK(inserted);
+  it->second.partition = Account(std::move(partition));
+  it->second.pinned = pinned;
+  if (!pinned) {
+    lru_.push_front(attrs);
+    it->second.lru_pos = lru_.begin();
+  }
+  if (budget_ != nullptr && budget_->OverSoftLimit()) {
+    EvictUntilLocked([&] { return !budget_->OverSoftLimit(); });
+  }
+  return true;
+}
+
+void PartitionStore::Erase(const AttributeSet& attrs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(attrs);
+  if (it == entries_.end()) return;
+  if (!it->second.pinned) lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void PartitionStore::EvictToSoftLimit() {
+  if (budget_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictUntilLocked([&] { return !budget_->OverSoftLimit(); });
+}
+
+size_t PartitionStore::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t PartitionStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t PartitionStore::recomputes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recomputes_;
 }
 
 }  // namespace uguide

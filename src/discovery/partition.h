@@ -1,10 +1,14 @@
 #ifndef UGUIDE_DISCOVERY_PARTITION_H_
 #define UGUIDE_DISCOVERY_PARTITION_H_
 
+#include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/attribute_set.h"
+#include "common/memory_budget.h"
 #include "fd/fd.h"
 #include "relation/relation.h"
 
@@ -62,11 +66,19 @@ class Partition {
   /// to make the attribute set a key.
   double KeyError() const;
 
+  /// Approximate heap footprint in bytes, fixed at construction: payload of
+  /// the class vectors plus per-class vector headers. Deliberately based on
+  /// sizes (not capacities) so the figure is identical for mathematically
+  /// equal partitions regardless of how they were produced — memory-budget
+  /// truncation decisions must not depend on allocator growth policy.
+  size_t ApproxBytes() const { return approx_bytes_; }
+
  private:
   Partition(TupleId num_rows, std::vector<std::vector<TupleId>> classes);
 
   TupleId num_rows_ = 0;
   size_t stripped_size_ = 0;
+  size_t approx_bytes_ = 0;
   std::vector<std::vector<TupleId>> classes_;
 };
 
@@ -94,6 +106,84 @@ class PartitionCache {
  private:
   const Relation* relation_;
   std::unordered_map<AttributeSet, Partition, AttributeSetHash> cache_;
+};
+
+/// \brief Budget-governed, thread-safe partition store with LRU eviction
+/// and recompute-on-miss.
+///
+/// The resource-governance substrate of FD discovery (DESIGN.md §8): every
+/// admitted partition is charged against a shared MemoryBudget, and when
+/// the soft limit is exceeded the least-recently-used *unpinned* entries
+/// are evicted — they are recomputable from the relation, so eviction
+/// trades recompute time for memory instead of failing. A later Get of an
+/// evicted set transparently rebuilds it from column partitions.
+///
+/// Ownership is by shared_ptr: Get pins the partition for the caller, so
+/// eviction can never dangle a reference — an entry's bytes are released
+/// when the last holder (store or caller) drops it. Entries inserted with
+/// `pinned = true` (the empty set and the singleton columns, i.e. the
+/// recompute base) are never evicted.
+///
+/// With a null budget the store is a plain memoizing cache: nothing is
+/// charged and nothing is ever evicted, so governed and ungoverned
+/// discovery traverse identical state.
+class PartitionStore {
+ public:
+  /// `relation` must outlive the store; `budget` may be null (ungoverned).
+  PartitionStore(const Relation* relation, MemoryBudget* budget);
+
+  /// The partition of `attrs`, recomputing it if it was evicted (or never
+  /// admitted). Never fails: a partition that no longer fits the budget is
+  /// force-charged while alive and simply not re-admitted to the cache.
+  std::shared_ptr<const Partition> Get(const AttributeSet& attrs);
+
+  /// Admits a freshly computed partition, charging its footprint. When the
+  /// charge would cross the hard limit, unpinned LRU entries are evicted to
+  /// make room; returns false (and drops `partition`) iff the hard limit
+  /// cannot be respected even then — the caller's truncation signal.
+  bool Put(const AttributeSet& attrs, Partition partition,
+           bool pinned = false);
+
+  /// Drops the entry for `attrs` if present, pinned or not (levels that
+  /// fall out of the TANE traversal release their memory here). Bytes are
+  /// released once the last outstanding Get handle dies.
+  void Erase(const AttributeSet& attrs);
+
+  /// Evicts unpinned LRU entries until the budget's soft limit is met or
+  /// nothing evictable remains. Called between traversal phases, when
+  /// transient pins have been dropped.
+  void EvictToSoftLimit();
+
+  /// Entries currently resident (pinned + unpinned).
+  size_t Size() const;
+  /// Entries evicted by budget pressure since construction.
+  size_t evictions() const;
+  /// Get() calls that had to rebuild an absent/evicted partition.
+  size_t recomputes() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Partition> partition;
+    bool pinned = false;
+    /// Position in lru_ (unpinned entries only).
+    std::list<AttributeSet>::iterator lru_pos;
+  };
+
+  /// Wraps `partition` in a shared_ptr whose deleter releases the charge.
+  std::shared_ptr<const Partition> Account(Partition partition) const;
+  /// Evicts LRU entries (unpinned, not externally held) until `fits()`
+  /// returns true or no victim remains. Caller holds mu_.
+  template <typename Fits>
+  bool EvictUntilLocked(const Fits& fits);
+
+  const Relation* relation_;
+  MemoryBudget* budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<AttributeSet, Entry, AttributeSetHash> entries_;
+  /// Front = most recently used. Unpinned entries only.
+  std::list<AttributeSet> lru_;
+  size_t evictions_ = 0;
+  size_t recomputes_ = 0;
 };
 
 }  // namespace uguide

@@ -1,6 +1,7 @@
 #include "discovery/tane.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,8 +16,10 @@ namespace uguide {
 
 namespace {
 
+// A lattice node carries only its RHS-candidate set; partitions live in the
+// budget-governed PartitionStore, keyed by the node's attribute set, so the
+// store can evict and rebuild them without the traversal noticing.
 struct Node {
-  Partition partition;
   AttributeSet cplus;
 };
 
@@ -53,12 +56,13 @@ FdSet FilterMinimal(const std::vector<Fd>& fds) {
 
 // One node's dependency check: compute C+(X) from the frozen previous
 // level, emit the FDs X\{a} -> a that pass the error threshold, and prune
-// this node's C+ accordingly. Pure function of (`x`, `node`, `prev`), so
-// nodes of one level can be checked concurrently — each call writes only
-// its own `node` and its own `found` list.
+// this node's C+ accordingly. Pure function of (`x`, `node`, `prev`, the
+// partitions behind `store`), so nodes of one level can be checked
+// concurrently — each call writes only its own `node` and its own `found`
+// list, and the store is internally synchronized.
 void CheckNode(const AttributeSet& x, Node& node, const Level& prev,
-               const AttributeSet& all_attrs, const TaneOptions& options,
-               std::vector<Fd>& found) {
+               PartitionStore& store, const AttributeSet& all_attrs,
+               const TaneOptions& options, std::vector<Fd>& found) {
   // C+(X) = intersection of C+(X \ {A}) over A in X.
   AttributeSet cplus = all_attrs;
   for (int a : x) {
@@ -76,10 +80,12 @@ void CheckNode(const AttributeSet& x, Node& node, const Level& prev,
   node.cplus = cplus;
 
   AttributeSet candidates = x.Intersect(node.cplus);
+  if (candidates.Empty()) return;
+  const std::shared_ptr<const Partition> refined = store.Get(x);
   for (int a : candidates) {
-    auto it = prev.find(x.Without(a));
-    if (it == prev.end()) continue;
-    const double error = it->second.partition.FdError(node.partition);
+    if (prev.find(x.Without(a)) == prev.end()) continue;
+    const std::shared_ptr<const Partition> base = store.Get(x.Without(a));
+    const double error = base->FdError(*refined);
     const bool exact = error == 0.0;
     const bool valid = error <= options.max_error;
     if (valid) {
@@ -129,7 +135,16 @@ Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
   std::vector<Fd> emitted;
 
   DiscoveryOutcome outcome;
-  if (m == 0 || relation.NumRows() == 0) return outcome;
+  MemoryBudget* budget = options.memory_budget;
+  PartitionStore store(&relation, budget);
+  const auto finish = [&](DiscoveryOutcome&& done) {
+    done.fds = FilterMinimal(emitted);
+    if (budget != nullptr) done.peak_memory_bytes = budget->high_water();
+    done.partitions_evicted = store.evictions();
+    done.partitions_recomputed = store.recomputes();
+    return std::move(done);
+  };
+  if (m == 0 || relation.NumRows() == 0) return finish(std::move(outcome));
 
   FaultRegistry& registry = FaultRegistry::Global();
   const auto start = registry.Now();
@@ -145,16 +160,26 @@ Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
   // spawns nothing and every ParallelFor below runs inline, serially.
   ThreadPool pool(options.num_threads);
 
-  // Level 0: the empty attribute set. Its partition has one class.
+  // Levels 0 and 1 are the recompute base for every eviction rebuild, so
+  // they are pinned (never evicted) — but still charged: a hard limit too
+  // small for even the column partitions truncates discovery at level 0,
+  // the graceful floor of the degradation contract.
   Level prev;
-  prev.emplace(AttributeSet(),
-               Node{Partition::ForEmptySet(relation.NumRows()), all_attrs});
+  prev.emplace(AttributeSet(), Node{all_attrs});
+  if (!store.Put(AttributeSet(), Partition::ForEmptySet(relation.NumRows()),
+                 /*pinned=*/true)) {
+    outcome.memory_truncated = true;
+    return finish(std::move(outcome));
+  }
 
-  // Level 1: singletons.
   Level current;
   for (int a = 0; a < m; ++a) {
-    current.emplace(AttributeSet::Single(a),
-                    Node{Partition::ForColumn(relation, a), all_attrs});
+    if (!store.Put(AttributeSet::Single(a), Partition::ForColumn(relation, a),
+                   /*pinned=*/true)) {
+      outcome.memory_truncated = true;
+      return finish(std::move(outcome));
+    }
+    current.emplace(AttributeSet::Single(a), Node{all_attrs});
   }
 
   for (int level_size = 1; level_size <= m && !current.empty();
@@ -183,13 +208,21 @@ Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
     const Level& frozen_prev = prev;
     std::vector<std::vector<Fd>> found(nodes.size());
     pool.ParallelFor(nodes.size(), [&](size_t i) {
-      CheckNode(nodes[i]->first, nodes[i]->second, frozen_prev, all_attrs,
-                options, found[i]);
+      CheckNode(nodes[i]->first, nodes[i]->second, frozen_prev, store,
+                all_attrs, options, found[i]);
     });
     for (const std::vector<Fd>& shard : found) {
       emitted.insert(emitted.end(), shard.begin(), shard.end());
     }
     outcome.levels_completed = level_size;
+
+    // The previous level's partitions were last touched by the checks
+    // above; drop them now (the old code held them through the product
+    // phase, needlessly doubling the resident-level count). The pinned
+    // recompute base (empty set, singletons) stays.
+    for (const auto& [x, node] : prev) {
+      if (x.Size() > 1) store.Erase(x);
+    }
 
     // --- Prune -----------------------------------------------------------
     // Only C+-emptiness prunes nodes. TANE's classical key pruning
@@ -204,7 +237,12 @@ Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
     for (auto& [x, node] : current) {
       if (node.cplus.Empty()) to_delete.push_back(x);
     }
-    for (const AttributeSet& x : to_delete) current.erase(x);
+    for (const AttributeSet& x : to_delete) {
+      current.erase(x);
+      // A pruned node can never co-generate a candidate (downward closure
+      // consults `current`), so its partition is dead too.
+      if (x.Size() > 1) store.Erase(x);
+    }
 
     if (level_size >= options.max_lhs_size + 1) break;
 
@@ -219,8 +257,8 @@ Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
     // the emission order above) independent of the thread count.
     struct Candidate {
       AttributeSet z;
-      const Partition* left;
-      const Partition* right;
+      AttributeSet left;   // the generator X = Z \ {a}
+      AttributeSet right;  // a co-generator Z \ {b}, b != a
     };
     std::vector<Candidate> cands;
     for (const auto& [x, node] : current) {
@@ -229,36 +267,75 @@ Result<DiscoveryOutcome> DiscoverFdsDetailed(const Relation& relation,
         AttributeSet z = x.With(a);
         // Downward closure: every |Z|-1 subset must have survived.
         bool all_present = true;
-        const Node* other = nullptr;
+        AttributeSet other;
+        bool have_other = false;
         for (int b : z) {
           auto it = current.find(z.Without(b));
           if (it == current.end()) {
             all_present = false;
             break;
           }
-          if (b != a) other = &it->second;  // any co-generator works
+          if (b != a) {  // any co-generator works
+            other = z.Without(b);
+            have_other = true;
+          }
         }
-        if (!all_present || other == nullptr) continue;
-        cands.push_back({z, &node.partition, &other->partition});
+        if (!all_present || !have_other) continue;
+        cands.push_back({z, x, other});
       }
     }
-    std::vector<std::optional<Partition>> products(cands.size());
-    pool.ParallelFor(cands.size(), [&](size_t i) {
-      products[i] = cands[i].left->Product(*cands[i].right);
-    });
-    // No reserve(): the map must grow exactly as the serial version's did,
-    // bucket count included, so its iteration order matches bit-for-bit.
+
+    // Products are computed in bounded batches when a budget governs the
+    // run: only the current batch's operands are pinned, so partitions
+    // outside it stay evictable and the working set is capped at
+    // (admitted-under-soft-limit + one batch). Ungoverned runs use a
+    // single batch — no extra barriers, identical to the pre-budget code.
+    const size_t batch_size =
+        budget != nullptr ? size_t{64} : std::max<size_t>(cands.size(), 1);
     Level next;
-    for (size_t i = 0; i < cands.size(); ++i) {
-      next.emplace(cands[i].z,
-                   Node{std::move(*products[i]), AttributeSet()});
+    bool exhausted = false;
+    std::vector<AttributeSet> admitted;
+    admitted.reserve(cands.size());
+    for (size_t begin = 0; begin < cands.size() && !exhausted;
+         begin += batch_size) {
+      const size_t end = std::min(begin + batch_size, cands.size());
+      // Pin the batch operands (rebuilding any evicted ones), serially.
+      std::vector<std::pair<std::shared_ptr<const Partition>,
+                            std::shared_ptr<const Partition>>>
+          operands(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        operands[i - begin] = {store.Get(cands[i].left),
+                               store.Get(cands[i].right)};
+      }
+      std::vector<std::optional<Partition>> products(end - begin);
+      pool.ParallelFor(end - begin, [&](size_t i) {
+        products[i] =
+            operands[i].first->Product(*operands[i].second);
+      });
+      operands.clear();  // unpin before admission so eviction can help
+      for (size_t i = begin; i < end; ++i) {
+        if (!store.Put(cands[i].z, std::move(*products[i - begin]))) {
+          exhausted = true;
+          break;
+        }
+        admitted.push_back(cands[i].z);
+        next.emplace(cands[i].z, Node{AttributeSet()});
+      }
+      store.EvictToSoftLimit();
+    }
+    if (exhausted) {
+      // Hard limit: abandon the half-built level so the result is exactly
+      // the lattice through `levels_completed` — the same contract as the
+      // deadline, discovered and consumed identically downstream.
+      for (const AttributeSet& z : admitted) store.Erase(z);
+      outcome.memory_truncated = true;
+      break;
     }
     prev = std::move(current);
     current = std::move(next);
   }
 
-  outcome.fds = FilterMinimal(emitted);
-  return outcome;
+  return finish(std::move(outcome));
 }
 
 }  // namespace uguide

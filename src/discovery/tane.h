@@ -1,8 +1,10 @@
 #ifndef UGUIDE_DISCOVERY_TANE_H_
 #define UGUIDE_DISCOVERY_TANE_H_
 
+#include <cstddef>
 #include <limits>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "fd/fd.h"
 #include "relation/relation.h"
@@ -40,6 +42,17 @@ struct TaneOptions {
   /// virtual clock, so latency fault plans can exercise truncation
   /// deterministically.
   double deadline_ms = 0.0;
+
+  /// Memory budget charged for every stripped partition and partition
+  /// product of the traversal; null = ungoverned (today's behavior,
+  /// bit-identical output). Crossing the budget's soft limit evicts
+  /// recomputable partitions (LRU, recompute-on-miss); hitting the hard
+  /// limit stops lattice growth at a level boundary and flags
+  /// DiscoveryOutcome::memory_truncated — the memory analogue of the
+  /// deadline above. The budget may be shared across passes (candidate
+  /// generation charges both of its discoveries against one budget). Must
+  /// outlive the call.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 /// \brief What DiscoverFdsDetailed produced, plus how far it got.
@@ -48,9 +61,21 @@ struct DiscoveryOutcome {
   /// True iff the deadline cut the traversal short; `fds` then covers only
   /// LHS sizes up to `levels_completed`.
   bool truncated = false;
+  /// True iff the memory budget's hard limit cut the traversal short; same
+  /// partial-lattice contract as `truncated`.
+  bool memory_truncated = false;
   /// Lattice levels fully processed (level k checks LHS candidates of
   /// size k).
   int levels_completed = 0;
+  /// Peak bytes charged to the memory budget during this call (0 when no
+  /// budget was supplied). Cumulative high-water if the budget is shared.
+  size_t peak_memory_bytes = 0;
+  /// Partitions evicted / rebuilt by the budget-governed store.
+  size_t partitions_evicted = 0;
+  size_t partitions_recomputed = 0;
+
+  /// True iff the traversal was cut short for any reason.
+  bool Truncated() const { return truncated || memory_truncated; }
 };
 
 /// \brief Discovers all minimal, non-trivial FDs (or AFDs) of `relation`.

@@ -1,0 +1,88 @@
+# Smoke test for the uguide CLI, run via `cmake -P` so it works anywhere
+# ctest does. Asserts the argument-parsing contract: bad usage is exit 2
+# with a one-line error plus usage on stderr (never an abort, never a
+# silent default), and good usage exits 0 with the expected report.
+#
+# Inputs: -DUGUIDE_CLI=<binary> -DWORK_DIR=<scratch dir>
+
+if(NOT UGUIDE_CLI OR NOT WORK_DIR)
+  message(FATAL_ERROR "cli_smoke: UGUIDE_CLI and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+file(WRITE "${WORK_DIR}/data.csv"
+"zip,city,state
+10001,new york,NY
+10001,new york,NY
+60601,chicago,IL
+60601,chicago,IL
+94105,san francisco,CA
+94105,san francisco,CA
+73301,austin,TX
+73301,austin,TX
+")
+
+set(FAILURES 0)
+
+# run(<name> <expected-exit> <must-match-regex> <stream> <args...>)
+#   stream is OUT or ERR: which stream the regex must match against.
+function(run name expected_exit pattern stream)
+  execute_process(
+    COMMAND "${UGUIDE_CLI}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(ok TRUE)
+  if(NOT exit_code STREQUAL "${expected_exit}")
+    message(WARNING "${name}: expected exit ${expected_exit}, got "
+                    "'${exit_code}'\nstdout: ${out}\nstderr: ${err}")
+    set(ok FALSE)
+  endif()
+  if(pattern)
+    if(stream STREQUAL "ERR")
+      set(haystack "${err}")
+    else()
+      set(haystack "${out}")
+    endif()
+    if(NOT haystack MATCHES "${pattern}")
+      message(WARNING "${name}: ${stream} does not match '${pattern}'\n"
+                      "stdout: ${out}\nstderr: ${err}")
+      set(ok FALSE)
+    endif()
+  endif()
+  if(ok)
+    message(STATUS "${name}: ok")
+  else()
+    math(EXPR n "${FAILURES} + 1")
+    set(FAILURES ${n} PARENT_SCOPE)
+  endif()
+endfunction()
+
+# -- Usage errors: exit 2, one-line diagnostic + usage on stderr. ------------
+run(no_args 2 "usage:" ERR)
+run(unknown_command 2 "unknown command" ERR nonsense data.csv)
+run(unknown_flag 2 "unknown flag" ERR profile data.csv --bogus=1)
+run(non_numeric_threads 2 "invalid value 'two' for --threads" ERR
+    profile data.csv --threads=two)
+run(non_numeric_budget 2 "invalid value 'abc' for --budget" ERR
+    session data.csv --budget=abc)
+run(missing_flag_value 2 "invalid value '' for --max-lhs" ERR
+    profile data.csv --max-lhs=)
+run(out_of_range_error_rate 2 "invalid value '1.5' for --error-rate" ERR
+    session data.csv --error-rate=1.5)
+run(negative_threads 2 "invalid value '-1' for --threads" ERR
+    profile data.csv --threads=-1)
+
+# -- Happy paths. ------------------------------------------------------------
+run(profile_ok 0 "minimal" OUT profile data.csv --max-lhs=2)
+run(profile_budgeted 0 "peak partition memory" OUT
+    profile data.csv --max-lhs=2 --memory-budget-mb=64)
+run(detect_budgeted 0 "suspect cell" OUT
+    detect data.csv --memory-budget-mb=64)
+
+if(FAILURES GREATER 0)
+  message(FATAL_ERROR "cli_smoke: ${FAILURES} check(s) failed")
+endif()

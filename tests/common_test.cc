@@ -365,6 +365,51 @@ TEST(CsvTest, RejectsQuoteInsideUnquotedField) {
 
 TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
 
+TEST(CsvTest, StripsUtf8Bom) {
+  // Spreadsheet exports prepend a BOM; it must not become part of the
+  // first header name.
+  auto r = ParseCsv("\xEF\xBB\xBF"
+                    "a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, BomDoesNotShiftErrorLineNumbers) {
+  auto r = ParseCsv("\xEF\xBB\xBF"
+                    "a,b\n1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(CsvTest, BomAloneIsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("\xEF\xBB\xBF").ok());
+}
+
+TEST(CsvTest, EmbeddedNulIsData) {
+  // A NUL byte is field content, not a terminator: parsing must neither
+  // crash nor truncate the field.
+  const std::string text{"a,b\n1\x00"
+                         "2,3\n",
+                         10};
+  auto r = ParseCsv(text);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], (std::string{"1\x00"
+                                        "2",
+                                        3}));
+  EXPECT_EQ(r->rows[0][1], "3");
+}
+
+TEST(CsvTest, QuotedCrLfKeepsLineNumbers) {
+  // CRLF terminators plus a quoted field spanning lines: the ragged row
+  // is still reported at its 1-based physical line.
+  auto r = ParseCsv("a,b\r\n\"x\r\ny\",2\r\n1,2,3\r\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 4"), std::string::npos)
+      << r.status().message();
+}
+
 TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
   CsvTable t;
   t.header = {"a", "b"};

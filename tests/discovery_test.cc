@@ -512,5 +512,137 @@ TEST(RelaxationTest, TrueFdCoverageProperty) {
   }
 }
 
+// --- Memory-governed discovery (DESIGN.md §8) -------------------------------
+
+Relation BudgetRelation() {
+  // Wide enough that the lattice materializes many partition products.
+  Rng rng(7);
+  Relation rel(
+      Schema::Make({"a", "b", "c", "d", "e", "f", "g"}).ValueOrDie());
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::string> row;
+    for (int c = 0; c < 7; ++c) {
+      row.push_back(std::to_string(rng.NextBounded(4)));
+    }
+    rel.AddRow(row);
+  }
+  return rel;
+}
+
+TEST(TaneBudgetTest, UnlimitedBudgetMatchesUngovernedExactly) {
+  const Relation rel = BudgetRelation();
+  TaneOptions plain;
+  plain.max_lhs_size = 4;
+  DiscoveryOutcome ungoverned = DiscoverFdsDetailed(rel, plain).ValueOrDie();
+
+  MemoryBudget budget;  // unlimited: tracks, never refuses
+  TaneOptions governed = plain;
+  governed.memory_budget = &budget;
+  DiscoveryOutcome outcome = DiscoverFdsDetailed(rel, governed).ValueOrDie();
+
+  EXPECT_EQ(outcome.fds.fds(), ungoverned.fds.fds());
+  EXPECT_FALSE(outcome.memory_truncated);
+  EXPECT_EQ(outcome.partitions_recomputed, 0u);
+  EXPECT_GT(outcome.peak_memory_bytes, 0u);
+  EXPECT_EQ(budget.charged(), 0u);  // everything released on return
+}
+
+TEST(TaneBudgetTest, SoftLimitEvictsButStaysExact) {
+  const Relation rel = BudgetRelation();
+  TaneOptions plain;
+  plain.max_lhs_size = 4;
+  DiscoveryOutcome ungoverned = DiscoverFdsDetailed(rel, plain).ValueOrDie();
+
+  // Measure the natural high-water with an unlimited budget, then rerun
+  // with a soft limit far below it (no hard limit): the store spills and
+  // recomputes, but the result is exact.
+  MemoryBudget probe;
+  TaneOptions governed = plain;
+  governed.memory_budget = &probe;
+  DiscoverFdsDetailed(rel, governed).ValueOrDie();
+  ASSERT_GT(probe.high_water(), 0u);
+
+  MemoryBudget budget(/*soft_limit_bytes=*/probe.high_water() / 4,
+                      /*hard_limit_bytes=*/0);
+  governed.memory_budget = &budget;
+  DiscoveryOutcome outcome = DiscoverFdsDetailed(rel, governed).ValueOrDie();
+
+  EXPECT_EQ(outcome.fds.fds(), ungoverned.fds.fds());
+  EXPECT_FALSE(outcome.memory_truncated);
+  EXPECT_GT(outcome.partitions_evicted, 0u);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(TaneBudgetTest, HardLimitTruncatesGracefully) {
+  const Relation rel = BudgetRelation();
+  TaneOptions plain;
+  plain.max_lhs_size = 4;
+  DiscoveryOutcome full = DiscoverFdsDetailed(rel, plain).ValueOrDie();
+
+  // Hard limit sized to admit exactly the pinned recompute base (empty-set
+  // partition plus singletons) with a slack smaller than any level-2
+  // product: the product phase cannot evict its way to a fit (the base is
+  // pinned), so discovery must stop at the level boundary, not crash.
+  size_t base_bytes = Partition::ForEmptySet(rel.NumRows()).ApproxBytes();
+  for (int c = 0; c < rel.NumAttributes(); ++c) {
+    base_bytes += Partition::ForColumn(rel, c).ApproxBytes();
+  }
+  MemoryBudget budget(/*soft_limit_bytes=*/0,
+                      /*hard_limit_bytes=*/base_bytes + 256);
+  TaneOptions governed = plain;
+  governed.memory_budget = &budget;
+  DiscoveryOutcome outcome = DiscoverFdsDetailed(rel, governed).ValueOrDie();
+
+  EXPECT_TRUE(outcome.memory_truncated);
+  EXPECT_TRUE(outcome.Truncated());
+  EXPECT_LT(outcome.levels_completed, 4);
+  // Sound: every reported FD is one the full run found.
+  for (const Fd& fd : outcome.fds) {
+    EXPECT_TRUE(full.fds.Contains(fd)) << fd.ToString();
+  }
+  EXPECT_LE(outcome.fds.Size(), full.fds.Size());
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(TaneBudgetTest, TruncationIsDeterministicAcrossThreadCounts) {
+  const Relation rel = BudgetRelation();
+  // A binding hard limit (pinned base + part of one level); charging runs
+  // in the serial admission loop, so where discovery stops must not depend
+  // on the worker count.
+  size_t base_bytes = Partition::ForEmptySet(rel.NumRows()).ApproxBytes();
+  for (int c = 0; c < rel.NumAttributes(); ++c) {
+    base_bytes += Partition::ForColumn(rel, c).ApproxBytes();
+  }
+  auto run = [&rel, base_bytes](int threads) {
+    // Fresh budget per run: truncation depends on the charge sequence.
+    MemoryBudget budget(/*soft_limit_bytes=*/0,
+                        /*hard_limit_bytes=*/base_bytes + 256);
+    TaneOptions options;
+    options.max_lhs_size = 4;
+    options.num_threads = threads;
+    options.memory_budget = &budget;
+    return DiscoverFdsDetailed(rel, options).ValueOrDie();
+  };
+  const DiscoveryOutcome serial = run(1);
+  const DiscoveryOutcome parallel = run(4);
+  EXPECT_TRUE(serial.memory_truncated);
+  EXPECT_EQ(serial.memory_truncated, parallel.memory_truncated);
+  EXPECT_EQ(serial.levels_completed, parallel.levels_completed);
+  EXPECT_EQ(serial.fds.fds(), parallel.fds.fds());
+}
+
+TEST(TaneBudgetTest, TinyHardLimitStillReturnsCleanly) {
+  // Even the singleton column partitions exceed this budget: the graceful
+  // floor is an empty, memory-truncated outcome — never a crash.
+  const Relation rel = BudgetRelation();
+  MemoryBudget budget(/*soft_limit_bytes=*/0, /*hard_limit_bytes=*/64);
+  TaneOptions options;
+  options.memory_budget = &budget;
+  DiscoveryOutcome outcome = DiscoverFdsDetailed(rel, options).ValueOrDie();
+  EXPECT_TRUE(outcome.memory_truncated);
+  EXPECT_EQ(outcome.levels_completed, 0);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
 }  // namespace
 }  // namespace uguide

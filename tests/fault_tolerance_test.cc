@@ -67,6 +67,22 @@ TEST_F(FaultRegistryTest, RejectsMalformedPlans) {
   EXPECT_FALSE(reg.enabled());  // a failed load leaves the registry off
 }
 
+TEST_F(FaultRegistryTest, RejectsNumericallyHostilePlans) {
+  // Fuzz-surfaced hardening (also under fuzz/corpus/fault_plan): values
+  // that parse as doubles but whose later use was UB must fail the load.
+  FaultRegistry& reg = FaultRegistry::Global();
+  EXPECT_FALSE(reg.LoadPlan("seed=1e300").ok());   // u64 cast overflowed
+  EXPECT_FALSE(reg.LoadPlan("seed=-1").ok());
+  EXPECT_FALSE(reg.LoadPlan("x=latency:inf").ok());   // clock cast UB
+  EXPECT_FALSE(reg.LoadPlan("x=latency:1e300").ok());
+  EXPECT_FALSE(reg.LoadPlan("x=latency:nan").ok());
+  EXPECT_FALSE(reg.LoadPlan("x=unavailable@pnan").ok());  // NaN probability
+  EXPECT_FALSE(reg.enabled());
+  // Sane numeric values still load.
+  EXPECT_TRUE(reg.LoadPlan("seed=18446744073709551615").ok());
+  EXPECT_TRUE(reg.LoadPlan("x=latency:50.5").ok());
+}
+
 TEST_F(FaultRegistryTest, EmptyPlanDisables) {
   FaultRegistry& reg = FaultRegistry::Global();
   ASSERT_TRUE(reg.LoadPlan("x=unavailable").ok());
@@ -240,6 +256,73 @@ TEST(JournalFileTest, MidFileCorruptionIsFatal) {
   EXPECT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
       << loaded.status().message();
+}
+
+TEST(JournalHeaderTest, ValidateNamesFirstMismatchingField) {
+  JournalHeader expected;
+  expected.strategy_name = "fd-budgeted-max-coverage";
+  expected.budget = 500.0;
+  expected.expert_seed = 11;
+  expected.expert_votes = 1;
+
+  EXPECT_TRUE(ValidateJournalHeader(expected, expected).ok());
+
+  JournalHeader wrong_seed = expected;
+  wrong_seed.expert_seed = 12;
+  Status st = ValidateJournalHeader(expected, wrong_seed);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Descriptive: names the field and both values, so a failed resume says
+  // exactly which knob diverged.
+  EXPECT_NE(st.message().find("field 'seed'"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("expected 11"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("found 12"), std::string::npos) << st.message();
+
+  JournalHeader wrong_strategy = expected;
+  wrong_strategy.strategy_name = "cell-q-sums";
+  st = ValidateJournalHeader(expected, wrong_strategy);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("field 'strategy'"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("cell-q-sums"), std::string::npos)
+      << st.message();
+
+  JournalHeader wrong_budget = expected;
+  wrong_budget.budget = 750.0;
+  st = ValidateJournalHeader(expected, wrong_budget);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("field 'budget'"), std::string::npos)
+      << st.message();
+}
+
+TEST(JournalParseTest, RejectsHostileRecords) {
+  const char* kHeader =
+      "uguide-journal v=1 strategy=s budget=0x1p+5 seed=1 votes=1 "
+      "idk=0x0p+0 wrong=0x0p+0\n";
+  // Each of these once crashed (or DCHECK-aborted) the loader instead of
+  // failing cleanly; they are also checked in under fuzz/corpus/journal.
+  const char* kHostile[] = {
+      "c -2147483648 0 yes 0x0p+0\n",  // negation overflow in ParseInt
+      "f 0 99 yes 0x0p+0\n",           // rhs out of AttributeSet range
+      "c 1 9999999999 yes 0x0p+0\n",   // col overflows int
+      "t -5 yes 0x0p+0\n",             // negative row
+      "f zz 1 yes 0x0p+0\n",           // non-hex mask
+  };
+  for (const char* line : kHostile) {
+    const std::string text = std::string(kHeader) + line;
+    Result<LoadedJournal> loaded = ParseJournalText(text, "test");
+    // A lone malformed final record is indistinguishable from a torn tail
+    // (dropped, load succeeds); followed by a valid record it must fail.
+    const std::string mid = text + "t 3 yes 0x1p+0\n";
+    Result<LoadedJournal> strict = ParseJournalText(mid, "test");
+    EXPECT_FALSE(strict.ok()) << line;
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->torn_tail) << line;
+      EXPECT_TRUE(loaded->records.empty()) << line;
+    }
+  }
 }
 
 // --- Retry / degradation ----------------------------------------------------

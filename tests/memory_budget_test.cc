@@ -1,0 +1,178 @@
+// Tests for the MemoryBudget accountant and the PartitionStore LRU spill
+// layer it governs (DESIGN.md §8).
+
+#include "common/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "discovery/partition.h"
+#include "relation/relation.h"
+
+namespace uguide {
+namespace {
+
+TEST(MemoryBudgetTest, UnlimitedByDefault) {
+  MemoryBudget budget;
+  EXPECT_EQ(budget.soft_limit(), 0u);
+  EXPECT_EQ(budget.hard_limit(), 0u);
+  EXPECT_TRUE(budget.TryCharge(size_t{1} << 40));
+  EXPECT_FALSE(budget.OverSoftLimit());
+  budget.Release(size_t{1} << 40);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(MemoryBudgetTest, ChargeReleaseTracksHighWater) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.TryCharge(100));
+  EXPECT_TRUE(budget.TryCharge(50));
+  EXPECT_EQ(budget.charged(), 150u);
+  budget.Release(120);
+  EXPECT_EQ(budget.charged(), 30u);
+  EXPECT_TRUE(budget.TryCharge(40));
+  // High water is the historical peak, not the current level.
+  EXPECT_EQ(budget.high_water(), 150u);
+}
+
+TEST(MemoryBudgetTest, HardLimitRefusesAndRollsBack) {
+  MemoryBudget budget(/*soft_limit_bytes=*/0, /*hard_limit_bytes=*/100);
+  EXPECT_TRUE(budget.TryCharge(80));
+  EXPECT_FALSE(budget.TryCharge(30));
+  // The refused charge must not leak into the counter.
+  EXPECT_EQ(budget.charged(), 80u);
+  EXPECT_TRUE(budget.TryCharge(20));
+  EXPECT_FALSE(budget.TryCharge(1));
+}
+
+TEST(MemoryBudgetTest, ForceChargeOvershootsButCounts) {
+  MemoryBudget budget(/*soft_limit_bytes=*/0, /*hard_limit_bytes=*/100);
+  budget.ForceCharge(150);
+  EXPECT_EQ(budget.charged(), 150u);
+  EXPECT_EQ(budget.high_water(), 150u);
+  EXPECT_FALSE(budget.TryCharge(1));
+  budget.Release(150);
+  EXPECT_TRUE(budget.TryCharge(1));
+}
+
+TEST(MemoryBudgetTest, SoftLimitIsAdvisory) {
+  MemoryBudget budget(/*soft_limit_bytes=*/100, /*hard_limit_bytes=*/0);
+  EXPECT_TRUE(budget.TryCharge(150));  // never refused by the soft limit
+  EXPECT_TRUE(budget.OverSoftLimit());
+  budget.Release(100);
+  EXPECT_FALSE(budget.OverSoftLimit());
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesBalance) {
+  MemoryBudget budget;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < kIterations; ++i) {
+        ASSERT_TRUE(budget.TryCharge(7));
+        budget.Release(7);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.charged(), 0u);
+  EXPECT_GE(budget.high_water(), 7u);
+  EXPECT_LE(budget.high_water(), size_t{7} * kThreads);
+}
+
+Relation TinyRelation() {
+  Relation rel(Schema::Make({"a", "b", "c"}).ValueOrDie());
+  rel.AddRow({"1", "x", "p"});
+  rel.AddRow({"1", "x", "q"});
+  rel.AddRow({"2", "y", "p"});
+  rel.AddRow({"2", "z", "q"});
+  rel.AddRow({"3", "z", "p"});
+  return rel;
+}
+
+TEST(PartitionStoreTest, PutGetRoundTrip) {
+  const Relation rel = TinyRelation();
+  MemoryBudget budget;
+  PartitionStore store(&rel, &budget);
+  const AttributeSet a({0});
+  ASSERT_TRUE(store.Put(a, Partition::ForColumn(rel, 0)));
+  EXPECT_GT(budget.charged(), 0u);
+  auto p = store.Get(a);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(store.recomputes(), 0u);
+  // Dropping the last holder and the store entry releases every charge.
+  p.reset();
+  store.Erase(a);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(PartitionStoreTest, GetRecomputesEvictedEntries) {
+  const Relation rel = TinyRelation();
+  MemoryBudget budget;
+  PartitionStore store(&rel, &budget);
+  const AttributeSet ab({0, 1});
+  ASSERT_TRUE(store.Put(ab, Partition::ForAttributes(rel, ab)));
+  store.Erase(ab);
+  auto p = store.Get(ab);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(store.recomputes(), 1u);
+  // The recomputed partition is mathematically the one that was evicted.
+  const Partition direct = Partition::ForAttributes(rel, ab);
+  EXPECT_EQ(p->NumClasses(), direct.NumClasses());
+  EXPECT_EQ(p->StrippedSize(), direct.StrippedSize());
+  EXPECT_EQ(p->KeyError(), direct.KeyError());
+}
+
+TEST(PartitionStoreTest, EvictsToSoftLimitButKeepsPinned) {
+  const Relation rel = TinyRelation();
+  // Soft limit below one partition: eviction should strip everything
+  // unpinned once requested.
+  MemoryBudget budget(/*soft_limit_bytes=*/1, /*hard_limit_bytes=*/0);
+  PartitionStore store(&rel, &budget);
+  ASSERT_TRUE(store.Put(AttributeSet({0}), Partition::ForColumn(rel, 0),
+                        /*pinned=*/true));
+  ASSERT_TRUE(store.Put(AttributeSet({0, 1}),
+                        Partition::ForAttributes(rel, AttributeSet({0, 1}))));
+  ASSERT_TRUE(store.Put(AttributeSet({0, 2}),
+                        Partition::ForAttributes(rel, AttributeSet({0, 2}))));
+  store.EvictToSoftLimit();
+  // Unpinned entries are gone; the pinned recompute base survives.
+  EXPECT_GE(store.evictions(), 2u);
+  EXPECT_EQ(store.Size(), 1u);
+  ASSERT_NE(store.Get(AttributeSet({0})), nullptr);
+  EXPECT_EQ(store.recomputes(), 0u);
+}
+
+TEST(PartitionStoreTest, EvictionSkipsLivePartitions) {
+  const Relation rel = TinyRelation();
+  MemoryBudget budget(/*soft_limit_bytes=*/1, /*hard_limit_bytes=*/0);
+  PartitionStore store(&rel, &budget);
+  const AttributeSet ab({0, 1});
+  ASSERT_TRUE(store.Put(ab, Partition::ForAttributes(rel, ab)));
+  std::shared_ptr<const Partition> held = store.Get(ab);
+  store.EvictToSoftLimit();
+  // A partition some caller still holds must not be dropped from the map
+  // (its bytes stay resident either way; eviction would only force a
+  // pointless recompute).
+  EXPECT_EQ(store.Size(), 1u);
+  held.reset();
+  store.EvictToSoftLimit();
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+TEST(PartitionStoreTest, PutFailsWhenHardLimitTooSmallForEntry) {
+  const Relation rel = TinyRelation();
+  MemoryBudget budget(/*soft_limit_bytes=*/0, /*hard_limit_bytes=*/1);
+  PartitionStore store(&rel, &budget);
+  EXPECT_FALSE(store.Put(AttributeSet({0}), Partition::ForColumn(rel, 0)));
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_EQ(budget.charged(), 0u);
+}
+
+}  // namespace
+}  // namespace uguide

@@ -204,5 +204,39 @@ TEST(SessionTest, NoisyExpertDegradesDetection) {
   EXPECT_GE(voting.TrueViolationPct(), noisy.TrueViolationPct() - 5.0);
 }
 
+TEST(SessionTest, CompletesOnMemoryTruncatedCandidates) {
+  // A hard memory limit cuts candidate generation short; the session must
+  // consume the partial lattice exactly as it does a deadline-truncated
+  // one: run to completion, produce a coherent report, flag the truncation.
+  DataGenOptions data;
+  data.rows = 800;
+  data.seed = 5;
+  Relation clean = GenerateHospital(data);
+  TaneOptions tane;
+  tane.max_lhs_size = 3;
+  FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+  ErrorGenOptions errors;
+  errors.seed = 6;
+  DirtyDataset dirty = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+  MemoryBudget budget(/*soft_limit_bytes=*/0, /*hard_limit_bytes=*/48 * 1024);
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = 3;
+  config.candidate_options.memory_budget = &budget;
+  Session session =
+      Session::Create(clean, std::move(dirty), config).ValueOrDie();
+  ASSERT_TRUE(session.discovery_memory_truncated());
+  EXPECT_FALSE(session.discovery_truncated());  // distinct causes
+
+  auto strategy = MakeFdQBudgetedMaxCoverage({});
+  SessionReport report = session.Run(*strategy, 300.0);
+  EXPECT_GE(report.result.questions_asked, 0);
+  EXPECT_LE(report.result.cost_spent, 300.0);
+  // Every accepted FD came from the (partial) candidate set.
+  for (const Fd& fd : report.result.accepted_fds) {
+    EXPECT_TRUE(session.candidates().Contains(fd)) << fd.ToString();
+  }
+}
+
 }  // namespace
 }  // namespace uguide

@@ -29,9 +29,12 @@
 // Every subcommand prints a short human-readable summary to stdout; --out
 // writes machine-readable CSV.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <optional>
 #include <string>
 
 #include "core/uguide.h"
@@ -49,6 +52,7 @@ struct Args {
   double max_error = 0.0;
   int min_support = 8;
   int threads = 1;  // 0 = all hardware threads
+  int memory_budget_mb = 0;  // 0 = ungoverned
   // Fault tolerance / session flags.
   std::string fault_plan;
   double discovery_deadline_ms = 0.0;
@@ -58,6 +62,8 @@ struct Args {
   std::string journal_path;
   bool resume = false;
   uint64_t seed = 11;
+  // Owned by main; null when --memory-budget-mb is absent.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 void Usage() {
@@ -66,7 +72,7 @@ void Usage() {
                "              [--fds=rules.txt] [--out=file.csv]\n"
                "              [--max-lhs=N] [--max-error=E] "
                "[--min-support=K] [--threads=N]\n"
-               "              [--fault-plan=PLAN] "
+               "              [--memory-budget-mb=M] [--fault-plan=PLAN] "
                "[--discovery-deadline-ms=D]\n"
                "              [--strategy=fd|cell|tuple] [--budget=B] "
                "[--error-rate=E]\n"
@@ -74,6 +80,10 @@ void Usage() {
                "\n"
                "  --threads=N   worker threads for FD discovery "
                "(default 1; 0 = all cores)\n"
+               "  --memory-budget-mb=M         cap partition memory at M MiB "
+               "(0 = unlimited);\n"
+               "                               discovery evicts, then "
+               "truncates, instead of OOMing\n"
                "  --fault-plan=PLAN            deterministic fault injection "
                "(see fault_injection.h)\n"
                "  --discovery-deadline-ms=D    bound FD discovery; results "
@@ -82,42 +92,131 @@ void Usage() {
                "--resume replays J\n");
 }
 
+// Strict flag-value parsers. A value that does not parse (or is out of
+// range) is a usage error reported on stderr — never a silent default;
+// atoi's "--threads=two" -> 0 used to mean "all cores".
+
+bool FlagError(const char* flag, std::string_view value, const char* want) {
+  std::fprintf(stderr, "uguide: invalid value '%.*s' for %s (expected %s)\n",
+               static_cast<int>(value.size()), value.data(), flag, want);
+  return false;
+}
+
+bool ParseIntFlag(const char* flag, std::string_view value, int min_value,
+                  int* out) {
+  if (value.empty()) return FlagError(flag, value, "an integer");
+  long long parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return FlagError(flag, value, "an integer");
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > std::numeric_limits<int>::max()) {
+      return FlagError(flag, value, "an integer in range");
+    }
+  }
+  if (parsed < min_value) return FlagError(flag, value, "a larger integer");
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseU64Flag(const char* flag, std::string_view value, uint64_t* out) {
+  if (value.empty()) return FlagError(flag, value, "an unsigned integer");
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return FlagError(flag, value, "an unsigned integer");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (parsed > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return FlagError(flag, value, "an unsigned 64-bit integer");
+    }
+    parsed = parsed * 10 + digit;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, std::string_view value, double lo,
+                     double hi, double* out) {
+  if (value.empty()) return FlagError(flag, value, "a number");
+  const std::string copy(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || !std::isfinite(parsed) ||
+      !(parsed >= lo && parsed <= hi)) {
+    return FlagError(flag, value, "a finite number in range");
+  }
+  *out = parsed;
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, Args* args) {
-  if (argc < 3) return false;
+  if (argc < 3) {
+    std::fprintf(stderr, "uguide: expected a command and a CSV path\n");
+    return false;
+  }
   args->command = argv[1];
   args->csv_path = argv[2];
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto value_of = [&arg](size_t prefix) {
+      return std::string_view(arg).substr(prefix);
+    };
     if (arg.rfind("--fds=", 0) == 0) {
       args->fds_path = arg.substr(6);
     } else if (arg.rfind("--out=", 0) == 0) {
       args->out_path = arg.substr(6);
     } else if (arg.rfind("--max-lhs=", 0) == 0) {
-      args->max_lhs = std::atoi(arg.c_str() + 10);
+      if (!ParseIntFlag("--max-lhs", value_of(10), 1, &args->max_lhs)) {
+        return false;
+      }
     } else if (arg.rfind("--max-error=", 0) == 0) {
-      args->max_error = std::atof(arg.c_str() + 12);
+      if (!ParseDoubleFlag("--max-error", value_of(12), 0.0, 1.0,
+                           &args->max_error)) {
+        return false;
+      }
     } else if (arg.rfind("--min-support=", 0) == 0) {
-      args->min_support = std::atoi(arg.c_str() + 14);
+      if (!ParseIntFlag("--min-support", value_of(14), 1,
+                        &args->min_support)) {
+        return false;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
-      args->threads = std::atoi(arg.c_str() + 10);
+      if (!ParseIntFlag("--threads", value_of(10), 0, &args->threads)) {
+        return false;
+      }
+    } else if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+      if (!ParseIntFlag("--memory-budget-mb", value_of(19), 0,
+                        &args->memory_budget_mb)) {
+        return false;
+      }
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       args->fault_plan = arg.substr(13);
     } else if (arg.rfind("--discovery-deadline-ms=", 0) == 0) {
-      args->discovery_deadline_ms = std::atof(arg.c_str() + 24);
+      if (!ParseDoubleFlag("--discovery-deadline-ms", value_of(24), 0.0,
+                           std::numeric_limits<double>::max(),
+                           &args->discovery_deadline_ms)) {
+        return false;
+      }
     } else if (arg.rfind("--strategy=", 0) == 0) {
       args->strategy = arg.substr(11);
     } else if (arg.rfind("--budget=", 0) == 0) {
-      args->budget = std::atof(arg.c_str() + 9);
+      if (!ParseDoubleFlag("--budget", value_of(9), 0.0,
+                           std::numeric_limits<double>::max(),
+                           &args->budget)) {
+        return false;
+      }
     } else if (arg.rfind("--error-rate=", 0) == 0) {
-      args->error_rate = std::atof(arg.c_str() + 13);
+      if (!ParseDoubleFlag("--error-rate", value_of(13), 0.0, 1.0,
+                           &args->error_rate)) {
+        return false;
+      }
     } else if (arg.rfind("--journal=", 0) == 0) {
       args->journal_path = arg.substr(10);
     } else if (arg == "--resume") {
       args->resume = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
-      args->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      if (!ParseU64Flag("--seed", value_of(7), &args->seed)) return false;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::fprintf(stderr, "uguide: unknown flag: %s\n", arg.c_str());
       return false;
     }
   }
@@ -157,12 +256,18 @@ FdSet LoadOrDiscoverFds(const Args& args, const Relation& rel) {
   opts.max_lhs_size = args.max_lhs;
   opts.num_threads = args.threads;
   opts.discovery_deadline_ms = args.discovery_deadline_ms;
+  opts.memory_budget = args.memory_budget;
   CandidateSet candidates =
       Unwrap(GenerateCandidates(rel, opts), "discovering candidates");
   if (candidates.truncated) {
     std::printf("warning: discovery hit the %.0fms deadline; candidate set "
                 "is truncated\n",
                 args.discovery_deadline_ms);
+  }
+  if (candidates.memory_truncated) {
+    std::printf("warning: discovery hit the %dMiB memory budget; candidate "
+                "set is truncated\n",
+                args.memory_budget_mb);
   }
   return candidates.candidates;
 }
@@ -173,6 +278,7 @@ int RunProfile(const Args& args, const Relation& rel) {
   opts.max_error = args.max_error;
   opts.num_threads = args.threads;
   opts.deadline_ms = args.discovery_deadline_ms;
+  opts.memory_budget = args.memory_budget;
   DiscoveryOutcome outcome =
       Unwrap(DiscoverFdsDetailed(rel, opts), "profiling");
   const FdSet& fds = outcome.fds;
@@ -180,6 +286,11 @@ int RunProfile(const Args& args, const Relation& rel) {
     std::printf("warning: discovery hit the %.0fms deadline after %d "
                 "level(s); FD set is truncated\n",
                 args.discovery_deadline_ms, outcome.levels_completed);
+  }
+  if (outcome.memory_truncated) {
+    std::printf("warning: discovery hit the %dMiB memory budget after %d "
+                "level(s); FD set is truncated\n",
+                args.memory_budget_mb, outcome.levels_completed);
   }
   std::printf("# %zu minimal %sFDs (max LHS %d%s)\n", fds.Size(),
               args.max_error > 0 ? "approximate " : "", args.max_lhs,
@@ -254,12 +365,18 @@ int RunCfds(const Args& args, const Relation& rel) {
   opts.max_error = 0.20;
   opts.num_threads = args.threads;
   opts.deadline_ms = args.discovery_deadline_ms;
+  opts.memory_budget = args.memory_budget;
   DiscoveryOutcome outcome =
       Unwrap(DiscoverFdsDetailed(rel, opts), "profiling");
   if (outcome.truncated) {
     std::printf("warning: discovery hit the %.0fms deadline; AFD set is "
                 "truncated\n",
                 args.discovery_deadline_ms);
+  }
+  if (outcome.memory_truncated) {
+    std::printf("warning: discovery hit the %dMiB memory budget; AFD set is "
+                "truncated\n",
+                args.memory_budget_mb);
   }
   const FdSet& afds = outcome.fds;
   CfdDiscoveryOptions mine;
@@ -297,6 +414,7 @@ int RunSession(const Args& args, const Relation& clean) {
   TaneOptions tane;
   tane.max_lhs_size = args.max_lhs;
   tane.num_threads = args.threads;
+  tane.memory_budget = args.memory_budget;
   FdSet true_fds = Unwrap(DiscoverFds(clean, tane), "discovering true FDs");
 
   ErrorGenOptions errors;
@@ -309,6 +427,7 @@ int RunSession(const Args& args, const Relation& clean) {
   config.candidate_options.max_lhs_size = args.max_lhs;
   config.candidate_options.num_threads = args.threads;
   config.candidate_options.discovery_deadline_ms = args.discovery_deadline_ms;
+  config.candidate_options.memory_budget = args.memory_budget;
   config.budget = args.budget;
   config.expert_seed = args.seed;
   Session session = Unwrap(
@@ -317,6 +436,11 @@ int RunSession(const Args& args, const Relation& clean) {
     std::printf("warning: candidate discovery hit the %.0fms deadline; "
                 "candidate set is truncated\n",
                 args.discovery_deadline_ms);
+  }
+  if (session.discovery_memory_truncated()) {
+    std::printf("warning: candidate discovery hit the %dMiB memory budget; "
+                "candidate set is truncated\n",
+                args.memory_budget_mb);
   }
 
   SessionRunOptions run;
@@ -365,16 +489,39 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::optional<MemoryBudget> budget;
+  if (args.memory_budget_mb > 0) {
+    const size_t hard =
+        static_cast<size_t>(args.memory_budget_mb) * (size_t{1} << 20);
+    budget.emplace(hard - hard / 5, hard);  // soft at 80%, see FromMegabytes
+    args.memory_budget = &*budget;
+  }
   Relation rel =
       Unwrap(Relation::FromCsvFile(args.csv_path), "loading CSV");
   std::printf("loaded %s: %d rows x %d attributes\n", args.csv_path.c_str(),
               rel.NumRows(), rel.NumAttributes());
 
-  if (args.command == "profile") return RunProfile(args, rel);
-  if (args.command == "detect") return RunDetect(args, rel);
-  if (args.command == "repair") return RunRepair(args, rel);
-  if (args.command == "cfds") return RunCfds(args, rel);
-  if (args.command == "session") return RunSession(args, rel);
-  Usage();
-  return 2;
+  int ret = 2;
+  if (args.command == "profile") {
+    ret = RunProfile(args, rel);
+  } else if (args.command == "detect") {
+    ret = RunDetect(args, rel);
+  } else if (args.command == "repair") {
+    ret = RunRepair(args, rel);
+  } else if (args.command == "cfds") {
+    ret = RunCfds(args, rel);
+  } else if (args.command == "session") {
+    ret = RunSession(args, rel);
+  } else {
+    std::fprintf(stderr, "uguide: unknown command '%s'\n",
+                 args.command.c_str());
+    Usage();
+    return 2;
+  }
+  if (budget.has_value()) {
+    std::printf("peak partition memory: %.1f MiB of %d MiB budget\n",
+                static_cast<double>(budget->high_water()) / (1 << 20),
+                args.memory_budget_mb);
+  }
+  return ret;
 }
