@@ -2,23 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "fd/closure.h"
 #include "violations/bipartite_graph.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
 namespace {
 
-// Shared working state for one cell-strategy run.
+// Shared working state for one cell-strategy run. The graph is built
+// through the session's shared violation engine (or a private fallback)
+// and, when the context carries a pool, in parallel — bit-identical to
+// the serial build either way.
 struct CellRun {
   CellRun(const QuestionContext& ctx, const CellStrategyOptions& options)
-      : graph(ViolationGraph::Build(*ctx.dirty, *ctx.candidates)),
+      : engine(ctx.engine, ctx.dirty),
+        graph(ViolationGraph::Build(*engine, *ctx.candidates, ctx.pool)),
         fd_conf(static_cast<size_t>(graph.NumFds()),
                 options.initial_confidence),
         asked(static_cast<size_t>(graph.NumCells()), false) {}
 
+  EngineRef engine;
   ViolationGraph graph;
   std::vector<double> fd_conf;
   std::vector<bool> asked;
@@ -54,34 +62,88 @@ struct CellRun {
   }
 };
 
-// Applies the expert's answer to `c` with Algorithm 2's updates.
-void ApplyAnswer(CellRun& run, CellId c, Answer answer, double delta) {
+// Applies the expert's answer to `c` with Algorithm 2's updates. Returns
+// the FDs whose state the answer touched (confidence bump on "yes",
+// deactivation on "no") so incremental selectors know which cells to
+// rescore.
+std::vector<FdId> ApplyAnswer(CellRun& run, CellId c, Answer answer,
+                              double delta) {
   run.asked[static_cast<size_t>(c)] = true;
+  std::vector<FdId> affected;
   switch (answer) {
     case Answer::kYes:
-      // Confirmed violation: every flagging FD gains confidence.
+      // Confirmed violation: every flagging FD gains confidence. Only FDs
+      // whose confidence actually moved (it saturates at 1) are reported:
+      // an unchanged confidence cannot change any cell's score, so
+      // rescoring its cells would push byte-identical heap entries.
       for (FdId f : run.graph.FdsOfCell(c)) {
         if (run.graph.FdActive(f)) {
           double& conf = run.fd_conf[static_cast<size_t>(f)];
-          conf = std::min(1.0, conf + delta);
+          const double bumped = std::min(1.0, conf + delta);
+          if (bumped != conf) {
+            conf = bumped;
+            affected.push_back(f);
+          }
         }
       }
       break;
     case Answer::kNo: {
       // Certified clean: every FD that called this an error is invalid.
       // Copy the adjacency first -- DeactivateFd mutates the graph.
-      std::vector<FdId> flagging;
       for (FdId f : run.graph.FdsOfCell(c)) {
-        if (run.graph.FdActive(f)) flagging.push_back(f);
+        if (run.graph.FdActive(f)) affected.push_back(f);
       }
-      for (FdId f : flagging) run.graph.DeactivateFd(f);
+      for (FdId f : affected) run.graph.DeactivateFd(f);
       run.graph.DeactivateCell(c);
       break;
     }
     case Answer::kIdk:
       break;
   }
+  return affected;
 }
+
+// Lazy-invalidation selector: a min-heap over (score, cell) that pops the
+// askable cell with the smallest score, ties toward the lowest CellId —
+// exactly the cell the reference linear scan (first strict improvement)
+// would pick. Rescoring pushes a fresh entry instead of updating in place;
+// stale entries are recognized on pop by comparing against the score
+// array. Scores are recomputed by the same floating-point expression the
+// reference scan uses, so the staleness equality test and the selected
+// cells are exact.
+class SelectionHeap {
+ public:
+  explicit SelectionHeap(int num_cells)
+      : score_(static_cast<size_t>(num_cells), 0.0) {}
+
+  void Update(CellId c, double score) {
+    score_[static_cast<size_t>(c)] = score;
+    heap_.emplace(score, c);
+  }
+
+  // The askable cell with the minimal (score, id). Does not pop the
+  // returned entry: asking marks the cell un-askable, which retires the
+  // entry on the next call. Returns -1 when no candidate remains.
+  template <typename AskableFn>
+  CellId Best(const AskableFn& askable) {
+    while (!heap_.empty()) {
+      const auto [score, c] = heap_.top();
+      if (!askable(c) || score != score_[static_cast<size_t>(c)]) {
+        heap_.pop();
+        continue;
+      }
+      return c;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<double> score_;
+  std::priority_queue<std::pair<double, CellId>,
+                      std::vector<std::pair<double, CellId>>,
+                      std::greater<std::pair<double, CellId>>>
+      heap_;
+};
 
 class CellQHittingSet : public Strategy {
  public:
@@ -91,17 +153,64 @@ class CellQHittingSet : public Strategy {
   std::string_view name() const override { return "CellQ-HS"; }
 
   StrategyResult Run(const QuestionContext& ctx) override {
+    return options_.incremental ? RunIncremental(ctx) : RunReference(ctx);
+  }
+
+ private:
+  // Hitting-set rule: minimize weight / active-degree.
+  static double Score(const CellRun& run, CellId c) {
+    return run.CellWeight(c) / run.graph.ActiveDegreeOfCell(c);
+  }
+
+  StrategyResult RunIncremental(const QuestionContext& ctx) const {
+    CellRun run(ctx, options_);
+    StrategyResult result;
+    const double cost = ctx.cost.CellCost();
+    SelectionHeap heap(run.graph.NumCells());
+    for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+      if (run.Askable(c)) heap.Update(c, Score(run, c));
+    }
+    const auto askable = [&run](CellId c) { return run.Askable(c); };
+    // Scratch for per-answer rescoring: a cell adjacent to several touched
+    // FDs is rescored once, not once per FD (CellWeight is O(degree)).
+    std::vector<bool> seen(static_cast<size_t>(run.graph.NumCells()), false);
+    std::vector<CellId> touched;
+    while (result.cost_spent + cost <= ctx.budget) {
+      const CellId best = heap.Best(askable);
+      if (best < 0) break;
+      Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
+      result.cost_spent += cost;
+      ++result.questions_asked;
+      // Only cells adjacent to a touched FD can change score: "yes" bumps
+      // the flagging FDs' confidences, "no" removes them (and with them
+      // degree). Everything else keeps its fresh heap entry.
+      for (FdId f : ApplyAnswer(run, best, answer, options_.delta)) {
+        for (CellId c : run.graph.CellsOfFd(f)) {
+          if (seen[static_cast<size_t>(c)] || !run.Askable(c)) continue;
+          seen[static_cast<size_t>(c)] = true;
+          touched.push_back(c);
+          heap.Update(c, Score(run, c));
+        }
+      }
+      for (CellId c : touched) seen[static_cast<size_t>(c)] = false;
+      touched.clear();
+    }
+    result.accepted_fds = run.Accept(options_.accept_threshold);
+    return result;
+  }
+
+  // The original full-rescan selection, retained as the behavioral
+  // reference for the equivalence suite.
+  StrategyResult RunReference(const QuestionContext& ctx) const {
     CellRun run(ctx, options_);
     StrategyResult result;
     const double cost = ctx.cost.CellCost();
     while (result.cost_spent + cost <= ctx.budget) {
-      // Hitting-set rule: minimize weight / active-degree.
       CellId best = -1;
       double best_score = 0.0;
       for (CellId c = 0; c < run.graph.NumCells(); ++c) {
         if (!run.Askable(c)) continue;
-        const double score =
-            run.CellWeight(c) / run.graph.ActiveDegreeOfCell(c);
+        const double score = Score(run, c);
         if (best < 0 || score < best_score) {
           best = c;
           best_score = score;
@@ -117,7 +226,6 @@ class CellQHittingSet : public Strategy {
     return result;
   }
 
- private:
   CellStrategyOptions options_;
 };
 
@@ -129,11 +237,60 @@ class CellQGreedy : public Strategy {
   std::string_view name() const override { return "CellQ-Greedy"; }
 
   StrategyResult Run(const QuestionContext& ctx) override {
+    return options_.incremental ? RunIncremental(ctx) : RunReference(ctx);
+  }
+
+ private:
+  // Greedy rule: maximize the number of flagging candidate FDs. Negated so
+  // the shared min-heap selects the maximum; degrees are small integers,
+  // exactly representable, so staleness equality is exact.
+  static double Score(const CellRun& run, CellId c) {
+    return -static_cast<double>(run.graph.ActiveDegreeOfCell(c));
+  }
+
+  StrategyResult RunIncremental(const QuestionContext& ctx) const {
+    CellRun run(ctx, options_);
+    StrategyResult result;
+    const double cost = ctx.cost.CellCost();
+    SelectionHeap heap(run.graph.NumCells());
+    for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+      if (run.Askable(c)) heap.Update(c, Score(run, c));
+    }
+    const auto askable = [&run](CellId c) { return run.Askable(c); };
+    std::vector<bool> seen(static_cast<size_t>(run.graph.NumCells()), false);
+    std::vector<CellId> touched;
+    while (result.cost_spent + cost <= ctx.budget) {
+      const CellId best = heap.Best(askable);
+      if (best < 0) break;
+      Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
+      result.cost_spent += cost;
+      ++result.questions_asked;
+      const std::vector<FdId> affected =
+          ApplyAnswer(run, best, answer, options_.delta);
+      // Degree is the whole score, and it only moves when FDs deactivate:
+      // a "yes" changes confidences, never degrees, so every heap entry
+      // stays exact and rescoring would push duplicates.
+      if (answer != Answer::kNo) continue;
+      for (FdId f : affected) {
+        for (CellId c : run.graph.CellsOfFd(f)) {
+          if (seen[static_cast<size_t>(c)] || !run.Askable(c)) continue;
+          seen[static_cast<size_t>(c)] = true;
+          touched.push_back(c);
+          heap.Update(c, Score(run, c));
+        }
+      }
+      for (CellId c : touched) seen[static_cast<size_t>(c)] = false;
+      touched.clear();
+    }
+    result.accepted_fds = run.Accept(options_.accept_threshold);
+    return result;
+  }
+
+  StrategyResult RunReference(const QuestionContext& ctx) const {
     CellRun run(ctx, options_);
     StrategyResult result;
     const double cost = ctx.cost.CellCost();
     while (result.cost_spent + cost <= ctx.budget) {
-      // Greedy rule: maximize the number of flagging candidate FDs.
       CellId best = -1;
       int best_degree = 0;
       for (CellId c = 0; c < run.graph.NumCells(); ++c) {
@@ -154,7 +311,6 @@ class CellQGreedy : public Strategy {
     return result;
   }
 
- private:
   CellStrategyOptions options_;
 };
 
@@ -222,6 +378,43 @@ class CellQOracle : public Strategy {
 
 // --- Cell-Q-SUMS ----------------------------------------------------------
 
+// Persistent fixpoint state for the incremental Estimate-Confidence:
+// un-normalized node scores plus staleness flags. A node's expensive
+// adjacency sum is recomputed only when one of its inputs changed (an
+// expert answer or a bitwise change of a neighbor's normalized value in
+// the previous half-iteration); normalization and convergence checks stay
+// cheap whole-array scalar passes. Because a non-stale node's stored sum
+// is bitwise what the full recomputation would produce, every iteration —
+// and therefore the whole fixpoint, its iteration count, and the selected
+// questions — is byte-identical to the reference implementation.
+struct SumsState {
+  explicit SumsState(const ViolationGraph& graph)
+      : u_fd(static_cast<size_t>(graph.NumFds()), 0.0),
+        raw_cell(static_cast<size_t>(graph.NumCells()), 0.0),
+        norm_fd(static_cast<size_t>(graph.NumFds()), 0.0),
+        fd_stale(static_cast<size_t>(graph.NumFds()), 1),
+        cell_stale(static_cast<size_t>(graph.NumCells()), 1) {}
+
+  std::vector<double> u_fd;      // un-normalized FD scores
+  std::vector<double> raw_cell;  // un-normalized cell sums
+  std::vector<double> norm_fd;   // scratch for normalized FD values
+  std::vector<char> fd_stale;
+  std::vector<char> cell_stale;
+  // Dense-staleness mode bits: a node is stale iff the side's `all` bit is
+  // set or its flag is. Normalization-max shifts cascade bitwise changes
+  // to a whole side at once; flipping one bit then lets the refresh pass
+  // skip flag reads entirely and run at exactly the reference cost.
+  bool fd_all_stale = true;
+  bool cell_all_stale = true;
+
+  void MarkFdsOfCell(const ViolationGraph& graph, CellId c) {
+    for (FdId f : graph.FdsOfCell(c)) fd_stale[static_cast<size_t>(f)] = 1;
+  }
+  void MarkCellsOfFd(const ViolationGraph& graph, FdId f) {
+    for (CellId c : graph.CellsOfFd(f)) cell_stale[static_cast<size_t>(c)] = 1;
+  }
+};
+
 class CellQSums : public Strategy {
  public:
   explicit CellQSums(const CellStrategyOptions& options)
@@ -239,6 +432,14 @@ class CellQSums : public Strategy {
     // and keep feeding evidence into Estimate-Confidence.
     std::vector<bool> pinned(static_cast<size_t>(run.graph.NumCells()),
                              false);
+    SumsState state(run.graph);
+    const auto estimate = [&] {
+      if (options_.incremental) {
+        EstimateConfidenceIncremental(run, cell_conf, pinned, state);
+      } else {
+        EstimateConfidenceReference(run, cell_conf, pinned);
+      }
+    };
 
     // Evidence confidence, separate from the Estimate-Confidence fixpoint
     // scores in run.fd_conf: acceptance follows the same confirmed-
@@ -246,7 +447,7 @@ class CellQSums : public Strategy {
     // question selection.
     std::vector<double> evidence(static_cast<size_t>(run.graph.NumFds()),
                                  options_.initial_confidence);
-    EstimateConfidence(run, cell_conf, pinned);
+    estimate();
     int answers_since_estimate = 0;
     while (result.cost_spent + cost <= ctx.budget) {
       // Maximum information: confidence near 1/2 (the fixpoint is unsure),
@@ -293,6 +494,8 @@ class CellQSums : public Strategy {
         case Answer::kYes:
           pinned[static_cast<size_t>(best)] = true;
           cell_conf[static_cast<size_t>(best)] = 1.0;
+          // The pinned cell's value feeds its flagging FDs' averages.
+          state.MarkFdsOfCell(run.graph, best);
           for (FdId f : run.graph.FdsOfCell(best)) {
             if (run.graph.FdActive(f)) {
               double& conf = evidence[static_cast<size_t>(f)];
@@ -307,6 +510,11 @@ class CellQSums : public Strategy {
           }
           for (FdId f : flagging) run.graph.DeactivateFd(f);
           run.graph.DeactivateCell(best);
+          // Deactivated FDs drop to score 0 and leave their cells' sums.
+          for (FdId f : flagging) {
+            state.fd_stale[static_cast<size_t>(f)] = 1;
+            state.MarkCellsOfFd(run.graph, f);
+          }
           break;
         }
         case Answer::kIdk:
@@ -314,7 +522,7 @@ class CellQSums : public Strategy {
       }
       // The fixpoint moves little per answer; recompute in batches.
       if (++answers_since_estimate >= options_.sums_recompute_interval) {
-        EstimateConfidence(run, cell_conf, pinned);
+        estimate();
         answers_since_estimate = 0;
       }
     }
@@ -337,9 +545,11 @@ class CellQSums : public Strategy {
   // violations until convergence. FD confidence = log-boosted average of
   // its violations' confidences; violation confidence = sum of its FDs'
   // confidences; both max-normalized each round. Pinned (expert-labelled)
-  // cells keep their value.
-  void EstimateConfidence(CellRun& run, std::vector<double>& cell_conf,
-                          const std::vector<bool>& pinned) const {
+  // cells keep their value. Retained as the behavioral reference for the
+  // incremental version below.
+  void EstimateConfidenceReference(CellRun& run,
+                                   std::vector<double>& cell_conf,
+                                   const std::vector<bool>& pinned) const {
     const int num_fds = run.graph.NumFds();
     const int num_cells = run.graph.NumCells();
     std::vector<double> next_fd(static_cast<size_t>(num_fds), 0.0);
@@ -391,6 +601,143 @@ class CellQSums : public Strategy {
           if (!pinned[static_cast<size_t>(c)] && run.graph.CellActive(c)) {
             cell_conf[static_cast<size_t>(c)] /= max_cell;
           }
+        }
+      }
+
+      if (max_delta < options_.sums_tolerance) break;
+    }
+  }
+
+  // The same fixpoint, recomputing adjacency sums only for nodes whose
+  // inputs changed. Un-normalized scores persist in `state` across calls;
+  // staleness is seeded by expert answers (see Run) and propagated inside
+  // an iteration by *bitwise* comparison of normalized values, so a node
+  // is recomputed exactly when a full recomputation could produce a
+  // different bit pattern. Normalization, the convergence delta, and the
+  // max reductions remain O(nodes) scalar passes over stored values —
+  // identical arithmetic to the reference, hence identical results,
+  // iteration counts, and early exits.
+  void EstimateConfidenceIncremental(CellRun& run,
+                                     std::vector<double>& cell_conf,
+                                     const std::vector<bool>& pinned,
+                                     SumsState& state) const {
+    const int num_fds = run.graph.NumFds();
+    const int num_cells = run.graph.NumCells();
+    // Changed nodes collected per iteration; when a large fraction of one
+    // side changed (a "no" answer shifting a normalization max cascades
+    // globally), setting the other side's dense-staleness bit beats
+    // per-node adjacency marking, and the next refresh runs flag-free at
+    // reference cost. Over-marking only triggers recomputation, which is
+    // deterministic, so results are unaffected.
+    std::vector<FdId> changed_fds;
+    std::vector<CellId> changed_cells;
+    const auto fd_score = [&](FdId f) {
+      if (!run.graph.FdActive(f)) return 0.0;
+      double sum = 0.0;
+      int count = 0;
+      for (CellId c : run.graph.CellsOfFd(f)) {
+        if (!run.graph.CellActive(c)) continue;
+        sum += cell_conf[static_cast<size_t>(c)];
+        ++count;
+      }
+      return count == 0 ? 0.0 : std::log(1.0 + count) * (sum / count);
+    };
+    const auto cell_sum = [&](CellId c) {
+      double sum = 0.0;
+      for (FdId f : run.graph.FdsOfCell(c)) {
+        if (run.graph.FdActive(f)) {
+          sum += run.fd_conf[static_cast<size_t>(f)];
+        }
+      }
+      return sum;
+    };
+    for (int iter = 0; iter < options_.sums_max_iterations; ++iter) {
+      // FD side: refresh stale un-normalized scores.
+      if (state.fd_all_stale) {
+        state.fd_all_stale = false;
+        std::fill(state.fd_stale.begin(), state.fd_stale.end(), 0);
+        for (FdId f = 0; f < num_fds; ++f) {
+          state.u_fd[static_cast<size_t>(f)] = fd_score(f);
+        }
+      } else {
+        for (FdId f = 0; f < num_fds; ++f) {
+          if (!state.fd_stale[static_cast<size_t>(f)]) continue;
+          state.fd_stale[static_cast<size_t>(f)] = 0;
+          state.u_fd[static_cast<size_t>(f)] = fd_score(f);
+        }
+      }
+      double max_fd = 0.0;
+      for (FdId f = 0; f < num_fds; ++f) {
+        max_fd = std::max(max_fd, state.u_fd[static_cast<size_t>(f)]);
+      }
+      double max_delta = 0.0;
+      changed_fds.clear();
+      for (FdId f = 0; f < num_fds; ++f) {
+        const double u = state.u_fd[static_cast<size_t>(f)];
+        const double v = max_fd > 0.0 ? u / max_fd : u;
+        state.norm_fd[static_cast<size_t>(f)] = v;
+        max_delta = std::max(
+            max_delta, std::abs(v - run.fd_conf[static_cast<size_t>(f)]));
+        // A bitwise change of this FD's normalized score invalidates the
+        // stored sums of the cells it flags.
+        if (v != run.fd_conf[static_cast<size_t>(f)]) {
+          changed_fds.push_back(f);
+        }
+      }
+      run.fd_conf.swap(state.norm_fd);
+      if (!state.cell_all_stale) {
+        if (changed_fds.size() >= static_cast<size_t>(num_fds) / 4 + 1) {
+          state.cell_all_stale = true;
+        } else {
+          for (FdId f : changed_fds) state.MarkCellsOfFd(run.graph, f);
+        }
+      }
+
+      // Violation side: refresh stale sums, then normalize in place.
+      if (state.cell_all_stale) {
+        state.cell_all_stale = false;
+        std::fill(state.cell_stale.begin(), state.cell_stale.end(), 0);
+        for (CellId c = 0; c < num_cells; ++c) {
+          if (!run.graph.CellActive(c) || pinned[static_cast<size_t>(c)]) {
+            continue;
+          }
+          state.raw_cell[static_cast<size_t>(c)] = cell_sum(c);
+        }
+      } else {
+        for (CellId c = 0; c < num_cells; ++c) {
+          if (!run.graph.CellActive(c) || pinned[static_cast<size_t>(c)]) {
+            continue;
+          }
+          if (!state.cell_stale[static_cast<size_t>(c)]) continue;
+          state.cell_stale[static_cast<size_t>(c)] = 0;
+          state.raw_cell[static_cast<size_t>(c)] = cell_sum(c);
+        }
+      }
+      double max_cell = 0.0;
+      for (CellId c = 0; c < num_cells; ++c) {
+        if (!run.graph.CellActive(c) || pinned[static_cast<size_t>(c)]) {
+          continue;
+        }
+        max_cell =
+            std::max(max_cell, state.raw_cell[static_cast<size_t>(c)]);
+      }
+      changed_cells.clear();
+      for (CellId c = 0; c < num_cells; ++c) {
+        if (!run.graph.CellActive(c) || pinned[static_cast<size_t>(c)]) {
+          continue;
+        }
+        const double raw = state.raw_cell[static_cast<size_t>(c)];
+        const double v = max_cell > 0.0 ? raw / max_cell : raw;
+        if (v != cell_conf[static_cast<size_t>(c)]) {
+          cell_conf[static_cast<size_t>(c)] = v;
+          changed_cells.push_back(c);
+        }
+      }
+      if (!state.fd_all_stale) {
+        if (changed_cells.size() >= static_cast<size_t>(num_cells) / 4 + 1) {
+          state.fd_all_stale = true;
+        } else {
+          for (CellId c : changed_cells) state.MarkFdsOfCell(run.graph, c);
         }
       }
 

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "fd/closure.h"
-#include "violations/violation_detector.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
@@ -24,13 +24,17 @@ struct FdQuestion {
 // same-RHS pairs as non-minimal questions (§5's AB -> C example).
 std::vector<FdQuestion> BuildQuestions(const QuestionContext& ctx,
                                        const FdStrategyOptions& options) {
+  // Candidate FDs overwhelmingly share LHS attribute sets (relaxation
+  // explores a lattice neighborhood), so the partition-backed engine pays
+  // for each LHS grouping once across the whole pool.
+  EngineRef engine(ctx.engine, ctx.dirty);
   std::vector<FdQuestion> questions;
   std::unordered_set<Fd, FdHash> known;
   for (const Fd& fd : *ctx.candidates) {
     FdQuestion q;
     q.fd = fd;
-    q.cells = ViolatingCells(*ctx.dirty, fd);
-    q.removal_count = G3RemovalTuples(*ctx.dirty, fd).size();
+    q.cells = engine->ViolatingCells(fd);
+    q.removal_count = engine->G3RemovalCount(fd);
     q.cost = ctx.cost.FdCost(fd, CostModel::ExtraAttributes(fd,
                                                             *ctx.candidates));
     questions.push_back(std::move(q));
@@ -51,8 +55,8 @@ std::vector<FdQuestion> BuildQuestions(const QuestionContext& ctx,
         known.insert(merged);
         FdQuestion q;
         q.fd = merged;
-        q.cells = ViolatingCells(*ctx.dirty, merged);
-        q.removal_count = G3RemovalTuples(*ctx.dirty, merged).size();
+        q.cells = engine->ViolatingCells(merged);
+        q.removal_count = engine->G3RemovalCount(merged);
         q.cost = ctx.cost.FdCost(
             merged, CostModel::ExtraAttributes(merged, *ctx.candidates));
         questions.push_back(std::move(q));

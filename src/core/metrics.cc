@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "violations/violation_detector.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
-std::vector<Cell> AllDetections(const Relation& dirty,
+std::vector<Cell> AllDetections(ViolationEngine& engine,
                                 const FdSet& accepted) {
   std::unordered_set<Cell, CellHash> seen;
   for (const Fd& fd : accepted) {
-    for (const Cell& cell : ViolatingCells(dirty, fd)) {
+    for (const Cell& cell : engine.ViolatingCells(fd)) {
       seen.insert(cell);
     }
   }
@@ -20,7 +20,21 @@ std::vector<Cell> AllDetections(const Relation& dirty,
   return out;
 }
 
+std::vector<Cell> AllDetections(const Relation& dirty,
+                                const FdSet& accepted) {
+  ViolationEngine engine(&dirty);
+  return AllDetections(engine, accepted);
+}
+
 DetectionMetrics EvaluateDetections(const Relation& dirty,
+                                    const FdSet& accepted,
+                                    const TrueViolationSet& true_violations,
+                                    const GroundTruth* injected) {
+  ViolationEngine engine(&dirty);
+  return EvaluateDetections(engine, accepted, true_violations, injected);
+}
+
+DetectionMetrics EvaluateDetections(ViolationEngine& engine,
                                     const FdSet& accepted,
                                     const TrueViolationSet& true_violations,
                                     const GroundTruth* injected) {
@@ -28,7 +42,7 @@ DetectionMetrics EvaluateDetections(const Relation& dirty,
   metrics.total_true_errors = true_violations.Size();
   if (injected != nullptr) metrics.total_injected = injected->NumChanged();
 
-  const std::vector<Cell> detections = AllDetections(dirty, accepted);
+  const std::vector<Cell> detections = AllDetections(engine, accepted);
   metrics.detections = detections.size();
   for (const Cell& cell : detections) {
     if (true_violations.Contains(cell)) {

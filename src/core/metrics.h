@@ -12,6 +12,8 @@
 
 namespace uguide {
 
+class ViolationEngine;
+
 /// \brief Error-detection quality of an accepted FD set against the true
 /// violation set E_T (§7.1 "Performance Measures").
 ///
@@ -90,9 +92,20 @@ DetectionMetrics EvaluateDetections(const Relation& dirty,
                                     const TrueViolationSet& true_violations,
                                     const GroundTruth* injected = nullptr);
 
+/// As above, detecting violations through a shared engine (sessions pass
+/// theirs so evaluation reuses the LHS partitions the strategy warmed).
+DetectionMetrics EvaluateDetections(ViolationEngine& engine,
+                                    const FdSet& accepted,
+                                    const TrueViolationSet& true_violations,
+                                    const GroundTruth* injected = nullptr);
+
 /// The deduplicated set of cells flagged by any FD of `accepted` on
 /// `dirty`, in row-major order.
 std::vector<Cell> AllDetections(const Relation& dirty, const FdSet& accepted);
+
+/// As above, through a shared engine.
+std::vector<Cell> AllDetections(ViolationEngine& engine,
+                                const FdSet& accepted);
 
 }  // namespace uguide
 

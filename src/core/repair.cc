@@ -4,7 +4,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
-#include "violations/violation_detector.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
@@ -21,7 +21,8 @@ struct VecHash {
 }  // namespace
 
 RepairResult RepairWithFds(const Relation& dirty, const FdSet& accepted,
-                           const RepairOptions& options) {
+                           const RepairOptions& options,
+                           ViolationEngine* engine) {
   RepairResult result{dirty, {}};
   std::unordered_set<Cell, CellHash> repaired_cells;
 
@@ -29,8 +30,9 @@ RepairResult RepairWithFds(const Relation& dirty, const FdSet& accepted,
   // table); used by the LHS-suspicion guard.
   std::unordered_set<Cell, CellHash> suspicious;
   if (options.guard_suspicious_lhs) {
+    EngineRef shared(engine, &dirty);
     for (const Fd& fd : accepted) {
-      for (const Cell& cell : G3RemovalCells(dirty, fd)) {
+      for (const Cell& cell : shared->G3RemovalCells(fd)) {
         suspicious.insert(cell);
       }
     }

@@ -10,6 +10,8 @@
 
 namespace uguide {
 
+class ViolationEngine;
+
 /// One proposed cell correction.
 struct CellRepair {
   Cell cell;
@@ -51,8 +53,14 @@ struct RepairOptions {
 /// repaired at most once, so earlier FDs (typically the higher-confidence
 /// ones) take precedence. The result is guaranteed consistent only per
 /// group per pass; rerun to reach a fixpoint if desired.
+/// When `engine` is non-null it must detect over `dirty`; the suspicious
+/// set (g3 removal cells on the original table) is then computed from its
+/// cached LHS partitions. The per-FD repair grouping itself stays
+/// hash-based: it runs on the *evolving* table, which the engine's
+/// partitions do not track.
 RepairResult RepairWithFds(const Relation& dirty, const FdSet& accepted,
-                           const RepairOptions& options = {});
+                           const RepairOptions& options = {},
+                           ViolationEngine* engine = nullptr);
 
 /// \brief Repair quality against the ground truth.
 struct RepairMetrics {

@@ -4,8 +4,10 @@
 #include <optional>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "discovery/tane.h"
 #include "oracle/simulated_expert.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
@@ -107,6 +109,14 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
     head = &*journaling;
   }
 
+  // One violation engine per run: graph construction, question building,
+  // and the final evaluation all detect through the same LHS-partition
+  // cache, charged against the discovery memory budget when one is
+  // configured. The pool drives the parallel graph build (bit-identical to
+  // serial at any thread count).
+  ViolationEngine engine(&dirty_, config_.candidate_options.memory_budget);
+  ThreadPool pool(std::max(1, config_.candidate_options.num_threads));
+
   QuestionContext ctx;
   ctx.dirty = &dirty_;
   ctx.candidates = &candidates_.candidates;
@@ -119,6 +129,8 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
   ctx.true_fds = &true_fds_;
   ctx.true_violations = &true_violations_;
   ctx.injected = &truth_;
+  ctx.engine = &engine;
+  ctx.pool = &pool;
 
   SessionReport report;
   report.strategy_name = std::string(strategy.name());
@@ -136,7 +148,7 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
     if (!journaling->write_status().ok()) return journaling->write_status();
   }
   if (writer.has_value()) UGUIDE_RETURN_NOT_OK(writer->Close());
-  report.metrics = EvaluateDetections(dirty_, report.result.accepted_fds,
+  report.metrics = EvaluateDetections(engine, report.result.accepted_fds,
                                       true_violations_, &truth_);
   return report;
 }

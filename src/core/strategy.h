@@ -14,6 +14,9 @@
 
 namespace uguide {
 
+class ThreadPool;
+class ViolationEngine;
+
 /// \brief Everything an interactive strategy needs for one run.
 ///
 /// `true_violations` is only consulted by the hypothetical oracle
@@ -25,6 +28,18 @@ struct QuestionContext {
   Expert* expert = nullptr;
   CostModel cost;
   double budget = 0.0;
+
+  /// Shared partition-backed violation engine over `dirty`. Optional: a
+  /// strategy that needs violation sets wraps it in an EngineRef, which
+  /// falls back to a private engine when this is null. Sessions pass their
+  /// per-run engine so graph construction, question building, and
+  /// evaluation share one LHS-partition cache.
+  ViolationEngine* engine = nullptr;
+
+  /// Worker pool for the parallel violation-graph build. Optional; null
+  /// (or a single-thread pool) means serial. Results are bit-identical at
+  /// any thread count.
+  ThreadPool* pool = nullptr;
 
   /// Sigma_T, the exact FDs discovered on the dirty table. Optional; the
   /// saturation-set tuple strategy needs it (Alg. 8) and rediscovers it if

@@ -7,7 +7,7 @@
 #include "common/rng.h"
 #include "discovery/tane.h"
 #include "fd/closure.h"
-#include "violations/violation_detector.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
@@ -33,8 +33,9 @@ FdSet DiscoverSampleFds(const Relation& dirty,
 // of candidate FDs whose removal set contains the tuple, normalized so
 // every tuple keeps a non-negative chance.
 std::vector<double> ViolationWeights(const QuestionContext& ctx) {
+  EngineRef engine(ctx.engine, ctx.dirty);
   const std::vector<int> counts =
-      ViolationCountPerTuple(*ctx.dirty, *ctx.candidates);
+      engine->ViolationCountPerTuple(*ctx.candidates);
   const double total = static_cast<double>(ctx.candidates->Size());
   std::vector<double> weights(counts.size());
   bool any_positive = false;
@@ -48,31 +49,50 @@ std::vector<double> ViolationWeights(const QuestionContext& ctx) {
   return weights;
 }
 
-// Draws an unasked tuple by weight; returns -1 when every tuple was asked.
-TupleId DrawUnasked(Rng& rng, std::vector<double>& weights,
-                    const std::vector<bool>& asked) {
-  double remaining = 0.0;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    if (!asked[i]) remaining += weights[i];
+// Weighted sampler over the unasked tuples. The remaining weighted mass is
+// maintained incrementally — MarkAsked subtracts the retiring tuple's
+// weight — instead of being re-summed over all unasked tuples before each
+// draw. Every weight is a small integer-valued double (|Sigma_cand| minus
+// a count, or the all-ones fallback), so the running difference is exact
+// and the mass equals the reference re-summation bit for bit; the rng draw
+// sequence is therefore unchanged.
+class WeightedDraw {
+ public:
+  explicit WeightedDraw(std::vector<double> weights)
+      : weights_(std::move(weights)) {
+    for (double w : weights_) remaining_ += w;
   }
-  if (remaining <= 0.0) {
-    // Weighted mass exhausted; fall back to the first unasked tuple.
-    for (size_t i = 0; i < weights.size(); ++i) {
+
+  // Call exactly when the caller marks `t` asked.
+  void MarkAsked(TupleId t) { remaining_ -= weights_[static_cast<size_t>(t)]; }
+
+  // Draws an unasked tuple by weight; returns -1 when every tuple was
+  // asked. Does not itself retire the tuple (saturation sampling draws
+  // with rejection, so a drawn tuple may stay in the pool).
+  TupleId Draw(Rng& rng, const std::vector<bool>& asked) const {
+    if (remaining_ <= 0.0) {
+      // Weighted mass exhausted; fall back to the first unasked tuple.
+      for (size_t i = 0; i < weights_.size(); ++i) {
+        if (!asked[i]) return static_cast<TupleId>(i);
+      }
+      return -1;
+    }
+    double r = rng.NextDouble() * remaining_;
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      if (asked[i]) continue;
+      r -= weights_[i];
+      if (r < 0.0) return static_cast<TupleId>(i);
+    }
+    for (size_t i = weights_.size(); i-- > 0;) {
       if (!asked[i]) return static_cast<TupleId>(i);
     }
     return -1;
   }
-  double r = rng.NextDouble() * remaining;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    if (asked[i]) continue;
-    r -= weights[i];
-    if (r < 0.0) return static_cast<TupleId>(i);
-  }
-  for (size_t i = weights.size(); i-- > 0;) {
-    if (!asked[i]) return static_cast<TupleId>(i);
-  }
-  return -1;
-}
+
+ private:
+  std::vector<double> weights_;
+  double remaining_ = 0.0;
+};
 
 // Common sampling loop: `draw` produces the next tuple to validate.
 template <typename DrawFn>
@@ -105,12 +125,15 @@ class TupleSamplingUniform : public Strategy {
 
   StrategyResult Run(const QuestionContext& ctx) override {
     Rng rng(options_.seed);
-    std::vector<double> weights(static_cast<size_t>(ctx.dirty->NumRows()),
-                                1.0);
+    WeightedDraw drawer(std::vector<double>(
+        static_cast<size_t>(ctx.dirty->NumRows()), 1.0));
     return RunSamplingLoop(
         ctx, options_,
         [&](const std::vector<bool>& asked, const std::vector<TupleId>&) {
-          return DrawUnasked(rng, weights, asked);
+          TupleId t = drawer.Draw(rng, asked);
+          // The loop marks the drawn tuple asked unconditionally.
+          if (t >= 0) drawer.MarkAsked(t);
+          return t;
         });
   }
 
@@ -128,11 +151,13 @@ class TupleSamplingViolationWeighting : public Strategy {
 
   StrategyResult Run(const QuestionContext& ctx) override {
     Rng rng(options_.seed);
-    std::vector<double> weights = ViolationWeights(ctx);
+    WeightedDraw drawer(ViolationWeights(ctx));
     return RunSamplingLoop(
         ctx, options_,
         [&](const std::vector<bool>& asked, const std::vector<TupleId>&) {
-          return DrawUnasked(rng, weights, asked);
+          TupleId t = drawer.Draw(rng, asked);
+          if (t >= 0) drawer.MarkAsked(t);
+          return t;
         });
   }
 
@@ -168,7 +193,7 @@ class TupleSamplingSaturationSets : public Strategy {
       if (w != AttributeSet::Full(m)) saturated.insert(w);
     }
 
-    std::vector<double> weights = ViolationWeights(ctx);
+    WeightedDraw drawer(ViolationWeights(ctx));
 
     // A sampled tuple is useful if pairing it with an accepted tuple
     // realizes an uncovered saturated set (the Armstrong pair condition).
@@ -193,7 +218,7 @@ class TupleSamplingSaturationSets : public Strategy {
       TupleId chosen = -1;
       TupleId fallback = -1;
       for (int attempt = 0; attempt < 64; ++attempt) {
-        TupleId t = DrawUnasked(rng, weights, asked);
+        TupleId t = drawer.Draw(rng, asked);
         if (t < 0) break;
         fallback = t;
         if (sample.size() < 2 || !realized_sets(t, sample).empty()) {
@@ -204,6 +229,7 @@ class TupleSamplingSaturationSets : public Strategy {
       if (chosen < 0) chosen = fallback;
       if (chosen < 0) break;
       asked[static_cast<size_t>(chosen)] = true;
+      drawer.MarkAsked(chosen);
       const Answer answer = ctx.expert->IsTupleClean(chosen);
       result.cost_spent += cost;
       ++result.questions_asked;

@@ -57,5 +57,6 @@
 #include "relation/schema.h"
 #include "violations/bipartite_graph.h"
 #include "violations/violation_detector.h"
+#include "violations/violation_engine.h"
 
 #endif  // UGUIDE_CORE_UGUIDE_H_

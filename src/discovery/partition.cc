@@ -198,6 +198,12 @@ bool PartitionStore::EvictUntilLocked(const Fits& fits) {
 
 std::shared_ptr<const Partition> PartitionStore::Get(
     const AttributeSet& attrs) {
+  return Get(attrs,
+             [&] { return Partition::ForAttributes(*relation_, attrs); });
+}
+
+std::shared_ptr<const Partition> PartitionStore::Get(
+    const AttributeSet& attrs, const std::function<Partition()>& build) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(attrs);
@@ -209,12 +215,12 @@ std::shared_ptr<const Partition> PartitionStore::Get(
     }
     ++recomputes_;
   }
-  // Evicted (or never admitted): rebuild outside the lock — products of
-  // column partitions, the same computation that produced it originally.
-  // The rebuild is force-charged: the caller depends on it existing, so the
-  // budget absorbs a transient overshoot rather than fail; re-admission
-  // below restores the soft limit by evicting colder entries.
-  Partition rebuilt = Partition::ForAttributes(*relation_, attrs);
+  // Evicted (or never admitted): rebuild outside the lock — by default
+  // products of column partitions, the same computation that produced it
+  // originally. The rebuild is force-charged: the caller depends on it
+  // existing, so the budget absorbs a transient overshoot rather than fail;
+  // re-admission below restores the soft limit by evicting colder entries.
+  Partition rebuilt = build();
   if (budget_ != nullptr) budget_->ForceCharge(rebuilt.ApproxBytes());
   std::shared_ptr<const Partition> handle = Account(std::move(rebuilt));
 

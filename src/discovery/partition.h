@@ -1,6 +1,7 @@
 #ifndef UGUIDE_DISCOVERY_PARTITION_H_
 #define UGUIDE_DISCOVERY_PARTITION_H_
 
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -136,6 +137,14 @@ class PartitionStore {
   /// admitted). Never fails: a partition that no longer fits the budget is
   /// force-charged while alive and simply not re-admitted to the cache.
   std::shared_ptr<const Partition> Get(const AttributeSet& attrs);
+
+  /// As Get(), but a missing partition is produced by `build` instead of
+  /// Partition::ForAttributes. Callers with a cheaper recompute path (e.g.
+  /// the violation engine, which composes from cached sub-partitions)
+  /// inject it here; `build` runs outside the store lock and may itself
+  /// call Get() on other attribute sets.
+  std::shared_ptr<const Partition> Get(const AttributeSet& attrs,
+                                       const std::function<Partition()>& build);
 
   /// Admits a freshly computed partition, charging its footprint. When the
   /// charge would cross the hard limit, unpinned LRU entries are evicted to

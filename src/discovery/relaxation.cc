@@ -58,12 +58,19 @@ Result<FdSet> RelaxFds(const Relation& relation, const FdSet& exact_fds,
   if (!options.minimal_only) return FdSet(collected);
 
   // Cross-FD minimization: different exact FDs can relax into comparable
-  // candidates; keep only the minimal ones.
+  // candidates; keep only the minimal ones. Bucketing by RHS (the same
+  // scheme as TANE's FilterMinimal) reduces the pairwise subset scan from
+  // all-pairs over the collected set to within-bucket pairs; candidates
+  // with different RHS can never shadow each other. Output preserves the
+  // collection order, which question-selection heuristics observe through
+  // FdSet iteration.
+  std::unordered_map<int, std::vector<const Fd*>> by_rhs;
+  for (const Fd& fd : collected) by_rhs[fd.rhs].push_back(&fd);
   FdSet out;
   for (const Fd& fd : collected) {
     bool minimal = true;
-    for (const Fd& other : collected) {
-      if (other.rhs == fd.rhs && other.lhs.IsStrictSubsetOf(fd.lhs)) {
+    for (const Fd* other : by_rhs[fd.rhs]) {
+      if (other->lhs.IsStrictSubsetOf(fd.lhs)) {
         minimal = false;
         break;
       }

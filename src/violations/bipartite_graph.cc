@@ -1,19 +1,25 @@
 #include "violations/bipartite_graph.h"
 
+#include <utility>
+
+#include "common/thread_pool.h"
 #include "violations/violation_detector.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
-ViolationGraph ViolationGraph::Build(const Relation& relation,
-                                     const FdSet& candidates) {
+// Assembles a graph from per-FD violation-cell vectors. Cells are
+// interned in FD order, so the result is a pure function of the inputs —
+// independent of how (or on how many threads) the vectors were produced.
+ViolationGraph ViolationGraph::Merge(std::vector<Fd> fds,
+                                     std::vector<std::vector<Cell>> per_fd) {
   ViolationGraph g;
-  g.fds_.assign(candidates.begin(), candidates.end());
+  g.fds_ = std::move(fds);
   g.fd_to_cells_.resize(g.fds_.size());
   g.fd_active_.assign(g.fds_.size(), true);
 
   for (FdId f = 0; f < g.NumFds(); ++f) {
-    for (const Cell& cell :
-         ViolatingCells(relation, g.fds_[static_cast<size_t>(f)])) {
+    for (const Cell& cell : per_fd[static_cast<size_t>(f)]) {
       auto [it, inserted] =
           g.cell_index_.emplace(cell, static_cast<CellId>(g.cells_.size()));
       if (inserted) {
@@ -32,6 +38,42 @@ ViolationGraph ViolationGraph::Build(const Relation& relation,
         static_cast<int>(g.cell_to_fds_[static_cast<size_t>(c)].size());
   }
   return g;
+}
+
+ViolationGraph ViolationGraph::Build(const Relation& relation,
+                                     const FdSet& candidates) {
+  ViolationEngine local(&relation);
+  return Build(local, candidates, /*pool=*/nullptr);
+}
+
+ViolationGraph ViolationGraph::Build(ViolationEngine& engine,
+                                     const FdSet& candidates,
+                                     ThreadPool* pool) {
+  // Freeze the FD list, shard the per-FD violation scans across the pool
+  // (the engine is thread-safe), then merge serially in FD order: the
+  // merge sees identical per-FD cell vectors regardless of thread count,
+  // so cell ids and adjacency order are bit-identical to the serial build.
+  std::vector<Fd> fds(candidates.begin(), candidates.end());
+  std::vector<std::vector<Cell>> per_fd;
+  if (pool != nullptr && pool->num_threads() > 1 && fds.size() > 1) {
+    per_fd = pool->ParallelMap(
+        fds, [&](const Fd& fd) { return engine.ViolatingCells(fd); });
+  } else {
+    per_fd.reserve(fds.size());
+    for (const Fd& fd : fds) per_fd.push_back(engine.ViolatingCells(fd));
+  }
+  return Merge(std::move(fds), std::move(per_fd));
+}
+
+ViolationGraph ViolationGraph::BuildReference(const Relation& relation,
+                                              const FdSet& candidates) {
+  std::vector<Fd> fds(candidates.begin(), candidates.end());
+  std::vector<std::vector<Cell>> per_fd;
+  per_fd.reserve(fds.size());
+  for (const Fd& fd : fds) {
+    per_fd.push_back(ViolatingCells(relation, fd));
+  }
+  return Merge(std::move(fds), std::move(per_fd));
 }
 
 int ViolationGraph::ActiveDegreeOfFd(FdId f) const {

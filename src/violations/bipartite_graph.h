@@ -8,6 +8,9 @@
 
 namespace uguide {
 
+class ThreadPool;
+class ViolationEngine;
+
 /// Index of an FD node in a ViolationGraph.
 using FdId = int;
 /// Index of a violation (cell) node in a ViolationGraph.
@@ -24,9 +27,25 @@ class ViolationGraph {
  public:
   /// Builds the graph for `candidates` over `relation`. FDs that flag no
   /// cell still get a node (with no edges) so FdIds align with the input
-  /// set's order.
+  /// set's order. Routes violation detection through a private
+  /// partition-backed engine; prefer the engine overload to share the
+  /// LHS-partition cache with the rest of a session.
   static ViolationGraph Build(const Relation& relation,
                               const FdSet& candidates);
+
+  /// As above, detecting violations through `engine`. When `pool` drives
+  /// more than one thread, per-FD violation sets are computed in parallel
+  /// and merged in FD order, so cell ids, adjacency order, and the whole
+  /// graph are bit-identical to the serial build at any thread count
+  /// (freeze inputs / shard per FD / merge in order — the discipline of
+  /// parallel discovery, DESIGN.md §6).
+  static ViolationGraph Build(ViolationEngine& engine, const FdSet& candidates,
+                              ThreadPool* pool = nullptr);
+
+  /// The original hash-grouping build, retained as the behavioral
+  /// reference for the equivalence suite and as the benchmark baseline.
+  static ViolationGraph BuildReference(const Relation& relation,
+                                       const FdSet& candidates);
 
   int NumFds() const { return static_cast<int>(fds_.size()); }
   int NumCells() const { return static_cast<int>(cells_.size()); }
@@ -76,6 +95,12 @@ class ViolationGraph {
 
  private:
   ViolationGraph() = default;
+
+  /// Interns cells and wires adjacency from frozen per-FD cell vectors,
+  /// in FD order — the deterministic merge step shared by every build
+  /// path.
+  static ViolationGraph Merge(std::vector<Fd> fds,
+                              std::vector<std::vector<Cell>> per_fd);
 
   static int Checked(int i, int bound) {
     UGUIDE_CHECK(i >= 0 && i < bound) << "graph index out of range";

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "violations/violation_engine.h"
 
 namespace uguide {
 
@@ -133,20 +134,28 @@ std::vector<int> ViolationCountPerTuple(const Relation& relation,
 
 TrueViolationSet TrueViolationSet::Compute(const Relation& relation,
                                            const FdSet& fds) {
+  ViolationEngine engine(&relation);
+  return Compute(engine, fds);
+}
+
+TrueViolationSet TrueViolationSet::Compute(ViolationEngine& engine,
+                                           const FdSet& fds) {
   TrueViolationSet set;
+  set.row_violates_.assign(
+      static_cast<size_t>(engine.relation().NumRows()), false);
   for (const Fd& fd : fds) {
-    for (const Cell& cell : ViolatingCells(relation, fd)) {
+    for (const Cell& cell : engine.ViolatingCells(fd)) {
       set.cells_.insert(cell);
+      set.row_violates_[static_cast<size_t>(cell.row)] = true;
     }
   }
   return set;
 }
 
-bool TrueViolationSet::TupleViolates(TupleId row, int num_attributes) const {
-  for (int c = 0; c < num_attributes; ++c) {
-    if (cells_.contains(Cell{row, c})) return true;
-  }
-  return false;
+bool TrueViolationSet::TupleViolates(TupleId row, int /*num_attributes*/)
+    const {
+  return row >= 0 && static_cast<size_t>(row) < row_violates_.size() &&
+         row_violates_[static_cast<size_t>(row)];
 }
 
 std::vector<Cell> TrueViolationSet::ToVector() const {

@@ -9,6 +9,8 @@
 
 namespace uguide {
 
+class ViolationEngine;
+
 /// \brief Computes the cells an (approximate) FD flags as violations.
 ///
 /// For the FD X -> A, tuples are grouped by their X-projection; in every
@@ -54,9 +56,18 @@ class TrueViolationSet {
   /// Builds the set from the union of every FD's violating cells.
   static TrueViolationSet Compute(const Relation& relation, const FdSet& fds);
 
+  /// As above, reusing a shared partition-backed engine (and its LHS
+  /// cache) instead of re-grouping per FD.
+  static TrueViolationSet Compute(ViolationEngine& engine, const FdSet& fds);
+
   bool Contains(const Cell& cell) const { return cells_.contains(cell); }
 
-  /// True iff any cell of `row` is a violation.
+  /// True iff any cell of `row` is a violation. O(1): answered from a
+  /// per-row bitmap built once in Compute instead of probing the cell set
+  /// per attribute (this is the simulated expert's hot path for tuple
+  /// questions). The attribute count is part of the historical signature;
+  /// every violating cell's column is below the relation's attribute
+  /// count, so it no longer participates in the lookup.
   bool TupleViolates(TupleId row, int num_attributes) const;
 
   size_t Size() const { return cells_.size(); }
@@ -66,6 +77,8 @@ class TrueViolationSet {
 
  private:
   std::unordered_set<Cell, CellHash> cells_;
+  /// row_violates_[r] == true iff some cell of row r is in cells_.
+  std::vector<bool> row_violates_;
 };
 
 }  // namespace uguide

@@ -1,0 +1,162 @@
+#include "violations/violation_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace uguide {
+
+namespace {
+
+// True iff the class holds at least two distinct codes in `codes`. Classes
+// always have >= 2 members (stripped partition invariant).
+bool ClassIsImpure(const std::vector<ValueCode>& codes,
+                   const std::vector<TupleId>& cls) {
+  const ValueCode first = codes[static_cast<size_t>(cls[0])];
+  for (size_t i = 1; i < cls.size(); ++i) {
+    if (codes[static_cast<size_t>(cls[i])] != first) return true;
+  }
+  return false;
+}
+
+// Appends the g3-minority rows of one LHS class to `out`. Mirrors the
+// reference detector exactly: the majority is the most frequent RHS code,
+// ties breaking toward the code seen first in the class — classes list
+// rows ascending, i.e. in relation order, so the tie-break coincides with
+// the hash-grouped reference.
+void CollectMinorityRows(const std::vector<ValueCode>& codes,
+                         const std::vector<TupleId>& cls,
+                         std::vector<TupleId>& out) {
+  std::unordered_map<ValueCode, size_t> counts;
+  std::vector<ValueCode> first_seen;
+  for (TupleId r : cls) {
+    ValueCode code = codes[static_cast<size_t>(r)];
+    if (counts[code]++ == 0) first_seen.push_back(code);
+  }
+  if (counts.size() <= 1) return;
+  ValueCode majority = first_seen[0];
+  for (ValueCode code : first_seen) {
+    if (counts[code] > counts[majority]) majority = code;
+  }
+  for (TupleId r : cls) {
+    if (codes[static_cast<size_t>(r)] != majority) out.push_back(r);
+  }
+}
+
+}  // namespace
+
+ViolationEngine::ViolationEngine(const Relation* relation,
+                                 MemoryBudget* budget)
+    : relation_(relation), store_(relation, budget) {
+  UGUIDE_CHECK(relation != nullptr);
+}
+
+std::shared_ptr<const Partition> ViolationEngine::LhsPartition(
+    const AttributeSet& attrs) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  return store_.Get(attrs, [&]() -> Partition {
+    if (attrs.Empty()) return Partition::ForEmptySet(relation_->NumRows());
+    if (attrs.Size() == 1) {
+      return Partition::ForColumn(*relation_, attrs.Lowest());
+    }
+    // Compose from cached sub-partitions: split off the lowest attribute
+    // and recurse, the same suffix decomposition as PartitionCache, so
+    // candidates sharing LHS suffixes reuse each other's work. The store
+    // releases its lock before invoking this builder, making the recursive
+    // Get safe.
+    const int low = attrs.Lowest();
+    std::shared_ptr<const Partition> rest = LhsPartition(attrs.Without(low));
+    std::shared_ptr<const Partition> col =
+        LhsPartition(AttributeSet::Single(low));
+    return rest->Product(*col);
+  });
+}
+
+std::vector<TupleId> ViolationEngine::ViolatingTuples(const Fd& fd) {
+  UGUIDE_CHECK(fd.IsValidShape());
+  UGUIDE_CHECK(fd.rhs < relation_->NumAttributes());
+  const std::vector<ValueCode>& codes = relation_->ColumnCodes(fd.rhs);
+  std::shared_ptr<const Partition> lhs = LhsPartition(fd.lhs);
+  std::vector<TupleId> out;
+  for (const auto& cls : lhs->classes()) {
+    if (ClassIsImpure(codes, cls)) {
+      out.insert(out.end(), cls.begin(), cls.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Cell> ViolationEngine::ViolatingCells(const Fd& fd) {
+  std::vector<TupleId> rows = ViolatingTuples(fd);
+  std::vector<Cell> cells;
+  cells.reserve(rows.size());
+  for (TupleId r : rows) cells.push_back(Cell{r, fd.rhs});
+  return cells;
+}
+
+template <typename RowFn>
+void ViolationEngine::ForEachG3RemovalRow(const Fd& fd, const RowFn& fn) {
+  UGUIDE_CHECK(fd.IsValidShape());
+  UGUIDE_CHECK(fd.rhs < relation_->NumAttributes());
+  const std::vector<ValueCode>& codes = relation_->ColumnCodes(fd.rhs);
+  std::shared_ptr<const Partition> lhs = LhsPartition(fd.lhs);
+  std::vector<TupleId> minority;
+  for (const auto& cls : lhs->classes()) {
+    minority.clear();
+    CollectMinorityRows(codes, cls, minority);
+    for (TupleId r : minority) fn(r);
+  }
+}
+
+std::vector<TupleId> ViolationEngine::G3RemovalTuples(const Fd& fd) {
+  std::vector<TupleId> out;
+  ForEachG3RemovalRow(fd, [&](TupleId r) { out.push_back(r); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Cell> ViolationEngine::G3RemovalCells(const Fd& fd) {
+  std::vector<TupleId> rows = G3RemovalTuples(fd);
+  std::vector<Cell> cells;
+  cells.reserve(rows.size());
+  for (TupleId r : rows) cells.push_back(Cell{r, fd.rhs});
+  return cells;
+}
+
+size_t ViolationEngine::G3RemovalCount(const Fd& fd) {
+  size_t count = 0;
+  ForEachG3RemovalRow(fd, [&](TupleId) { ++count; });
+  return count;
+}
+
+bool ViolationEngine::HasViolations(const Fd& fd) {
+  UGUIDE_CHECK(fd.IsValidShape());
+  UGUIDE_CHECK(fd.rhs < relation_->NumAttributes());
+  const std::vector<ValueCode>& codes = relation_->ColumnCodes(fd.rhs);
+  std::shared_ptr<const Partition> lhs = LhsPartition(fd.lhs);
+  for (const auto& cls : lhs->classes()) {
+    if (ClassIsImpure(codes, cls)) return true;
+  }
+  return false;
+}
+
+std::vector<int> ViolationEngine::ViolationCountPerTuple(const FdSet& fds) {
+  std::vector<int> counts(static_cast<size_t>(relation_->NumRows()), 0);
+  for (const Fd& fd : fds) {
+    ForEachG3RemovalRow(fd,
+                        [&](TupleId r) { ++counts[static_cast<size_t>(r)]; });
+  }
+  return counts;
+}
+
+size_t ViolationEngine::partition_hits() const {
+  const size_t lookups = lookups_.load(std::memory_order_relaxed);
+  const size_t misses = store_.recomputes();
+  return lookups >= misses ? lookups - misses : 0;
+}
+
+size_t ViolationEngine::partition_misses() const {
+  return store_.recomputes();
+}
+
+}  // namespace uguide

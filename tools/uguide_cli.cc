@@ -78,8 +78,11 @@ void Usage() {
                "[--error-rate=E]\n"
                "              [--journal=J] [--resume] [--seed=S]\n"
                "\n"
-               "  --threads=N   worker threads for FD discovery "
-               "(default 1; 0 = all cores)\n"
+               "  --threads=N   worker threads for FD discovery and the "
+               "session's violation-\n"
+               "                graph build (default 1; 0 = all cores); "
+               "results are identical\n"
+               "                at any thread count\n"
                "  --memory-budget-mb=M         cap partition memory at M MiB "
                "(0 = unlimited);\n"
                "                               discovery evicts, then "
