@@ -1,0 +1,31 @@
+// Fuzz target for the serving wire protocol. Every byte a client sends
+// reaches ParseClientFrame, and the load generator feeds daemon output to
+// ParseServerFrame, so both parsers (and the JSON reader underneath) must
+// accept arbitrary input without crashing, recursing unboundedly, or
+// allocating proportionally to hostile nesting. Accepted client frames
+// must survive a format/re-parse round trip, which pins the writer and
+// parser to each other.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "server/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+
+  uguide::Result<uguide::ClientFrame> client = uguide::ParseClientFrame(line);
+  if (client.ok()) {
+    uguide::Result<uguide::ClientFrame> again =
+        uguide::ParseClientFrame(uguide::FormatClientFrame(*client));
+    if (!again.ok() || again->op != client->op || again->id != client->id ||
+        again->seq != client->seq || again->answer != client->answer) {
+      __builtin_trap();
+    }
+  }
+
+  (void)uguide::ParseServerFrame(line);
+  (void)uguide::JsonValue::Parse(line);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/session_state.h"
 #include "discovery/tane.h"
 #include "oracle/simulated_expert.h"
 #include "violations/violation_engine.h"
@@ -50,6 +51,10 @@ SessionReport Session::Run(Strategy& strategy, double budget) const {
 
 Result<SessionReport> Session::Run(Strategy& strategy, double budget,
                                    const SessionRunOptions& options) const {
+  // Build the in-process expert stack. Journaling and replay are *not*
+  // part of it any more — they live inside SessionStateMachine, so a
+  // served session (whose answers arrive over a socket) gets the same
+  // durability and resume semantics as this local driver.
   const int votes = std::max(1, config_.expert_votes);
   SimulatedExpert expert(&true_violations_, &truth_,
                          dirty_.NumAttributes(), true_fds_,
@@ -59,8 +64,8 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
   Expert* head = config_.expert_votes > 1 ? static_cast<Expert*>(&voting)
                                           : static_cast<Expert*>(&expert);
 
-  // The resilience stack sits between voting and journaling so retries are
-  // recorded once (as the final answer), not once per attempt.
+  // The resilience stack sits between voting and the machine so retries
+  // are recorded once (as the final answer), not once per attempt.
   std::optional<FlakyExpert> flaky;
   std::optional<RetryingExpert> retrying;
   if (options.resilient) {
@@ -70,87 +75,15 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
     head = &*retrying;
   }
 
-  JournalHeader header;
-  header.strategy_name = std::string(strategy.name());
-  header.budget = budget;
-  header.expert_seed = config_.expert_seed;
-  header.expert_votes = votes;
-  header.idk_rate = config_.idk_rate;
-  header.wrong_rate = config_.wrong_rate;
-
-  std::vector<JournalRecord> replay;
-  if (options.resume) {
-    if (options.journal_path.empty()) {
-      return Status::InvalidArgument("resume requires a journal path");
-    }
-    UGUIDE_ASSIGN_OR_RETURN(LoadedJournal journal,
-                            LoadJournal(options.journal_path));
-    Status header_ok = ValidateJournalHeader(header, journal.header);
-    if (!header_ok.ok()) {
-      return Status::InvalidArgument("journal " + options.journal_path + ": " +
-                                     header_ok.message());
-    }
-    replay = std::move(journal.records);
-  }
-
-  std::optional<JournalWriter> writer;
-  if (!options.journal_path.empty()) {
-    UGUIDE_ASSIGN_OR_RETURN(
-        writer, JournalWriter::Open(options.journal_path, header,
-                                    /*resume=*/options.resume));
-  }
-
-  std::optional<JournalingExpert> journaling;
-  const size_t replay_count = replay.size();
-  if (writer.has_value() || !replay.empty()) {
-    journaling.emplace(head, writer.has_value() ? &*writer : nullptr,
-                       std::move(replay), config_.cost,
-                       dirty_.NumAttributes());
-    head = &*journaling;
-  }
-
-  // One violation engine per run: graph construction, question building,
-  // and the final evaluation all detect through the same LHS-partition
-  // cache, charged against the discovery memory budget when one is
-  // configured. The pool drives the parallel graph build (bit-identical to
-  // serial at any thread count).
-  ViolationEngine engine(&dirty_, config_.candidate_options.memory_budget);
-  ThreadPool pool(std::max(1, config_.candidate_options.num_threads));
-
-  QuestionContext ctx;
-  ctx.dirty = &dirty_;
-  ctx.candidates = &candidates_.candidates;
-  ctx.expert = head;
-  ctx.cost = config_.cost;
-  // Majority voting multiplies the expert effort per question; charge it
-  // against the budget.
-  ctx.budget = budget / votes;
-  ctx.exact_fds = &candidates_.exact;
-  ctx.true_fds = &true_fds_;
-  ctx.true_violations = &true_violations_;
-  ctx.injected = &truth_;
-  ctx.engine = &engine;
-  ctx.pool = &pool;
-
-  SessionReport report;
-  report.strategy_name = std::string(strategy.name());
-  report.result = strategy.Run(ctx);
-  if (retrying.has_value()) {
-    // Retries are charged after the fact: the strategy budgets with nominal
-    // costs, the report carries the true (surcharged) spend.
-    report.retry_cost = retrying->retry_cost();
-    report.result.cost_spent += retrying->retry_cost();
-    report.questions_exhausted = retrying->exhausted();
-  }
-  if (journaling.has_value()) {
-    report.questions_replayed =
-        static_cast<int>(replay_count - journaling->replay_remaining());
-    if (!journaling->write_status().ok()) return journaling->write_status();
-  }
-  if (writer.has_value()) UGUIDE_RETURN_NOT_OK(writer->Close());
-  report.metrics = EvaluateDetections(engine, report.result.accepted_fds,
-                                      true_violations_, &truth_);
-  return report;
+  SessionStepOptions step;
+  step.journal_path = options.journal_path;
+  step.resume = options.resume;
+  step.journal_fsync = options.journal_fsync;
+  UGUIDE_ASSIGN_OR_RETURN(
+      std::unique_ptr<SessionStateMachine> machine,
+      SessionStateMachine::Start(*this, strategy, budget, std::move(step)));
+  return DriveSession(*machine, *head,
+                      retrying.has_value() ? &*retrying : nullptr);
 }
 
 }  // namespace uguide

@@ -53,6 +53,10 @@ struct SessionRunOptions {
   /// Replay `journal_path` before asking live questions, reproducing an
   /// interrupted run bit-for-bit (see DESIGN.md, "Fault tolerance").
   bool resume = false;
+  /// Journal durability policy (`--journal-fsync=every|batch`). kBatch
+  /// amortizes the per-record fsync; a crash can lose up to one batch of
+  /// trailing records, which a resume simply re-asks.
+  JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
   /// Wrap the expert in the Flaky/Retrying decorators so injected faults
   /// are retried with backoff instead of crashing the strategy.
   bool resilient = false;

@@ -118,8 +118,13 @@ std::vector<std::string_view> SplitTokens(std::string_view line) {
   return tokens;
 }
 
-/// True iff `a` and `b` ask the same question (answer/cost ignored).
-bool SameQuestion(const JournalRecord& a, const JournalRecord& b) {
+Status Errno(const std::string& action, const std::string& path) {
+  return Status::IoError(action + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool SameJournalQuestion(const JournalRecord& a, const JournalRecord& b) {
   if (a.kind != b.kind) return false;
   switch (a.kind) {
     case QuestionKind::kCell:
@@ -132,14 +137,8 @@ bool SameQuestion(const JournalRecord& a, const JournalRecord& b) {
   return false;
 }
 
-Status Errno(const std::string& action, const std::string& path) {
-  return Status::IoError(action + " " + path + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
 bool JournalRecord::operator==(const JournalRecord& other) const {
-  return SameQuestion(*this, other) && answer == other.answer &&
+  return SameJournalQuestion(*this, other) && answer == other.answer &&
          cost == other.cost;
 }
 
@@ -369,13 +368,22 @@ Result<LoadedJournal> LoadJournal(const std::string& path) {
   return ParseJournalText(buffer.str(), path);
 }
 
+Result<JournalFsyncMode> ParseJournalFsyncMode(std::string_view text) {
+  if (text == "every") return JournalFsyncMode::kEvery;
+  if (text == "batch") return JournalFsyncMode::kBatch;
+  return Status::InvalidArgument("unknown journal fsync mode '" +
+                                 std::string(text) +
+                                 "' (expected every|batch)");
+}
+
 Result<JournalWriter> JournalWriter::Open(const std::string& path,
                                           const JournalHeader& header,
-                                          bool resume) {
+                                          bool resume,
+                                          JournalFsyncMode fsync_mode) {
   const int flags = O_WRONLY | O_CREAT | (resume ? O_APPEND : O_TRUNC);
   const int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) return Errno("cannot open journal", path);
-  JournalWriter writer(fd);
+  JournalWriter writer(fd, fsync_mode);
   if (!resume) {
     const std::string line = FormatJournalHeader(header) + "\n";
     const ssize_t written = ::write(fd, line.data(), line.size());
@@ -388,15 +396,21 @@ Result<JournalWriter> JournalWriter::Open(const std::string& path,
 }
 
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
-    : fd_(other.fd_) {
+    : fd_(other.fd_),
+      fsync_mode_(other.fsync_mode_),
+      unsynced_(other.unsynced_) {
   other.fd_ = -1;
+  other.unsynced_ = 0;
 }
 
 JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
   if (this != &other) {
     Close().IgnoreError();
     fd_ = other.fd_;
+    fsync_mode_ = other.fsync_mode_;
+    unsynced_ = other.unsynced_;
     other.fd_ = -1;
+    other.unsynced_ = 0;
   }
   return *this;
 }
@@ -416,13 +430,29 @@ Status JournalWriter::Append(const JournalRecord& record) {
     }
     off += static_cast<size_t>(written);
   }
+  if (fsync_mode_ == JournalFsyncMode::kEvery) {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(std::string("journal fsync failed: ") +
+                             std::strerror(errno));
+    }
+  } else {
+    ++unsynced_;
+    if (unsynced_ >= kBatchInterval) UGUIDE_RETURN_NOT_OK(Sync());
+  }
+  // Fires *after* the fsync: a crash@k plan leaves exactly k durable
+  // records (at most k in batch mode), which the kill/resume tests assert.
+  UGUIDE_FAULT_POINT("session.record");
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("journal writer is closed");
+  if (unsynced_ == 0) return Status::OK();
   if (::fsync(fd_) != 0) {
     return Status::IoError(std::string("journal fsync failed: ") +
                            std::strerror(errno));
   }
-  // Fires *after* the fsync: a crash@k plan leaves exactly k durable
-  // records, which the kill/resume tests assert.
-  UGUIDE_FAULT_POINT("session.record");
+  unsynced_ = 0;
   return Status::OK();
 }
 
@@ -457,7 +487,7 @@ Answer JournalingExpert::Record(JournalRecord record, Answer live_answer) {
 bool JournalingExpert::Replay(const JournalRecord& expected, Answer* out) {
   if (replay_abandoned_ || replay_pos_ >= replay_.size()) return false;
   const JournalRecord& next = replay_[replay_pos_];
-  if (!SameQuestion(next, expected)) {
+  if (!SameJournalQuestion(next, expected)) {
     // The strategy diverged from the journal (different build or inputs).
     // Replay is no longer trustworthy; fall back to live answers.
     ++mismatches_;

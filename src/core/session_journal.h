@@ -55,6 +55,11 @@ struct LoadedJournal {
   bool torn_tail = false;
 };
 
+/// True iff `a` and `b` ask the same question (answer/cost ignored) — the
+/// replay-match predicate shared by JournalingExpert and the session state
+/// machine.
+bool SameJournalQuestion(const JournalRecord& a, const JournalRecord& b);
+
 /// Serializes one record as a single journal line (no trailing newline).
 std::string FormatJournalRecord(const JournalRecord& record);
 
@@ -94,20 +99,42 @@ Result<LoadedJournal> ParseJournalText(std::string_view contents,
 /// means the file is not a journal (or is corrupt) and fails the load.
 Result<LoadedJournal> LoadJournal(const std::string& path);
 
+/// Durability policy of a JournalWriter (the `--journal-fsync` knob).
+enum class JournalFsyncMode {
+  /// fsync after every record: a record the caller saw succeed survives
+  /// any subsequent crash. The default, and the strongest guarantee.
+  kEvery,
+  /// fsync every kBatchInterval records (and on Sync/Close): a crash can
+  /// lose up to one batch of trailing records. Resume stays bit-identical —
+  /// it simply replays fewer records and re-asks the rest — so batch mode
+  /// trades a bounded amount of replayable work for not serializing many
+  /// concurrent served sessions on one fsync each per answer.
+  kBatch,
+};
+
+/// Parses "every" / "batch"; anything else is an InvalidArgument.
+Result<JournalFsyncMode> ParseJournalFsyncMode(std::string_view text);
+
 /// \brief Append-only, fsync-per-record journal writer.
 ///
-/// Every Append writes one line and fsyncs before returning, so a record
-/// the caller saw succeed survives any subsequent crash. The fault site
-/// "session.record" fires *after* the fsync: a `crash@k` plan therefore
-/// leaves exactly k durable records — the invariant the kill/resume tests
-/// are built on.
+/// Every Append writes one line and (in kEvery mode) fsyncs before
+/// returning, so a record the caller saw succeed survives any subsequent
+/// crash. The fault site "session.record" fires *after* the fsync: a
+/// `crash@k` plan therefore leaves exactly k durable records — the
+/// invariant the kill/resume tests are built on. In kBatch mode the fsync
+/// is amortized over kBatchInterval records and a crash@k plan leaves *at
+/// most* k durable records.
 class JournalWriter {
  public:
+  /// Records per fsync in JournalFsyncMode::kBatch.
+  static constexpr int kBatchInterval = 32;
+
   /// Opens `path` for appending. When `resume` is false the file is
   /// truncated and `header` written as the first line; when true the file
   /// is extended as-is (the caller has already validated the header).
-  static Result<JournalWriter> Open(const std::string& path,
-                                    const JournalHeader& header, bool resume);
+  static Result<JournalWriter> Open(
+      const std::string& path, const JournalHeader& header, bool resume,
+      JournalFsyncMode fsync_mode = JournalFsyncMode::kEvery);
 
   JournalWriter(JournalWriter&& other) noexcept;
   JournalWriter& operator=(JournalWriter&& other) noexcept;
@@ -115,17 +142,26 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
   ~JournalWriter();
 
-  /// Durably appends one record (write + fsync), then fires the
+  /// Appends one record (write, plus fsync per the mode), then fires the
   /// "session.record" fault site.
   Status Append(const JournalRecord& record);
+
+  /// Forces any unsynced appends to disk (no-op in kEvery mode or when
+  /// nothing is pending). Batch-mode callers invoke this at quiesce points
+  /// (session end, daemon drain).
+  Status Sync();
 
   /// Fsyncs and closes the file. Idempotent; also run by the destructor.
   Status Close();
 
  private:
-  explicit JournalWriter(int fd) : fd_(fd) {}
+  JournalWriter(int fd, JournalFsyncMode fsync_mode)
+      : fd_(fd), fsync_mode_(fsync_mode) {}
 
   int fd_ = -1;
+  JournalFsyncMode fsync_mode_ = JournalFsyncMode::kEvery;
+  /// Appends since the last fsync (kBatch bookkeeping).
+  int unsynced_ = 0;
 };
 
 /// \brief Expert decorator that records answers and replays them on resume.

@@ -1,0 +1,369 @@
+#include "core/session_state.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/cell_strategies.h"
+#include "core/fd_strategies.h"
+#include "core/tuple_strategies.h"
+#include "violations/violation_engine.h"
+
+namespace uguide {
+
+/// \brief The Expert the strategy talks to inside the machine.
+///
+/// Lives on the pump thread. Each question becomes a JournalRecord (the
+/// same shape JournalingExpert built), is matched against the replay tail
+/// if one is loaded, published to the driver, and parked until the driver
+/// submits an answer. Replayed questions are *still published* — the
+/// driver must ask its own expert so any stateful stack (RNG, retry
+/// counters) advances exactly as in the original run — but the submitted
+/// answer is discarded in favor of the journal's, which is the inverted
+/// twin of JournalingExpert's forward-and-discard replay.
+class SessionStateMachine::ChannelExpert : public Expert {
+ public:
+  ChannelExpert(SessionStateMachine* machine, std::vector<JournalRecord> replay,
+                const CostModel& cost, int num_attributes)
+      : machine_(machine),
+        replay_(std::move(replay)),
+        cost_(cost),
+        num_attributes_(num_attributes) {}
+
+  Answer IsCellErroneous(const Cell& cell) override {
+    JournalRecord record;
+    record.kind = QuestionKind::kCell;
+    record.cell = cell;
+    record.cost = cost_.CellCost();
+    return Ask(std::move(record));
+  }
+
+  Answer IsTupleClean(TupleId row) override {
+    JournalRecord record;
+    record.kind = QuestionKind::kTuple;
+    record.row = row;
+    record.cost = cost_.TupleCost(num_attributes_);
+    return Ask(std::move(record));
+  }
+
+  Answer IsFdValid(const Fd& fd) override {
+    JournalRecord record;
+    record.kind = QuestionKind::kFd;
+    record.fd = fd;
+    record.cost = cost_.FdCost(fd, 0);
+    return Ask(std::move(record));
+  }
+
+ private:
+  Answer Ask(JournalRecord record) {
+    SessionStateMachine* m = machine_;
+    bool replayed = false;
+    if (!replay_abandoned_ && replay_pos_ < replay_.size()) {
+      if (SameJournalQuestion(replay_[replay_pos_], record)) {
+        replayed = true;
+      } else {
+        // The strategy diverged from the journal (different build or
+        // inputs). Replay is no longer trustworthy; continue live.
+        ++mismatches_;
+        replay_abandoned_ = true;
+      }
+    }
+
+    std::unique_lock<std::mutex> lock(m->mu_);
+    // An abandoned machine answers kIdk without publishing: every
+    // strategy charges positive cost per question, so the run drains its
+    // budget and winds down without another party in the loop.
+    if (m->abandoned_) return Answer::kIdk;
+
+    SessionQuestion question;
+    question.kind = record.kind;
+    question.cell = record.cell;
+    question.row = record.row;
+    question.fd = record.fd;
+    question.index = m->next_index_++;
+    question.replayed = replayed;
+    question.nominal_cost = record.cost;
+    m->pending_question_ = question;
+    m->pending_answered_ = false;
+    m->pending_delivered_ = false;
+    m->cv_.notify_all();
+    m->cv_.wait(lock,
+                [&] { return m->pending_answered_ || m->abandoned_; });
+    m->pending_question_.reset();
+    if (!m->pending_answered_) {
+      // Abandoned while parked.
+      m->cv_.notify_all();
+      return Answer::kIdk;
+    }
+    const AnswerSubmission submission = m->submission_;
+    m->pending_answered_ = false;
+
+    // The resilience surcharge accrues for replayed questions too: the
+    // driver's retry stack really was asked (and really did back off), just
+    // as the live expert underneath JournalingExpert was.
+    m->retry_cost_total_ += submission.retry_cost;
+    if (submission.exhausted) ++m->exhausted_total_;
+
+    if (replayed) {
+      const Answer answer = replay_[replay_pos_].answer;
+      ++replay_pos_;
+      ++m->served_replays_;
+      m->cv_.notify_all();
+      return answer;
+    }
+
+    record.answer = submission.answer;
+    if (m->writer_.has_value() && m->write_status_.ok()) {
+      // Journal I/O off the lock; the driver cannot observe a next
+      // question until this append returns, so durability still precedes
+      // the strategy seeing the answer.
+      lock.unlock();
+      Status status = m->writer_->Append(record);
+      lock.lock();
+      if (!status.ok()) m->write_status_ = std::move(status);
+    }
+    m->cv_.notify_all();
+    return submission.answer;
+  }
+
+  SessionStateMachine* machine_;
+  std::vector<JournalRecord> replay_;
+  size_t replay_pos_ = 0;
+  bool replay_abandoned_ = false;
+  int mismatches_ = 0;
+  CostModel cost_;
+  int num_attributes_;
+};
+
+SessionStateMachine::SessionStateMachine(const Session& session,
+                                         Strategy& strategy, double budget,
+                                         SessionStepOptions options)
+    : session_(session),
+      strategy_(strategy),
+      budget_(budget),
+      options_(std::move(options)) {
+  MemoryBudget* memory = options_.memory_budget != nullptr
+                             ? options_.memory_budget
+                             : session_.config().candidate_options.memory_budget;
+  engine_ = std::make_unique<ViolationEngine>(&session_.dirty(), memory);
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        std::max(1, session_.config().candidate_options.num_threads));
+    pool_ = owned_pool_.get();
+  }
+}
+
+Result<std::unique_ptr<SessionStateMachine>> SessionStateMachine::Start(
+    const Session& session, Strategy& strategy, double budget,
+    SessionStepOptions options) {
+  const SessionConfig& config = session.config();
+  const int votes = std::max(1, config.expert_votes);
+
+  JournalHeader header;
+  header.strategy_name = std::string(strategy.name());
+  header.budget = budget;
+  header.expert_seed = config.expert_seed;
+  header.expert_votes = votes;
+  header.idk_rate = config.idk_rate;
+  header.wrong_rate = config.wrong_rate;
+
+  std::vector<JournalRecord> replay;
+  if (options.resume) {
+    if (options.journal_path.empty()) {
+      return Status::InvalidArgument("resume requires a journal path");
+    }
+    UGUIDE_ASSIGN_OR_RETURN(LoadedJournal journal,
+                            LoadJournal(options.journal_path));
+    Status header_ok = ValidateJournalHeader(header, journal.header);
+    if (!header_ok.ok()) {
+      return Status::InvalidArgument("journal " + options.journal_path + ": " +
+                                     header_ok.message());
+    }
+    replay = std::move(journal.records);
+  }
+
+  std::optional<JournalWriter> writer;
+  if (!options.journal_path.empty()) {
+    UGUIDE_ASSIGN_OR_RETURN(
+        writer,
+        JournalWriter::Open(options.journal_path, header,
+                            /*resume=*/options.resume, options.journal_fsync));
+  }
+
+  std::unique_ptr<SessionStateMachine> machine(
+      new SessionStateMachine(session, strategy, budget, std::move(options)));
+  machine->writer_ = std::move(writer);
+  machine->channel_ = std::make_unique<ChannelExpert>(
+      machine.get(), std::move(replay), config.cost,
+      session.dirty().NumAttributes());
+  machine->pump_ = std::thread(&SessionStateMachine::PumpMain, machine.get());
+  return machine;
+}
+
+SessionStateMachine::~SessionStateMachine() { Abandon(); }
+
+void SessionStateMachine::PumpMain() {
+  const SessionConfig& config = session_.config();
+  QuestionContext ctx;
+  ctx.dirty = &session_.dirty();
+  ctx.candidates = &session_.candidates();
+  ctx.expert = channel_.get();
+  ctx.cost = config.cost;
+  // Majority voting multiplies the expert effort per question; charge it
+  // against the budget (same division the monolithic Run performed).
+  ctx.budget = budget_ / std::max(1, config.expert_votes);
+  ctx.exact_fds = &session_.exact_fds();
+  ctx.true_fds = &session_.true_fds();
+  ctx.true_violations = &session_.true_violations();
+  ctx.injected = &session_.truth();
+  ctx.engine = engine_.get();
+  ctx.pool = pool_;
+
+  StrategyResult result = strategy_.Run(ctx);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  result_ = std::move(result);
+  done_ = true;
+  cv_.notify_all();
+}
+
+std::optional<SessionQuestion> SessionStateMachine::NextQuestion() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return done_ || abandoned_ ||
+           (pending_question_.has_value() && !pending_answered_);
+  });
+  if (pending_question_.has_value() && !pending_answered_) {
+    pending_delivered_ = true;
+    return pending_question_;
+  }
+  return std::nullopt;
+}
+
+Status SessionStateMachine::SubmitAnswer(const AnswerSubmission& submission) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abandoned_) {
+    return Status::FailedPrecondition("session abandoned");
+  }
+  // A question only counts as outstanding once NextQuestion handed it to
+  // the driver — an answer can never race ahead of its question.
+  if (!pending_question_.has_value() || pending_answered_ ||
+      !pending_delivered_) {
+    return Status::FailedPrecondition("no question outstanding");
+  }
+  submission_ = submission;
+  pending_answered_ = true;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<SessionReport> SessionStateMachine::Finish() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished_) {
+    return Status::FailedPrecondition("session already finished");
+  }
+  cv_.wait(lock, [&] {
+    return done_ || (pending_question_.has_value() && !pending_answered_);
+  });
+  if (!done_) {
+    return Status::FailedPrecondition(
+        "a question is outstanding; answer it or Abandon first");
+  }
+  finished_ = true;
+  lock.unlock();
+  if (pump_.joinable()) pump_.join();
+
+  SessionReport report;
+  report.strategy_name = std::string(strategy_.name());
+  report.result = result_;
+  // Retries are charged after the fact: the strategy budgets with nominal
+  // costs, the report carries the true (surcharged) spend.
+  report.retry_cost = retry_cost_total_;
+  report.result.cost_spent += retry_cost_total_;
+  report.questions_exhausted = exhausted_total_;
+  report.questions_replayed = served_replays_;
+  if (!write_status_.ok()) return write_status_;
+  if (writer_.has_value()) {
+    UGUIDE_RETURN_NOT_OK(writer_->Close());
+    writer_.reset();
+  }
+  report.metrics =
+      EvaluateDetections(*engine_, report.result.accepted_fds,
+                         session_.true_violations(), &session_.truth());
+  return report;
+}
+
+void SessionStateMachine::Abandon() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abandoned_ = true;
+    cv_.notify_all();
+  }
+  if (pump_.joinable()) pump_.join();
+  if (writer_.has_value()) {
+    // Best effort: Abandon has no failure channel, and the journal is
+    // already durable up to the last acknowledged answer.
+    writer_->Close().IgnoreError();
+    writer_.reset();
+  }
+}
+
+bool SessionStateMachine::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+int SessionStateMachine::questions_replayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_replays_;
+}
+
+Result<SessionReport> DriveSession(SessionStateMachine& machine, Expert& expert,
+                                   RetryingExpert* retrying) {
+  while (std::optional<SessionQuestion> question = machine.NextQuestion()) {
+    AnswerSubmission submission;
+    switch (question->kind) {
+      case QuestionKind::kCell:
+        submission.answer = expert.IsCellErroneous(question->cell);
+        break;
+      case QuestionKind::kTuple:
+        submission.answer = expert.IsTupleClean(question->row);
+        break;
+      case QuestionKind::kFd:
+        submission.answer = expert.IsFdValid(question->fd);
+        break;
+    }
+    if (retrying != nullptr) {
+      submission.retry_cost = retrying->last_retry_cost();
+      submission.exhausted = retrying->last_exhausted();
+    }
+    UGUIDE_RETURN_NOT_OK(machine.SubmitAnswer(submission));
+  }
+  return machine.Finish();
+}
+
+Result<std::unique_ptr<Strategy>> MakeStrategyByName(const std::string& name) {
+  if (name == "CellQ-HS") return MakeCellQHittingSet();
+  if (name == "CellQ-Greedy") return MakeCellQGreedy();
+  if (name == "CellQ-SUMS") return MakeCellQSums();
+  if (name == "CellQ-Oracle") return MakeCellQOracle();
+  if (name == "FDQ-BMC") return MakeFdQBudgetedMaxCoverage();
+  if (name == "FDQ-Greedy") return MakeFdQGreedy();
+  if (name == "FDQ-Oracle") return MakeFdQOracle();
+  if (name == "Sampling-Uniform") return MakeTupleSamplingUniform();
+  if (name == "Sampling-Violation") return MakeTupleSamplingViolationWeighting();
+  if (name == "Sampling-Saturation") return MakeTupleSamplingSaturationSets();
+  if (name == "TupleQ-Oracle") return MakeTupleQOracle();
+  return Status::NotFound("unknown strategy: " + name);
+}
+
+std::vector<std::string> KnownStrategyNames() {
+  return {"CellQ-HS",         "CellQ-Greedy",      "CellQ-SUMS",
+          "CellQ-Oracle",     "FDQ-BMC",           "FDQ-Greedy",
+          "FDQ-Oracle",       "Sampling-Uniform",  "Sampling-Violation",
+          "Sampling-Saturation", "TupleQ-Oracle"};
+}
+
+}  // namespace uguide

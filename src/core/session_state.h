@@ -1,0 +1,214 @@
+#ifndef UGUIDE_CORE_SESSION_STATE_H_
+#define UGUIDE_CORE_SESSION_STATE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "core/session_journal.h"
+#include "core/strategy.h"
+
+namespace uguide {
+
+/// \brief One question surfaced by a stepped session.
+///
+/// The payload mirrors JournalRecord's question half; `index` is the
+/// 0-based ordinal of the question within the session and doubles as the
+/// wire sequence number of the serving protocol.
+struct SessionQuestion {
+  QuestionKind kind = QuestionKind::kCell;
+  Cell cell;        ///< kCell: the cell asked about.
+  TupleId row = 0;  ///< kTuple: the tuple asked about.
+  Fd fd;            ///< kFd: the FD asked about.
+  int index = 0;
+  /// The answer to this question is already in the journal being resumed:
+  /// the machine discards whatever the driver submits (after using the
+  /// submission to keep the driver's own expert state advancing, exactly
+  /// like JournalingExpert forwarded replayed questions to the live
+  /// expert) and serves the recorded answer to the strategy instead.
+  bool replayed = false;
+  /// The question's nominal cost under the session's cost model.
+  double nominal_cost = 0.0;
+};
+
+/// \brief What a driver hands back for one question.
+///
+/// `retry_cost` and `exhausted` carry the resilience surcharge of answering
+/// this one question (RetryingExpert's per-question delta); the state
+/// machine accumulates them into the report so budget gating stays
+/// fault-invariant exactly as in the monolithic Session::Run.
+struct AnswerSubmission {
+  Answer answer = Answer::kIdk;
+  double retry_cost = 0.0;
+  bool exhausted = false;
+};
+
+/// Per-machine options: journaling, resume, and resource sharing.
+struct SessionStepOptions {
+  /// When non-empty, every live-answered question is durably appended here
+  /// before the strategy sees the answer.
+  std::string journal_path;
+  /// Replay `journal_path` before surfacing live questions.
+  bool resume = false;
+  /// Durability policy of the journal writer (`--journal-fsync`).
+  JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
+  /// Worker pool for the parallel violation-graph build. Null = a private
+  /// single-thread pool sized from the session's candidate options. A
+  /// serving daemon passes its process pool so N concurrent sessions share
+  /// one set of workers.
+  ThreadPool* pool = nullptr;
+  /// Memory budget charged by the machine's violation engine. Null = the
+  /// session's candidate_options.memory_budget (the daemon passes its
+  /// process budget explicitly).
+  MemoryBudget* memory_budget = nullptr;
+};
+
+/// \brief A Session run inverted into an explicit step API.
+///
+/// The strategies of §5–§6 are written as blocking loops that *call* an
+/// Expert; a served session needs the opposite shape — the caller *asks
+/// for* the next question, ships it to a remote answerer, and submits the
+/// answer whenever it arrives. SessionStateMachine inverts the control
+/// flow without rewriting any strategy: the strategy runs on an internal
+/// pump thread against a channel-backed Expert, and each expert call parks
+/// until the driver moves the machine forward.
+///
+///   auto machine = SessionStateMachine::Start(session, strategy, budget);
+///   while (auto q = machine->NextQuestion()) {
+///     machine->SubmitAnswer({AskSomeone(*q)});
+///   }
+///   SessionReport report = machine->Finish().ValueOrDie();
+///
+/// Journaling, crash-safe resume, and the retry-surcharge accounting live
+/// *inside* the machine (not in the driver), so a served session that
+/// crashes and resumes is bit-identical to an uninterrupted one under the
+/// same driver — the same contract the monolithic Session::Run had, now
+/// independent of where the answers come from. Session::Run itself is a
+/// thin driver over this class (see DriveSession).
+///
+/// Thread safety: NextQuestion/SubmitAnswer/Finish must be called from one
+/// driver thread at a time (the serving daemon serializes per session);
+/// distinct machines are fully independent and may share a ThreadPool and
+/// MemoryBudget.
+class SessionStateMachine {
+ public:
+  /// Validates options (loading and checking the journal on resume) and
+  /// starts the strategy on the pump thread. `session` and `strategy` must
+  /// outlive the machine.
+  static Result<std::unique_ptr<SessionStateMachine>> Start(
+      const Session& session, Strategy& strategy, double budget,
+      SessionStepOptions options = {});
+
+  /// Abandons the run if it is still in flight (see Abandon) and joins the
+  /// pump thread.
+  ~SessionStateMachine();
+
+  SessionStateMachine(const SessionStateMachine&) = delete;
+  SessionStateMachine& operator=(const SessionStateMachine&) = delete;
+
+  /// Blocks until the strategy surfaces its next question, or returns
+  /// nullopt once the strategy has finished. Idempotent while a question
+  /// is outstanding (re-delivers the same question — the serving daemon
+  /// resends after a reconnect).
+  std::optional<SessionQuestion> NextQuestion();
+
+  /// Delivers the answer for the outstanding question. Fails if no
+  /// question is outstanding. The answered record is durably journaled
+  /// (on the pump thread) before the strategy observes the answer, so by
+  /// the time NextQuestion returns the *next* question, the previous
+  /// answer has been persisted.
+  Status SubmitAnswer(const AnswerSubmission& submission);
+
+  /// Blocks until the strategy completes, then evaluates detections and
+  /// returns the report. Fails if a question is still outstanding (answer
+  /// or Abandon first) or if a journal write failed during the run.
+  Result<SessionReport> Finish();
+
+  /// Cancels an in-flight run: the outstanding question (if any) and every
+  /// later one are answered kIdk internally until the strategy winds down,
+  /// the journal is synced and closed, and the machine becomes terminal.
+  /// The journal is preserved, so an abandoned served session is resumable
+  /// with `resume = true`. Idempotent.
+  void Abandon();
+
+  /// True once the strategy has returned (Finish will not block).
+  bool done() const;
+
+  /// Questions served from the journal so far (resume bookkeeping).
+  int questions_replayed() const;
+
+ private:
+  class ChannelExpert;
+
+  SessionStateMachine(const Session& session, Strategy& strategy,
+                      double budget, SessionStepOptions options);
+
+  void PumpMain();
+
+  const Session& session_;
+  Strategy& strategy_;
+  const double budget_;
+  const SessionStepOptions options_;
+
+  // Machine-owned resources mirroring the monolithic Session::Run: one
+  // violation engine per run, a private pool unless the caller shared one.
+  std::unique_ptr<ViolationEngine> engine_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+
+  std::unique_ptr<ChannelExpert> channel_;
+  std::optional<JournalWriter> writer_;
+
+  std::thread pump_;
+  StrategyResult result_;  // written by the pump thread before done_
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool abandoned_ = false;
+  bool finished_ = false;  // Finish already consumed the run
+
+  // The single-question channel between the pump thread and the driver.
+  std::optional<SessionQuestion> pending_question_;
+  bool pending_answered_ = false;
+  /// NextQuestion returned the pending question to the driver; only then
+  /// may SubmitAnswer accept an answer for it.
+  bool pending_delivered_ = false;
+  AnswerSubmission submission_;
+  int next_index_ = 0;
+
+  // Report accounting, accumulated as submissions arrive (all under mu_).
+  double retry_cost_total_ = 0.0;
+  int exhausted_total_ = 0;
+  int served_replays_ = 0;
+  Status write_status_ = Status::OK();
+};
+
+/// \brief The canonical in-process driver: pumps `machine` with `expert`.
+///
+/// Every question is put to `expert`; when `retrying` is non-null its
+/// per-question retry-cost delta and exhaustion increment ride along on the
+/// submission (resilient runs). Returns the finished report. Session::Run
+/// is implemented with this, and tests drive custom expert stacks through
+/// it.
+Result<SessionReport> DriveSession(SessionStateMachine& machine,
+                                   Expert& expert,
+                                   RetryingExpert* retrying = nullptr);
+
+/// \brief Instantiates one of the 11 strategies by its reporting name
+/// (e.g. "FDQ-BMC", "CellQ-SUMS", "Sampling-Uniform"); the registry the
+/// serving daemon and load generator resolve wire requests against.
+/// Returns NotFound for unknown names.
+Result<std::unique_ptr<Strategy>> MakeStrategyByName(const std::string& name);
+
+/// The names MakeStrategyByName accepts, in a stable order.
+std::vector<std::string> KnownStrategyNames();
+
+}  // namespace uguide
+
+#endif  // UGUIDE_CORE_SESSION_STATE_H_

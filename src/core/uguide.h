@@ -39,6 +39,7 @@
 #include "core/repair.h"
 #include "core/session.h"
 #include "core/session_journal.h"
+#include "core/session_state.h"
 #include "core/strategy.h"
 #include "core/tuple_strategies.h"
 #include "datagen/generators.h"

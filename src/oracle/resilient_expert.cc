@@ -53,6 +53,8 @@ Answer RetryingExpert::Ask(double question_cost, AskFn ask) {
     return elapsed_ms > policy_.question_deadline_ms;
   };
 
+  last_retry_cost_ = 0.0;
+  last_exhausted_ = false;
   double backoff_ms = policy_.initial_backoff_ms;
   for (int attempt = 1;; ++attempt) {
     Result<Answer> reply = ask();
@@ -71,8 +73,10 @@ Answer RetryingExpert::Ask(double question_cost, AskFn ask) {
     backoff_ms *= policy_.backoff_multiplier;
     ++retries_;
     retry_cost_ += question_cost * policy_.retry_cost_factor;
+    last_retry_cost_ += question_cost * policy_.retry_cost_factor;
   }
   ++exhausted_;
+  last_exhausted_ = true;
   return Answer::kIdk;
 }
 

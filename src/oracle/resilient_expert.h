@@ -115,6 +115,13 @@ class RetryingExpert : public Expert {
   /// Answers discarded because they arrived past the deadline.
   int timeouts() const { return timeouts_; }
 
+  /// Surcharge of the most recent question alone — the per-question delta
+  /// a step-API driver forwards on its AnswerSubmission (computed directly
+  /// rather than by subtracting running totals, so no floating-point drift).
+  double last_retry_cost() const { return last_retry_cost_; }
+  /// True iff the most recent question degraded to kIdk.
+  bool last_exhausted() const { return last_exhausted_; }
+
  private:
   template <typename AskFn>
   Answer Ask(double question_cost, AskFn ask);
@@ -128,6 +135,8 @@ class RetryingExpert : public Expert {
   int retries_ = 0;
   int exhausted_ = 0;
   int timeouts_ = 0;
+  double last_retry_cost_ = 0.0;
+  bool last_exhausted_ = false;
 };
 
 }  // namespace uguide

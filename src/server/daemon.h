@@ -1,0 +1,94 @@
+#ifndef UGUIDE_SERVER_DAEMON_H_
+#define UGUIDE_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "server/session_manager.h"
+
+namespace uguide {
+
+/// Options of a ServingDaemon beyond the manager's.
+struct DaemonOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see port()).
+  int port = 0;
+  /// Listen backlog.
+  int backlog = 64;
+  SessionManagerOptions manager;
+};
+
+/// \brief The uguided network front end: a loopback TCP listener speaking
+/// the newline-delimited JSON protocol, one thread per connection.
+///
+/// The daemon is a thin I/O shell — every byte of session logic lives in
+/// SessionManager, which is why the serving tests can exercise the manager
+/// without sockets and the daemon with them. Connections are stateless:
+/// any connection may address any session id, so a client that lost its
+/// connection reconnects and continues with `op=next` (NextQuestion is
+/// idempotent). A dead client therefore never kills a session — at worst
+/// the idle deadline evicts it, journal intact.
+///
+/// Robustness decisions, all covered by tests:
+///  - SIGPIPE is ignored process-wide (plus MSG_NOSIGNAL on every send):
+///    writing to a closed socket is a per-connection error, not death.
+///  - The fault sites "server.accept", "server.read" and "server.write"
+///    fire on the corresponding syscall paths, so `--fault-plan` drives
+///    connection failures as deterministically as expert failures.
+///  - Shutdown() is the graceful SIGTERM path: stop accepting, shut down
+///    live connections, join their threads, then drain the manager
+///    (abandoning sessions, syncing journals).
+class ServingDaemon {
+ public:
+  /// Binds, listens, and starts the accept thread. `session` must outlive
+  /// the daemon.
+  static Result<std::unique_ptr<ServingDaemon>> Start(const Session* session,
+                                                      DaemonOptions options);
+
+  /// Calls Shutdown() if it has not run yet.
+  ~ServingDaemon();
+
+  ServingDaemon(const ServingDaemon&) = delete;
+  ServingDaemon& operator=(const ServingDaemon&) = delete;
+
+  /// The bound port (resolved when options.port was 0).
+  int port() const { return port_; }
+
+  SessionManager& manager() { return *manager_; }
+
+  /// Graceful drain; idempotent, safe to call from a signal-watching
+  /// thread (not from the handler itself).
+  void Shutdown();
+
+ private:
+  ServingDaemon(const Session* session, DaemonOptions options);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Writes `line` + '\n' fully, firing "server.write"; returns false on
+  /// any failure (the caller drops the connection, never the session).
+  bool WriteLine(int fd, const std::string& line);
+
+  DaemonOptions options_;
+  std::unique_ptr<SessionManager> manager_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool shut_down_ = false;  // Shutdown() already ran (main thread only)
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_SERVER_DAEMON_H_

@@ -1,0 +1,42 @@
+#include "server/dataset.h"
+
+#include <utility>
+
+#include "datagen/generators.h"
+#include "discovery/tane.h"
+#include "errorgen/error_generator.h"
+
+namespace uguide {
+
+Result<Session> MakeServedDataset(const ServedDatasetOptions& options) {
+  if (options.rows <= 0) {
+    return Status::InvalidArgument("dataset rows must be positive");
+  }
+  DataGenOptions data;
+  data.rows = options.rows;
+  data.seed = options.seed;
+  Relation clean = GenerateHospital(data);
+
+  TaneOptions tane;
+  tane.max_lhs_size = options.max_lhs;
+  UGUIDE_ASSIGN_OR_RETURN(FdSet true_fds, DiscoverFds(clean, tane));
+
+  ErrorGenOptions errors;
+  errors.model = ErrorModel::kSystematic;
+  errors.error_rate = options.error_rate;
+  errors.seed = options.seed + 1;
+  UGUIDE_ASSIGN_OR_RETURN(DirtyDataset dataset,
+                          InjectErrors(clean, true_fds, errors));
+
+  SessionConfig config;
+  config.candidate_options.max_lhs_size = options.max_lhs;
+  config.candidate_options.num_threads = options.num_threads;
+  config.budget = options.budget;
+  config.idk_rate = options.idk_rate;
+  config.wrong_rate = options.wrong_rate;
+  config.expert_seed = options.expert_seed;
+  config.expert_votes = options.expert_votes;
+  return Session::Create(clean, std::move(dataset), config);
+}
+
+}  // namespace uguide

@@ -1,0 +1,253 @@
+#include "server/session_manager.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace uguide {
+
+namespace {
+
+/// Session ids become journal file names; confine them to a charset that
+/// cannot traverse paths or hide control bytes.
+bool ValidSessionId(const std::string& id) {
+  if (id.empty() || id.size() > 128) return false;
+  if (id.front() == '.') return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const Session* session,
+                               SessionManagerOptions options)
+    : session_(session), options_(std::move(options)) {}
+
+SessionManager::~SessionManager() { BeginDrain(); }
+
+std::string SessionManager::JournalPathFor(const std::string& id) const {
+  if (options_.journal_dir.empty()) return std::string();
+  return options_.journal_dir + "/" + id + ".journal";
+}
+
+std::shared_ptr<SessionManager::Served> SessionManager::Find(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void SessionManager::Erase(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+std::vector<std::string> SessionManager::HandleLine(std::string_view line) {
+  Result<ClientFrame> parsed = ParseClientFrame(line);
+  if (!parsed.ok()) return {FormatErrorFrame("", parsed.status())};
+  const ClientFrame& frame = *parsed;
+
+  switch (frame.op) {
+    case ClientOp::kPing:
+      return {FormatPongFrame()};
+    case ClientOp::kOpen:
+      return HandleOpen(frame);
+    case ClientOp::kNext:
+    case ClientOp::kAnswer:
+      return HandleStep(frame);
+    case ClientOp::kClose:
+      return HandleClose(frame);
+  }
+  return {FormatErrorFrame(frame.id, Status::Internal("unreachable"))};
+}
+
+std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
+  if (!ValidSessionId(frame.id)) {
+    return {FormatErrorFrame(frame.id,
+                             Status::InvalidArgument("bad session id"))};
+  }
+
+  Result<std::unique_ptr<Strategy>> strategy =
+      MakeStrategyByName(frame.strategy);
+  if (!strategy.ok()) return {FormatErrorFrame(frame.id, strategy.status())};
+
+  auto served = std::make_shared<Served>();
+  served->id = frame.id;
+  served->strategy = std::move(*strategy);
+  served->last_active = FaultRegistry::Global().Now();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++stats_.refused;
+      return {FormatErrorFrame(frame.id,
+                               Status::Unavailable("daemon is draining"))};
+    }
+    if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+      ++stats_.refused;
+      return {FormatErrorFrame(
+          frame.id, Status::ResourceExhausted("session limit reached"))};
+    }
+    if (sessions_.count(frame.id) != 0) {
+      return {FormatErrorFrame(
+          frame.id, Status::AlreadyExists("session id already open"))};
+    }
+    // Reserve the id before the (possibly slow) machine start so a racing
+    // duplicate open fails fast.
+    sessions_.emplace(frame.id, served);
+  }
+
+  SessionStepOptions step;
+  step.journal_path = JournalPathFor(frame.id);
+  step.resume = frame.resume;
+  step.journal_fsync = options_.journal_fsync;
+  step.pool = options_.pool;
+  step.memory_budget = options_.memory_budget;
+  const double budget =
+      frame.has_budget ? frame.budget : session_->config().budget;
+
+  Result<std::unique_ptr<SessionStateMachine>> machine =
+      SessionStateMachine::Start(*session_, *served->strategy, budget,
+                                 std::move(step));
+  if (!machine.ok()) {
+    Erase(frame.id);
+    return {FormatErrorFrame(frame.id, machine.status())};
+  }
+
+  std::lock_guard<std::mutex> step_lock(served->step_mu);
+  served->machine = std::move(*machine);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.opened;
+  }
+  return Advance(served);
+}
+
+std::vector<std::string> SessionManager::HandleStep(const ClientFrame& frame) {
+  std::shared_ptr<Served> served = Find(frame.id);
+  if (served == nullptr) {
+    return {FormatErrorFrame(frame.id, Status::NotFound("no such session"))};
+  }
+  std::lock_guard<std::mutex> step_lock(served->step_mu);
+  if (served->machine == nullptr) {
+    return {FormatErrorFrame(frame.id,
+                             Status::Unavailable("session still opening"))};
+  }
+  served->last_active = FaultRegistry::Global().Now();
+
+  if (frame.op == ClientOp::kNext) return Advance(served);
+
+  if (!served->last_question.has_value()) {
+    return {FormatErrorFrame(
+        frame.id, Status::FailedPrecondition("no question outstanding"))};
+  }
+  if (frame.seq != served->last_question->index) {
+    return {FormatErrorFrame(
+        frame.id,
+        Status::InvalidArgument(
+            "stale answer seq (re-sync with op=next)"))};
+  }
+
+  AnswerSubmission submission;
+  submission.answer = frame.answer;
+  submission.retry_cost = frame.retry_cost;
+  submission.exhausted = frame.exhausted;
+  Status submitted = served->machine->SubmitAnswer(submission);
+  if (!submitted.ok()) return {FormatErrorFrame(frame.id, submitted)};
+  served->last_question.reset();
+  return Advance(served);
+}
+
+std::vector<std::string> SessionManager::HandleClose(const ClientFrame& frame) {
+  std::shared_ptr<Served> served = Find(frame.id);
+  if (served == nullptr) {
+    return {FormatErrorFrame(frame.id, Status::NotFound("no such session"))};
+  }
+  {
+    std::lock_guard<std::mutex> step_lock(served->step_mu);
+    if (served->machine != nullptr) served->machine->Abandon();
+  }
+  Erase(frame.id);
+  return {FormatClosedFrame(frame.id)};
+}
+
+std::vector<std::string> SessionManager::Advance(
+    const std::shared_ptr<Served>& served) {
+  std::optional<SessionQuestion> question = served->machine->NextQuestion();
+  if (question.has_value()) {
+    served->last_question = question;
+    return {FormatQuestionFrame(served->id, *question)};
+  }
+  Result<SessionReport> report = served->machine->Finish();
+  Erase(served->id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.finished;
+  }
+  if (!report.ok()) return {FormatErrorFrame(served->id, report.status())};
+  return {FormatReportFrame(served->id, *report)};
+}
+
+void SessionManager::BeginDrain() {
+  std::vector<std::shared_ptr<Served>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;
+    draining_ = true;
+    for (auto& [id, served] : sessions_) live.push_back(served);
+    sessions_.clear();
+  }
+  // Abandon outside the map lock: each abandon waits for its strategy to
+  // wind down and syncs/closes its journal.
+  for (auto& served : live) {
+    std::lock_guard<std::mutex> step_lock(served->step_mu);
+    if (served->machine != nullptr) served->machine->Abandon();
+  }
+}
+
+int SessionManager::EvictIdle() {
+  if (options_.idle_timeout_ms <= 0.0) return 0;
+  const auto now = FaultRegistry::Global().Now();
+  std::vector<std::shared_ptr<Served>> idle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const double idle_ms = std::chrono::duration<double, std::milli>(
+                                 now - it->second->last_active)
+                                 .count();
+      if (idle_ms > options_.idle_timeout_ms) {
+        idle.push_back(it->second);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.evicted += static_cast<int>(idle.size());
+  }
+  for (auto& served : idle) {
+    std::lock_guard<std::mutex> step_lock(served->step_mu);
+    if (served->machine != nullptr) served->machine->Abandon();
+  }
+  return static_cast<int>(idle.size());
+}
+
+int SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+bool SessionManager::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace uguide

@@ -1,0 +1,130 @@
+#ifndef UGUIDE_SERVER_SESSION_MANAGER_H_
+#define UGUIDE_SERVER_SESSION_MANAGER_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/session.h"
+#include "core/session_state.h"
+#include "server/protocol.h"
+
+namespace uguide {
+
+/// Resource and policy knobs of a SessionManager.
+struct SessionManagerOptions {
+  /// Concurrent served sessions; opens beyond this are refused with
+  /// kResourceExhausted (the client retries elsewhere/later).
+  int max_sessions = 64;
+
+  /// Sessions idle longer than this (fault-aware clock) are abandoned by
+  /// EvictIdle — their journals survive, so an evicted session is exactly
+  /// a crashed one: reopen with resume. 0 disables eviction.
+  double idle_timeout_ms = 0.0;
+
+  /// Directory for per-session journals (`<dir>/<id>.journal`). Empty
+  /// disables journaling — sessions are then served memory-only.
+  std::string journal_dir;
+
+  /// Durability policy of every served journal.
+  JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
+
+  /// Shared process pool for the violation-graph builds of all sessions;
+  /// null gives every session a private single-thread pool.
+  ThreadPool* pool = nullptr;
+
+  /// Shared process memory budget; null falls back to the session config.
+  MemoryBudget* memory_budget = nullptr;
+};
+
+/// Counters exposed for the daemon's exit summary and tests.
+struct SessionManagerStats {
+  int opened = 0;
+  int finished = 0;
+  int evicted = 0;
+  int refused = 0;
+};
+
+/// \brief Owns the N concurrent served sessions of a daemon.
+///
+/// Each session is a journal-backed SessionStateMachine plus the strategy
+/// instance it runs, keyed by a client-chosen id. HandleLine is the entire
+/// server-side protocol: parse one client frame, advance the addressed
+/// session, and return the reply frames. It is safe to call concurrently
+/// from many connection threads — the session map has its own lock, and a
+/// per-session mutex serializes the machine so two connections (e.g. a
+/// stale one and its reconnect) cannot interleave a step.
+///
+/// Lifecycle: a session leaves the map when its report is delivered, when
+/// the client closes it, or when EvictIdle times it out. The last two
+/// abandon the machine but keep the journal, so the session can be
+/// reopened with `resume` — eviction is deliberately indistinguishable
+/// from a daemon crash.
+class SessionManager {
+ public:
+  /// `session` (the dataset/config) must outlive the manager, as must the
+  /// pool and memory budget in `options`.
+  SessionManager(const Session* session, SessionManagerOptions options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Handles one protocol line, returning the frames to write back (each
+  /// without trailing newline). Malformed input yields an error frame,
+  /// never a crash.
+  std::vector<std::string> HandleLine(std::string_view line);
+
+  /// Refuses new opens from now on and abandons every in-flight session
+  /// (journals synced and preserved). Idempotent; part of SIGTERM drain.
+  void BeginDrain();
+
+  /// Abandons sessions idle past the timeout. Returns how many.
+  int EvictIdle();
+
+  int active_sessions() const;
+  bool draining() const;
+  SessionManagerStats stats() const;
+
+ private:
+  struct Served {
+    std::string id;
+    std::unique_ptr<Strategy> strategy;
+    std::unique_ptr<SessionStateMachine> machine;
+    /// The question currently out with the client (answer seq validation
+    /// and op=next re-delivery).
+    std::optional<SessionQuestion> last_question;
+    std::chrono::steady_clock::time_point last_active;
+    /// Serializes machine access across connection threads.
+    std::mutex step_mu;
+  };
+
+  std::vector<std::string> HandleOpen(const ClientFrame& frame);
+  std::vector<std::string> HandleStep(const ClientFrame& frame);
+  std::vector<std::string> HandleClose(const ClientFrame& frame);
+
+  /// Pulls the next question (or the final report) out of `served`.
+  /// Caller holds served->step_mu.
+  std::vector<std::string> Advance(const std::shared_ptr<Served>& served);
+
+  std::shared_ptr<Served> Find(const std::string& id);
+  void Erase(const std::string& id);
+  std::string JournalPathFor(const std::string& id) const;
+
+  const Session* session_;
+  const SessionManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Served>> sessions_;
+  bool draining_ = false;
+  SessionManagerStats stats_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_SERVER_SESSION_MANAGER_H_

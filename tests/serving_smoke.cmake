@@ -1,0 +1,85 @@
+# End-to-end smoke test of the serving pair: boot uguided on an ephemeral
+# port, drive 16 concurrent sessions through uguide_loadgen (which checks
+# every served report byte-equal to its in-process reference), SIGTERM the
+# daemon, and require a graceful drain plus zero journal corruption.
+#
+# Run via `cmake -P`; the process orchestration (background daemon, port
+# handshake, signal, wait) needs a shell, so the script body runs under
+# bash — present on every platform this repo's CI targets.
+#
+# Inputs: -DUGUIDED=<binary> -DLOADGEN=<binary> -DWORK_DIR=<scratch dir>
+
+if(NOT UGUIDED OR NOT LOADGEN OR NOT WORK_DIR)
+  message(FATAL_ERROR "serving_smoke: UGUIDED, LOADGEN and WORK_DIR are "
+                      "required")
+endif()
+
+find_program(BASH_PROGRAM bash)
+if(NOT BASH_PROGRAM)
+  message(FATAL_ERROR "serving_smoke: bash not found")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/journals")
+
+# $1 = uguided, $2 = uguide_loadgen. The dataset flags must match between
+# the two processes (shared recipe, src/server/dataset.h).
+file(WRITE "${WORK_DIR}/smoke.sh" [=[
+uguided="$1"
+loadgen="$2"
+
+"$uguided" --port=0 --port-file=port.txt --journal-dir=journals \
+  --max-sessions=32 --rows=200 --budget=16 >daemon.log 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 240); do
+  [ -s port.txt ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.25
+done
+if ! [ -s port.txt ]; then
+  echo "serving_smoke: daemon never published its port" >&2
+  cat daemon.log >&2
+  kill "$daemon_pid" 2>/dev/null
+  exit 1
+fi
+
+"$loadgen" --port="$(cat port.txt)" --sessions=16 --concurrency=16 \
+  --strategy=all --rows=200 --budget=16 --check-journals=journals
+loadgen_rc=$?
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_rc=$?
+cat daemon.log
+
+if [ "$loadgen_rc" -ne 0 ]; then
+  echo "serving_smoke: loadgen failed (rc=$loadgen_rc)" >&2
+  exit 1
+fi
+if [ "$daemon_rc" -ne 0 ]; then
+  echo "serving_smoke: daemon did not drain cleanly (rc=$daemon_rc)" >&2
+  exit 1
+fi
+if ! grep -q "finished=16" daemon.log; then
+  echo "serving_smoke: daemon summary disagrees with loadgen" >&2
+  exit 1
+fi
+exit 0
+]=])
+
+execute_process(
+  COMMAND "${BASH_PROGRAM}" "${WORK_DIR}/smoke.sh" "${UGUIDED}" "${LOADGEN}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+message(STATUS "serving_smoke stdout:\n${out}")
+if(err)
+  message(STATUS "serving_smoke stderr:\n${err}")
+endif()
+if(NOT exit_code STREQUAL "0")
+  message(FATAL_ERROR "serving_smoke: failed with exit code ${exit_code}")
+endif()

@@ -61,6 +61,7 @@ struct Args {
   double error_rate = 0.15;
   std::string journal_path;
   bool resume = false;
+  JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
   uint64_t seed = 11;
   // Owned by main; null when --memory-budget-mb is absent.
   MemoryBudget* memory_budget = nullptr;
@@ -76,7 +77,8 @@ void Usage() {
                "[--discovery-deadline-ms=D]\n"
                "              [--strategy=fd|cell|tuple] [--budget=B] "
                "[--error-rate=E]\n"
-               "              [--journal=J] [--resume] [--seed=S]\n"
+               "              [--journal=J] [--journal-fsync=every|batch] "
+               "[--resume] [--seed=S]\n"
                "\n"
                "  --threads=N   worker threads for FD discovery and the "
                "session's violation-\n"
@@ -92,7 +94,11 @@ void Usage() {
                "  --discovery-deadline-ms=D    bound FD discovery; results "
                "may be truncated\n"
                "  session: --journal=J records answered questions durably; "
-               "--resume replays J\n");
+               "--resume replays J\n"
+               "           --journal-fsync=batch amortizes the per-record "
+               "fsync (a crash can\n"
+               "           lose one trailing batch, which a resume simply "
+               "re-asks)\n");
 }
 
 // Strict flag-value parsers. A value that does not parse (or is out of
@@ -214,6 +220,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (arg.rfind("--journal=", 0) == 0) {
       args->journal_path = arg.substr(10);
+    } else if (arg.rfind("--journal-fsync=", 0) == 0) {
+      const std::string value = arg.substr(16);
+      Result<JournalFsyncMode> mode = ParseJournalFsyncMode(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr,
+                     "uguide: invalid value '%s' for --journal-fsync "
+                     "(expected every|batch)\n",
+                     value.c_str());
+        return false;
+      }
+      args->journal_fsync = *mode;
     } else if (arg == "--resume") {
       args->resume = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -449,6 +466,7 @@ int RunSession(const Args& args, const Relation& clean) {
   SessionRunOptions run;
   run.journal_path = args.journal_path;
   run.resume = args.resume;
+  run.journal_fsync = args.journal_fsync;
   run.resilient = !args.fault_plan.empty();
   SessionReport report = Unwrap(
       session.Run(*strategy, args.budget, run), "running session");

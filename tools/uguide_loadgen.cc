@@ -1,0 +1,488 @@
+// uguide_loadgen — replay client for uguided: opens concurrent sessions
+// over real sockets, answers every question with the same simulated-expert
+// stack an in-process run uses, and checks that every served report is
+// byte-identical to the in-process reference run.
+//
+//   uguide_loadgen --port=P [--sessions=S] [--concurrency=C]
+//                  [--strategy=NAME|all] [--budget=B] [--id-prefix=X]
+//                  [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
+//                  [--no-verify] [--allow-refused] [--check-journals=DIR]
+//
+// The dataset flags must match the daemon's — both sides rebuild the same
+// dataset (src/server/dataset.h) and the reports can only be byte-equal if
+// they agree. Exit status: 0 iff every session finished with a verified
+// report (refusals tolerated only under --allow-refused).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/uguide.h"
+#include "server/dataset.h"
+#include "server/protocol.h"
+
+using namespace uguide;
+
+namespace {
+
+struct Args {
+  int port = 0;
+  int sessions = 16;
+  int concurrency = 4;
+  std::string strategy = "FDQ-BMC";
+  double budget = 0.0;  // 0 = dataset default
+  std::string id_prefix = "lg";
+  bool verify = true;
+  bool allow_refused = false;
+  /// When set, every per-session journal the daemon wrote under this
+  /// directory must load cleanly after the run (zero-corruption check).
+  std::string check_journals;
+  ServedDatasetOptions dataset;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: uguide_loadgen --port=P [--sessions=S] [--concurrency=C]\n"
+      "                      [--strategy=NAME|all] [--budget=B]\n"
+      "                      [--id-prefix=X] [--rows=R] [--error-rate=E]\n"
+      "                      [--seed=S] [--idk-rate=I] [--no-verify]\n"
+      "                      [--allow-refused] [--check-journals=DIR]\n");
+}
+
+bool FlagError(const char* flag, const std::string& value, const char* want) {
+  std::fprintf(stderr,
+               "uguide_loadgen: invalid value '%s' for %s (expected %s)\n",
+               value.c_str(), flag, want);
+  return false;
+}
+
+bool ParseIntFlag(const char* flag, const std::string& value, int min_value,
+                  int* out) {
+  if (value.empty()) return FlagError(flag, value, "an integer");
+  long long parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return FlagError(flag, value, "an integer");
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > std::numeric_limits<int>::max()) {
+      return FlagError(flag, value, "an integer in range");
+    }
+  }
+  if (parsed < min_value) return FlagError(flag, value, "a larger integer");
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const std::string& value,
+                     double* out) {
+  if (value.empty()) return FlagError(flag, value, "a number");
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return FlagError(flag, value, "a number");
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseU64Flag(const char* flag, const std::string& value, uint64_t* out) {
+  if (value.empty()) return FlagError(flag, value, "an integer");
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return FlagError(flag, value, "an integer");
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    if (flag == "--port") {
+      if (!ParseIntFlag("--port", value, 1, &args->port)) return false;
+    } else if (flag == "--sessions") {
+      if (!ParseIntFlag("--sessions", value, 1, &args->sessions)) return false;
+    } else if (flag == "--concurrency") {
+      if (!ParseIntFlag("--concurrency", value, 1, &args->concurrency)) {
+        return false;
+      }
+    } else if (flag == "--strategy") {
+      args->strategy = value;
+    } else if (flag == "--budget") {
+      if (!ParseDoubleFlag("--budget", value, &args->budget)) return false;
+    } else if (flag == "--id-prefix") {
+      args->id_prefix = value;
+    } else if (flag == "--no-verify") {
+      args->verify = false;
+    } else if (flag == "--allow-refused") {
+      args->allow_refused = true;
+    } else if (flag == "--check-journals") {
+      args->check_journals = value;
+    } else if (flag == "--rows") {
+      if (!ParseIntFlag("--rows", value, 1, &args->dataset.rows)) return false;
+    } else if (flag == "--error-rate") {
+      if (!ParseDoubleFlag("--error-rate", value, &args->dataset.error_rate)) {
+        return false;
+      }
+    } else if (flag == "--seed") {
+      if (!ParseU64Flag("--seed", value, &args->dataset.seed)) return false;
+    } else if (flag == "--idk-rate") {
+      if (!ParseDoubleFlag("--idk-rate", value, &args->dataset.idk_rate)) {
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "uguide_loadgen: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->port == 0) {
+    std::fprintf(stderr, "uguide_loadgen: --port is required\n");
+    return false;
+  }
+  return true;
+}
+
+/// Blocking line-oriented client connection.
+class Connection {
+ public:
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool WriteLine(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct SharedState {
+  const Session* session = nullptr;
+  const Args* args = nullptr;
+  std::vector<std::string> strategies;  // per-session rotation
+
+  std::mutex reference_mu;
+  std::map<std::string, std::string> reference_reports;
+
+  std::atomic<int> next_session{0};
+  std::atomic<int> ok{0};
+  std::atomic<int> mismatched{0};
+  std::atomic<int> refused{0};
+  std::atomic<int> failed{0};
+
+  std::mutex rtt_mu;
+  std::vector<double> rtt_ms;
+};
+
+/// The in-process reference report for `strategy` under the shared budget,
+/// serialized. Computed once per strategy (strategies are stateless and
+/// deterministic, so every session of a strategy yields the same bytes).
+const std::string* ReferenceReport(SharedState* state,
+                                   const std::string& strategy_name) {
+  std::lock_guard<std::mutex> lock(state->reference_mu);
+  auto it = state->reference_reports.find(strategy_name);
+  if (it != state->reference_reports.end()) return &it->second;
+  Result<std::unique_ptr<Strategy>> strategy =
+      MakeStrategyByName(strategy_name);
+  if (!strategy.ok()) return nullptr;
+  const double budget = state->args->budget > 0.0
+                            ? state->args->budget
+                            : state->session->config().budget;
+  Result<SessionReport> report =
+      state->session->Run(**strategy, budget, SessionRunOptions{});
+  if (!report.ok()) return nullptr;
+  auto inserted = state->reference_reports.emplace(
+      strategy_name, SerializeSessionReport(*report));
+  return &inserted.first->second;
+}
+
+/// Runs one served session over `conn`. Returns false only on connection
+/// failure (protocol/verification failures are counted in state).
+bool RunOneSession(SharedState* state, Connection* conn, int index) {
+  const Session& session = *state->session;
+  const Args& args = *state->args;
+  const std::string& strategy_name =
+      state->strategies[static_cast<size_t>(index) %
+                        state->strategies.size()];
+  const SessionConfig& config = session.config();
+
+  // The same expert stack Session::Run builds in-process: determinism of
+  // the served run is exactly the determinism of this stack.
+  SimulatedExpert expert(&session.true_violations(), &session.truth(),
+                         session.dirty().NumAttributes(), session.true_fds(),
+                         config.idk_rate, config.expert_seed,
+                         config.wrong_rate);
+  MajorityVoteExpert voting(&expert, std::max(1, config.expert_votes));
+  Expert* head = config.expert_votes > 1 ? static_cast<Expert*>(&voting)
+                                         : static_cast<Expert*>(&expert);
+
+  ClientFrame open;
+  open.op = ClientOp::kOpen;
+  open.id = args.id_prefix + "-" + std::to_string(index);
+  open.strategy = strategy_name;
+  if (args.budget > 0.0) {
+    open.budget = args.budget;
+    open.has_budget = true;
+  }
+  if (!conn->WriteLine(FormatClientFrame(open))) return false;
+
+  std::vector<double> rtts;
+  auto sent_at = std::chrono::steady_clock::now();
+  while (true) {
+    std::string line;
+    if (!conn->ReadLine(&line)) return false;
+    rtts.push_back(std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - sent_at)
+                       .count());
+
+    Result<ServerFrame> frame = ParseServerFrame(line);
+    if (!frame.ok()) {
+      std::fprintf(stderr, "uguide_loadgen: bad server frame: %s\n",
+                   frame.status().ToString().c_str());
+      state->failed.fetch_add(1);
+      return true;
+    }
+    switch (frame->type) {
+      case ServerFrameType::kQuestion: {
+        const SessionQuestion& q = frame->question;
+        ClientFrame answer;
+        answer.op = ClientOp::kAnswer;
+        answer.id = open.id;
+        answer.seq = q.index;
+        switch (q.kind) {
+          case QuestionKind::kCell:
+            answer.answer = head->IsCellErroneous(q.cell);
+            break;
+          case QuestionKind::kTuple:
+            answer.answer = head->IsTupleClean(q.row);
+            break;
+          case QuestionKind::kFd:
+            answer.answer = head->IsFdValid(q.fd);
+            break;
+        }
+        sent_at = std::chrono::steady_clock::now();
+        if (!conn->WriteLine(FormatClientFrame(answer))) return false;
+        break;
+      }
+      case ServerFrameType::kReport: {
+        if (state->args->verify) {
+          const std::string* expected =
+              ReferenceReport(state, strategy_name);
+          if (expected == nullptr || *expected != frame->report) {
+            std::fprintf(stderr,
+                         "uguide_loadgen: report mismatch for %s (%s)\n",
+                         open.id.c_str(), strategy_name.c_str());
+            state->mismatched.fetch_add(1);
+            {
+              std::lock_guard<std::mutex> lock(state->rtt_mu);
+              state->rtt_ms.insert(state->rtt_ms.end(), rtts.begin(),
+                                   rtts.end());
+            }
+            return true;
+          }
+        }
+        state->ok.fetch_add(1);
+        std::lock_guard<std::mutex> lock(state->rtt_mu);
+        state->rtt_ms.insert(state->rtt_ms.end(), rtts.begin(), rtts.end());
+        return true;
+      }
+      case ServerFrameType::kError: {
+        const StatusCode code = static_cast<StatusCode>(frame->code);
+        const bool refusal = code == StatusCode::kResourceExhausted ||
+                             code == StatusCode::kUnavailable;
+        if (refusal && args.allow_refused) {
+          state->refused.fetch_add(1);
+        } else {
+          std::fprintf(stderr, "uguide_loadgen: server error for %s: %s\n",
+                       open.id.c_str(), frame->message.c_str());
+          state->failed.fetch_add(1);
+        }
+        return true;
+      }
+      case ServerFrameType::kClosed:
+      case ServerFrameType::kPong:
+        // Unexpected here but harmless; keep reading.
+        break;
+    }
+  }
+}
+
+void Worker(SharedState* state) {
+  Connection conn;
+  if (!conn.Connect(state->args->port)) {
+    std::fprintf(stderr, "uguide_loadgen: cannot connect to port %d\n",
+                 state->args->port);
+    state->failed.fetch_add(1);
+    return;
+  }
+  while (true) {
+    const int index = state->next_session.fetch_add(1);
+    if (index >= state->args->sessions) return;
+    if (!RunOneSession(state, &conn, index)) {
+      // Connection died; reconnect and keep draining the work queue.
+      state->failed.fetch_add(1);
+      if (!conn.Connect(state->args->port)) return;
+    }
+  }
+}
+
+/// Loads every journal the daemon wrote for this run's session ids and
+/// fails on the first corrupt one. A missing journal is fine (refused
+/// sessions never open one); a present-but-unparsable journal is the bug
+/// this check exists to catch.
+int CheckJournals(const Args& args) {
+  int checked = 0;
+  for (int index = 0; index < args.sessions; ++index) {
+    const std::string path = args.check_journals + "/" + args.id_prefix +
+                             "-" + std::to_string(index) + ".journal";
+    if (::access(path.c_str(), F_OK) != 0) continue;
+    Result<LoadedJournal> journal = LoadJournal(path);
+    if (!journal.ok()) {
+      std::fprintf(stderr, "uguide_loadgen: corrupt journal %s: %s\n",
+                   path.c_str(), journal.status().ToString().c_str());
+      return -1;
+    }
+    ++checked;
+  }
+  return checked;
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(values->size() - 1) / 100.0);
+  return (*values)[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  Result<Session> session = MakeServedDataset(args.dataset);
+  if (!session.ok()) {
+    std::fprintf(stderr, "uguide_loadgen: dataset: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  SharedState state;
+  state.session = &*session;
+  state.args = &args;
+  if (args.strategy == "all") {
+    state.strategies = KnownStrategyNames();
+  } else {
+    state.strategies = {args.strategy};
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int i = 0; i < args.concurrency; ++i) {
+    workers.emplace_back(Worker, &state);
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started)
+                               .count();
+
+  const int ok = state.ok.load();
+  const int mismatched = state.mismatched.load();
+  const int refused = state.refused.load();
+  const int failed = state.failed.load();
+  const double p50 = Percentile(&state.rtt_ms, 50.0);
+  const double p99 = Percentile(&state.rtt_ms, 99.0);
+  std::printf(
+      "uguide_loadgen: ok=%d mismatched=%d refused=%d failed=%d "
+      "answers=%zu elapsed=%.2fs rtt_p50=%.3fms rtt_p99=%.3fms\n",
+      ok, mismatched, refused, failed, state.rtt_ms.size(), elapsed_s, p50,
+      p99);
+
+  if (!args.check_journals.empty()) {
+    const int checked = CheckJournals(args);
+    if (checked < 0) return 1;
+    std::printf("uguide_loadgen: journals checked=%d corrupt=0\n", checked);
+  }
+
+  if (mismatched > 0 || failed > 0) return 1;
+  if (ok + refused < args.sessions) return 1;
+  return 0;
+}

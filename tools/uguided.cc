@@ -1,0 +1,264 @@
+// uguided — the UGuide serving daemon: N concurrent interactive sessions
+// over a newline-delimited JSON TCP protocol (see src/server/protocol.h).
+//
+//   uguided [--port=P] [--port-file=F] [--max-sessions=N]
+//           [--idle-timeout-ms=T] [--journal-dir=D]
+//           [--journal-fsync=every|batch] [--threads=N]
+//           [--memory-budget-mb=M] [--fault-plan=PLAN]
+//           [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
+//           [--budget=B]
+//
+// The daemon pins one dataset at startup (the hospital benchmark built
+// from --rows/--error-rate/--seed — the recipe in src/server/dataset.h);
+// every served session runs one strategy against it. Clients choose the
+// strategy, budget, and session id per open. --port=0 binds an ephemeral
+// port, printed on stdout and optionally written to --port-file for
+// scripts. SIGTERM/SIGINT drain gracefully: stop accepting, abandon
+// in-flight sessions (journals synced, resumable), print a summary.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "common/memory_budget.h"
+#include "common/thread_pool.h"
+#include "server/daemon.h"
+#include "server/dataset.h"
+
+using namespace uguide;
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+struct Args {
+  int port = 0;
+  std::string port_file;
+  int max_sessions = 64;
+  double idle_timeout_ms = 0.0;
+  std::string journal_dir;
+  JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
+  int threads = 1;
+  int memory_budget_mb = 0;
+  std::string fault_plan;
+  ServedDatasetOptions dataset;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: uguided [--port=P] [--port-file=F] [--max-sessions=N]\n"
+      "               [--idle-timeout-ms=T] [--journal-dir=D]\n"
+      "               [--journal-fsync=every|batch] [--threads=N]\n"
+      "               [--memory-budget-mb=M] [--fault-plan=PLAN]\n"
+      "               [--rows=R] [--error-rate=E] [--seed=S]\n"
+      "               [--idk-rate=I] [--budget=B]\n");
+}
+
+bool FlagError(const char* flag, const std::string& value, const char* want) {
+  std::fprintf(stderr, "uguided: invalid value '%s' for %s (expected %s)\n",
+               value.c_str(), flag, want);
+  return false;
+}
+
+bool ParseIntFlag(const char* flag, const std::string& value, int min_value,
+                  int* out) {
+  if (value.empty()) return FlagError(flag, value, "an integer");
+  long long parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return FlagError(flag, value, "an integer");
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > std::numeric_limits<int>::max()) {
+      return FlagError(flag, value, "an integer in range");
+    }
+  }
+  if (parsed < min_value) return FlagError(flag, value, "a larger integer");
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const std::string& value,
+                     double* out) {
+  if (value.empty()) return FlagError(flag, value, "a number");
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return FlagError(flag, value, "a number");
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseU64Flag(const char* flag, const std::string& value, uint64_t* out) {
+  if (value.empty()) return FlagError(flag, value, "an integer");
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return FlagError(flag, value, "an integer");
+  }
+  *out = parsed;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    if (flag == "--port") {
+      if (!ParseIntFlag("--port", value, 0, &args->port)) return false;
+    } else if (flag == "--port-file") {
+      args->port_file = value;
+    } else if (flag == "--max-sessions") {
+      if (!ParseIntFlag("--max-sessions", value, 1, &args->max_sessions)) {
+        return false;
+      }
+    } else if (flag == "--idle-timeout-ms") {
+      if (!ParseDoubleFlag("--idle-timeout-ms", value,
+                           &args->idle_timeout_ms)) {
+        return false;
+      }
+    } else if (flag == "--journal-dir") {
+      args->journal_dir = value;
+    } else if (flag == "--journal-fsync") {
+      Result<JournalFsyncMode> mode = ParseJournalFsyncMode(value);
+      if (!mode.ok()) {
+        return FlagError("--journal-fsync", value, "every|batch");
+      }
+      args->journal_fsync = *mode;
+    } else if (flag == "--threads") {
+      if (!ParseIntFlag("--threads", value, 0, &args->threads)) return false;
+    } else if (flag == "--memory-budget-mb") {
+      if (!ParseIntFlag("--memory-budget-mb", value, 0,
+                        &args->memory_budget_mb)) {
+        return false;
+      }
+    } else if (flag == "--fault-plan") {
+      args->fault_plan = value;
+    } else if (flag == "--rows") {
+      if (!ParseIntFlag("--rows", value, 1, &args->dataset.rows)) return false;
+    } else if (flag == "--error-rate") {
+      if (!ParseDoubleFlag("--error-rate", value, &args->dataset.error_rate)) {
+        return false;
+      }
+    } else if (flag == "--seed") {
+      if (!ParseU64Flag("--seed", value, &args->dataset.seed)) return false;
+    } else if (flag == "--idk-rate") {
+      if (!ParseDoubleFlag("--idk-rate", value, &args->dataset.idk_rate)) {
+        return false;
+      }
+    } else if (flag == "--budget") {
+      if (!ParseDoubleFlag("--budget", value, &args->dataset.budget)) {
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "uguided: unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  if (!args.fault_plan.empty()) {
+    Status loaded = FaultRegistry::Global().LoadPlan(args.fault_plan);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "uguided: bad --fault-plan: %s\n",
+                   loaded.message().c_str());
+      return 2;
+    }
+  }
+
+  const int threads =
+      args.threads > 0
+          ? args.threads
+          : static_cast<int>(std::thread::hardware_concurrency());
+  args.dataset.num_threads = threads;
+
+  std::fprintf(stderr, "uguided: building dataset (%d rows)...\n",
+               args.dataset.rows);
+  Result<Session> session = MakeServedDataset(args.dataset);
+  if (!session.ok()) {
+    std::fprintf(stderr, "uguided: dataset: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  MemoryBudget memory =
+      args.memory_budget_mb > 0
+          ? MemoryBudget::FromMegabytes(args.memory_budget_mb)
+          : MemoryBudget();
+  ThreadPool pool(std::max(1, threads));
+
+  DaemonOptions options;
+  options.port = args.port;
+  options.manager.max_sessions = args.max_sessions;
+  options.manager.idle_timeout_ms = args.idle_timeout_ms;
+  options.manager.journal_dir = args.journal_dir;
+  options.manager.journal_fsync = args.journal_fsync;
+  options.manager.pool = &pool;
+  options.manager.memory_budget =
+      args.memory_budget_mb > 0 ? &memory : nullptr;
+
+  Result<std::unique_ptr<ServingDaemon>> daemon =
+      ServingDaemon::Start(&*session, options);
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "uguided: %s\n",
+                 daemon.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("uguided: listening on 127.0.0.1:%d\n", (*daemon)->port());
+  std::fflush(stdout);
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", (*daemon)->port());
+      std::fclose(f);
+    }
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (*daemon)->manager().EvictIdle();
+  }
+
+  std::fprintf(stderr, "uguided: draining...\n");
+  (*daemon)->Shutdown();
+  const SessionManagerStats stats = (*daemon)->manager().stats();
+  std::printf(
+      "uguided: done. opened=%d finished=%d evicted=%d refused=%d\n",
+      stats.opened, stats.finished, stats.evicted, stats.refused);
+  return 0;
+}
