@@ -22,9 +22,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/uguide.h"
 #include "server/daemon.h"
 #include "server/dataset.h"
+#include "server/dataset_registry.h"
 #include "server/protocol.h"
 
 using namespace uguide;
@@ -223,11 +225,21 @@ int main(int argc, char** argv) {
   dataset.budget = args.budget;
   std::fprintf(stderr, "bench_serving: building dataset (%d rows)...\n",
                dataset.rows);
-  Session session = MakeServedDataset(dataset).ValueOrDie();
+
+  // The production shape: shared artifacts from the registry, session
+  // steps on the process pool behind the epoll reactor.
+  ThreadPool pool(ThreadPool::kAuto);
+  DatasetRegistryOptions registry_options;
+  registry_options.pool = &pool;
+  DatasetRegistry registry(registry_options);
+  std::shared_ptr<const DatasetArtifacts> artifacts =
+      registry.Open(dataset).ValueOrDie();
+  const Session& session = artifacts->session;
 
   DaemonOptions options;
   options.manager.max_sessions = 128;
-  auto daemon = ServingDaemon::Start(&session, options).ValueOrDie();
+  options.manager.pool = &pool;
+  auto daemon = ServingDaemon::Start(artifacts, options).ValueOrDie();
 
   std::printf("== Serving throughput (rows=%d, budget=%g, strategy=%s) ==\n",
               args.rows, args.budget, args.strategy.c_str());
@@ -236,7 +248,11 @@ int main(int argc, char** argv) {
 
   std::vector<LevelResult> results;
   for (int concurrency : {1, 16, 64}) {
-    const int sessions = std::max(16, 2 * concurrency);
+    // At least 64 sessions per level so short levels do not ride on
+    // scheduler luck, and 4x concurrency so the ramp/drain tail
+    // (stragglers running below full concurrency) does not dominate the
+    // measured throughput.
+    const int sessions = std::max(64, 4 * concurrency);
     LevelResult level =
         RunLevel(session, daemon->port(), args, concurrency, sessions);
     if (level.completed != level.sessions) {

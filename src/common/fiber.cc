@@ -1,0 +1,174 @@
+#include "common/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.h"
+
+// Sanitizer fiber annotations. ASan must be told about every stack switch
+// (or fake-stack bookkeeping corrupts and stack-use-after-return reports
+// point into the void); TSan must be told so the happens-before state of
+// the fiber travels with it across pool threads instead of looking like a
+// data race on every strategy variable.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define UGUIDE_FIBER_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define UGUIDE_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) && !defined(UGUIDE_FIBER_ASAN)
+#define UGUIDE_FIBER_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__) && !defined(UGUIDE_FIBER_TSAN)
+#define UGUIDE_FIBER_TSAN 1
+#endif
+
+#ifdef UGUIDE_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef UGUIDE_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace uguide {
+
+namespace {
+
+/// The fiber currently executing on this thread (null on a plain thread).
+/// Maintained by Resume around every switch; Yield and the trampoline read
+/// it to find "self".
+thread_local Fiber* t_current_fiber = nullptr;
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+size_t RoundUpToPage(size_t bytes) {
+  const size_t page = PageSize();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, size_t stack_bytes)
+    : body_(std::move(body)) {
+  stack_bytes_ = RoundUpToPage(stack_bytes);
+  mapping_bytes_ = stack_bytes_ + PageSize();
+  void* mapping = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  UGUIDE_CHECK(mapping != MAP_FAILED) << "fiber stack mmap failed";
+  mapping_ = static_cast<char*>(mapping);
+  // Guard page at the low end: stack overflow faults instead of scribbling.
+  UGUIDE_CHECK(::mprotect(mapping_, PageSize(), PROT_NONE) == 0)
+      << "fiber guard page mprotect failed";
+  stack_bottom_ = mapping_ + PageSize();
+
+  UGUIDE_CHECK(::getcontext(&fiber_ctx_) == 0) << "getcontext failed";
+  fiber_ctx_.uc_stack.ss_sp = stack_bottom_;
+  fiber_ctx_.uc_stack.ss_size = stack_bytes_;
+  // No uc_link: the trampoline swaps back explicitly after the body
+  // returns, so the final switch carries the sanitizer annotations too.
+  fiber_ctx_.uc_link = nullptr;
+  ::makecontext(&fiber_ctx_, &Fiber::Trampoline, 0);
+
+#ifdef UGUIDE_FIBER_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+  UGUIDE_CHECK(!started_ || finished_)
+      << "destroying a live fiber; wind it down first";
+#ifdef UGUIDE_FIBER_TSAN
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_bytes_);
+}
+
+void Fiber::Trampoline() {
+  Fiber* self = t_current_fiber;
+  UGUIDE_CHECK(self != nullptr) << "fiber trampoline without a current fiber";
+#ifdef UGUIDE_FIBER_ASAN
+  // Complete the switch that brought us here; remember the resumer's stack
+  // bounds for the switch back.
+  __sanitizer_finish_switch_fiber(self->asan_fiber_fake_stack_,
+                                  &self->asan_caller_stack_bottom_,
+                                  &self->asan_caller_stack_size_);
+#endif
+  // No stack frame exists below this one: an escaping exception cannot
+  // unwind anywhere sensible, so fail loudly instead of corrupting state.
+  try {
+    self->body_();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: exception escaped a fiber body: %s\n",
+                 e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "fatal: exception escaped a fiber body\n");
+    std::abort();
+  }
+  self->finished_ = true;
+  self->SwitchOut();
+  UGUIDE_CHECK(false) << "finished fiber resumed";
+}
+
+void Fiber::Resume() {
+  UGUIDE_CHECK(!finished_) << "Resume on a finished fiber";
+  started_ = true;
+  Fiber* const previous = t_current_fiber;
+  t_current_fiber = this;
+  SwitchIn();
+  t_current_fiber = previous;
+}
+
+void Fiber::Yield() {
+  Fiber* self = t_current_fiber;
+  UGUIDE_CHECK(self != nullptr) << "Yield outside a fiber";
+  self->SwitchOut();
+}
+
+void Fiber::SwitchIn() {
+#ifdef UGUIDE_FIBER_TSAN
+  tsan_resumer_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#ifdef UGUIDE_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&asan_caller_fake_stack_, stack_bottom_,
+                                 stack_bytes_);
+#endif
+  UGUIDE_CHECK(::swapcontext(&caller_ctx_, &fiber_ctx_) == 0)
+      << "swapcontext into fiber failed";
+#ifdef UGUIDE_FIBER_ASAN
+  // Back on the caller: if the fiber finished it passed null as its saved
+  // fake stack, which tells ASan to free the fiber's fake-stack state.
+  __sanitizer_finish_switch_fiber(asan_caller_fake_stack_, nullptr, nullptr);
+#endif
+}
+
+void Fiber::SwitchOut() {
+#ifdef UGUIDE_FIBER_TSAN
+  __tsan_switch_to_fiber(tsan_resumer_, 0);
+#endif
+#ifdef UGUIDE_FIBER_ASAN
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fiber_fake_stack_,
+                                 asan_caller_stack_bottom_,
+                                 asan_caller_stack_size_);
+#endif
+  UGUIDE_CHECK(::swapcontext(&fiber_ctx_, &caller_ctx_) == 0)
+      << "swapcontext out of fiber failed";
+#ifdef UGUIDE_FIBER_ASAN
+  // Resumed again (possibly on another thread).
+  __sanitizer_finish_switch_fiber(asan_fiber_fake_stack_,
+                                  &asan_caller_stack_bottom_,
+                                  &asan_caller_stack_size_);
+#endif
+}
+
+}  // namespace uguide

@@ -1,0 +1,97 @@
+#ifndef UGUIDE_COMMON_FIBER_H_
+#define UGUIDE_COMMON_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+
+namespace uguide {
+
+/// \brief A stackful coroutine: a callable running on its own stack that
+/// can park itself (`Yield`) and be continued later (`Resume`) from any
+/// thread.
+///
+/// This is the primitive that lets a blocking strategy loop be served
+/// without a dedicated OS thread. A SessionStateMachine runs its strategy
+/// on a fiber; between questions the fiber is just a parked stack (a few
+/// hundred KiB, no kernel thread), so 10k concurrent sessions cost 10k
+/// stacks instead of 10k pump threads, and each "step" executes inline on
+/// whichever pool thread resumed the fiber.
+///
+/// Contract:
+///  - `Resume` runs the body until it calls `Yield` or returns. It must
+///    never be called concurrently for the same fiber, and never after
+///    `finished()` — callers serialize (the serving layer's per-session
+///    mutex, or a single driving thread).
+///  - `Yield` may only be called from inside the body, on the thread that
+///    is currently resuming it.
+///  - Successive `Resume` calls may come from *different* threads; the
+///    caller must establish happens-before between them (e.g. hand the
+///    fiber over under a mutex). The body must therefore not hold a mutex
+///    or thread-bound resource (errno aside) across a `Yield`.
+///  - The body must not let an exception escape: there is no stack below
+///    the trampoline to unwind into. The trampoline aborts with the
+///    exception's message if one does.
+///  - The destructor requires `finished()` — wind the body down first
+///    (e.g. SessionStateMachine::Abandon answers kIdk until the strategy
+///    returns).
+///
+/// The stack is mmap'd with a PROT_NONE guard page below it, so overflow
+/// faults instead of corrupting a neighbor. Under ASan/TSan the switches
+/// carry the sanitizer fiber annotations (__sanitizer_start_switch_fiber /
+/// __tsan_switch_to_fiber), so sanitized builds see every fiber as a
+/// properly registered stack — the serving TSan gate depends on this.
+class Fiber {
+ public:
+  /// 512 KiB of usable stack: strategies recurse only over attribute sets
+  /// (depth ≤ #attributes) but run the full question loop, journal I/O and
+  /// partition math on this stack.
+  static constexpr size_t kDefaultStackBytes = 512 * 1024;
+
+  explicit Fiber(std::function<void()> body,
+                 size_t stack_bytes = kDefaultStackBytes);
+
+  /// Requires finished().
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the body until its next Yield or until it returns.
+  void Resume();
+
+  /// Parks the calling fiber and returns control to its resumer.
+  static void Yield();
+
+  /// True once the body has returned; Resume must not be called again.
+  bool finished() const { return finished_; }
+
+ private:
+  static void Trampoline();
+
+  void SwitchIn();   // resumer side: annotate + swap into the fiber
+  void SwitchOut();  // fiber side: annotate + swap back to the resumer
+
+  std::function<void()> body_;
+  ucontext_t caller_ctx_;
+  ucontext_t fiber_ctx_;
+  char* mapping_ = nullptr;    // guard page + stack
+  size_t mapping_bytes_ = 0;   // total mapping size
+  char* stack_bottom_ = nullptr;
+  size_t stack_bytes_ = 0;     // usable stack size
+  bool started_ = false;
+  bool finished_ = false;
+
+  // Sanitizer bookkeeping (unused members in plain builds are harmless).
+  void* tsan_fiber_ = nullptr;
+  void* tsan_resumer_ = nullptr;
+  void* asan_caller_fake_stack_ = nullptr;
+  void* asan_fiber_fake_stack_ = nullptr;
+  const void* asan_caller_stack_bottom_ = nullptr;
+  size_t asan_caller_stack_size_ = 0;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_FIBER_H_

@@ -17,11 +17,16 @@ namespace {
 // Shared working state for one cell-strategy run. The graph is built
 // through the session's shared violation engine (or a private fallback)
 // and, when the context carries a pool, in parallel — bit-identical to
-// the serial build either way.
+// the serial build either way. When the context carries a prebuilt shared
+// graph (a DatasetRegistry artifact over the same candidate set), the run
+// copies it instead: the copy is the run's private mutable state (answers
+// deactivate nodes), while the expensive build is paid once per dataset.
 struct CellRun {
   CellRun(const QuestionContext& ctx, const CellStrategyOptions& options)
       : engine(ctx.engine, ctx.dirty),
-        graph(ViolationGraph::Build(*engine, *ctx.candidates, ctx.pool)),
+        graph(ctx.graph != nullptr
+                  ? *ctx.graph
+                  : ViolationGraph::Build(*engine, *ctx.candidates, ctx.pool)),
         fd_conf(static_cast<size_t>(graph.NumFds()),
                 options.initial_confidence),
         asked(static_cast<size_t>(graph.NumCells()), false) {}

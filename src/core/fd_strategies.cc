@@ -84,6 +84,18 @@ StrategyResult RunFdLoop(const QuestionContext& ctx,
                          EligibleFn eligible, ScoreFn score) {
   StrategyResult result;
   std::unordered_set<Cell, CellHash> covered;
+  // Lazy uncovered counts: `covered` only grows when an FD is accepted, so
+  // between acceptances every question's uncovered count is unchanged and
+  // the greedy scan does not need to re-walk the (large) violation-cell
+  // vectors. Counts are recomputed per question at most once per accepted
+  // answer; selection is value-identical to the eager scan. With covered
+  // initially empty the count is just the cell total.
+  std::vector<size_t> uncovered_cache(questions.size());
+  for (size_t i = 0; i < questions.size(); ++i) {
+    uncovered_cache[i] = questions[i].cells.size();
+  }
+  std::vector<uint32_t> cache_epoch(questions.size(), 0);
+  uint32_t covered_epoch = 0;
   for (;;) {
     const double remaining = ctx.budget - result.cost_spent;
     int best = -1;
@@ -91,7 +103,11 @@ StrategyResult RunFdLoop(const QuestionContext& ctx,
     for (size_t i = 0; i < questions.size(); ++i) {
       FdQuestion& q = questions[i];
       if (q.asked || q.cost > remaining || !eligible(q)) continue;
-      const size_t uncovered = CountUncovered(q, covered);
+      if (cache_epoch[i] != covered_epoch) {
+        uncovered_cache[i] = CountUncovered(q, covered);
+        cache_epoch[i] = covered_epoch;
+      }
+      const size_t uncovered = uncovered_cache[i];
       if (uncovered == 0) continue;  // nothing new to gain
       const double s = score(q, uncovered);
       if (best < 0 || s > best_score) {
@@ -108,6 +124,7 @@ StrategyResult RunFdLoop(const QuestionContext& ctx,
     if (answer == Answer::kYes) {
       result.accepted_fds.Add(q.fd);
       covered.insert(q.cells.begin(), q.cells.end());
+      ++covered_epoch;
     }
     // "no" discards the FD (asked = true suffices); "I don't know" likewise
     // leaves the question unanswered -- merged/non-minimal variants of the

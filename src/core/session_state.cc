@@ -13,10 +13,10 @@ namespace uguide {
 
 /// \brief The Expert the strategy talks to inside the machine.
 ///
-/// Lives on the pump thread. Each question becomes a JournalRecord (the
+/// Lives on the strategy fiber. Each question becomes a JournalRecord (the
 /// same shape JournalingExpert built), is matched against the replay tail
-/// if one is loaded, published to the driver, and parked until the driver
-/// submits an answer. Replayed questions are *still published* — the
+/// if one is loaded, published to the driver, and parks the fiber until the
+/// driver submits an answer. Replayed questions are *still published* — the
 /// driver must ask its own expert so any stateful stack (RNG, retry
 /// counters) advances exactly as in the original run — but the submitted
 /// answer is discarded in favor of the journal's, which is the inverted
@@ -57,6 +57,12 @@ class SessionStateMachine::ChannelExpert : public Expert {
  private:
   Answer Ask(JournalRecord record) {
     SessionStateMachine* m = machine_;
+    // An abandoned machine answers kIdk without publishing: every strategy
+    // charges positive cost per question, so the run drains its budget and
+    // winds down without another party in the loop. No yield — the
+    // abandoning thread runs the wind-down to completion.
+    if (m->abandoned_) return Answer::kIdk;
+
     bool replayed = false;
     if (!replay_abandoned_ && replay_pos_ < replay_.size()) {
       if (SameJournalQuestion(replay_[replay_pos_], record)) {
@@ -69,12 +75,9 @@ class SessionStateMachine::ChannelExpert : public Expert {
       }
     }
 
-    std::unique_lock<std::mutex> lock(m->mu_);
-    // An abandoned machine answers kIdk without publishing: every
-    // strategy charges positive cost per question, so the run drains its
-    // budget and winds down without another party in the loop.
-    if (m->abandoned_) return Answer::kIdk;
-
+    // Publish the question and park the fiber. The machine's mutex is held
+    // by the resuming thread, and every mutation below runs on whichever
+    // thread resumed us, so the driver-visible state is always guarded.
     SessionQuestion question;
     question.kind = record.kind;
     question.cell = record.cell;
@@ -86,13 +89,11 @@ class SessionStateMachine::ChannelExpert : public Expert {
     m->pending_question_ = question;
     m->pending_answered_ = false;
     m->pending_delivered_ = false;
-    m->cv_.notify_all();
-    m->cv_.wait(lock,
-                [&] { return m->pending_answered_ || m->abandoned_; });
+    Fiber::Yield();
+
     m->pending_question_.reset();
     if (!m->pending_answered_) {
-      // Abandoned while parked.
-      m->cv_.notify_all();
+      // Abandoned while parked: the submission never arrived.
       return Answer::kIdk;
     }
     const AnswerSubmission submission = m->submission_;
@@ -108,21 +109,17 @@ class SessionStateMachine::ChannelExpert : public Expert {
       const Answer answer = replay_[replay_pos_].answer;
       ++replay_pos_;
       ++m->served_replays_;
-      m->cv_.notify_all();
       return answer;
     }
 
     record.answer = submission.answer;
     if (m->writer_.has_value() && m->write_status_.ok()) {
-      // Journal I/O off the lock; the driver cannot observe a next
-      // question until this append returns, so durability still precedes
-      // the strategy seeing the answer.
-      lock.unlock();
+      // Durability precedes visibility: this append returns before the
+      // strategy sees the answer, so no later question can exist whose
+      // predecessor is not journaled.
       Status status = m->writer_->Append(record);
-      lock.lock();
       if (!status.ok()) m->write_status_ = std::move(status);
     }
-    m->cv_.notify_all();
     return submission.answer;
   }
 
@@ -142,10 +139,17 @@ SessionStateMachine::SessionStateMachine(const Session& session,
       strategy_(strategy),
       budget_(budget),
       options_(std::move(options)) {
-  MemoryBudget* memory = options_.memory_budget != nullptr
-                             ? options_.memory_budget
-                             : session_.config().candidate_options.memory_budget;
-  engine_ = std::make_unique<ViolationEngine>(&session_.dirty(), memory);
+  if (options_.engine != nullptr) {
+    engine_ = options_.engine;
+  } else {
+    MemoryBudget* memory =
+        options_.memory_budget != nullptr
+            ? options_.memory_budget
+            : session_.config().candidate_options.memory_budget;
+    owned_engine_ =
+        std::make_unique<ViolationEngine>(&session_.dirty(), memory);
+    engine_ = owned_engine_.get();
+  }
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
   } else {
@@ -198,7 +202,8 @@ Result<std::unique_ptr<SessionStateMachine>> SessionStateMachine::Start(
   machine->channel_ = std::make_unique<ChannelExpert>(
       machine.get(), std::move(replay), config.cost,
       session.dirty().NumAttributes());
-  machine->pump_ = std::thread(&SessionStateMachine::PumpMain, machine.get());
+  machine->fiber_ = std::make_unique<Fiber>(
+      [m = machine.get()] { m->PumpMain(); });
   return machine;
 }
 
@@ -218,23 +223,25 @@ void SessionStateMachine::PumpMain() {
   ctx.true_fds = &session_.true_fds();
   ctx.true_violations = &session_.true_violations();
   ctx.injected = &session_.truth();
-  ctx.engine = engine_.get();
+  ctx.engine = engine_;
+  ctx.graph = options_.graph;
   ctx.pool = pool_;
 
-  StrategyResult result = strategy_.Run(ctx);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  result_ = std::move(result);
+  result_ = strategy_.Run(ctx);
   done_ = true;
-  cv_.notify_all();
+}
+
+void SessionStateMachine::StepLocked() {
+  // The fiber runs the strategy inline on this thread until the channel
+  // expert publishes a question (and yields) or the strategy returns.
+  if (!done_ && !fiber_->finished()) fiber_->Resume();
 }
 
 std::optional<SessionQuestion> SessionStateMachine::NextQuestion() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    return done_ || abandoned_ ||
-           (pending_question_.has_value() && !pending_answered_);
-  });
+  if (!done_ && !abandoned_ && !pending_question_.has_value()) {
+    StepLocked();
+  }
   if (pending_question_.has_value() && !pending_answered_) {
     pending_delivered_ = true;
     return pending_question_;
@@ -243,7 +250,7 @@ std::optional<SessionQuestion> SessionStateMachine::NextQuestion() {
 }
 
 Status SessionStateMachine::SubmitAnswer(const AnswerSubmission& submission) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (abandoned_) {
     return Status::FailedPrecondition("session abandoned");
   }
@@ -255,7 +262,10 @@ Status SessionStateMachine::SubmitAnswer(const AnswerSubmission& submission) {
   }
   submission_ = submission;
   pending_answered_ = true;
-  cv_.notify_all();
+  // Consume the answer now: the fiber journals it and either publishes the
+  // next question or finishes, all before SubmitAnswer returns — the same
+  // durability ordering the pump-thread machine guaranteed.
+  StepLocked();
   return Status::OK();
 }
 
@@ -264,16 +274,16 @@ Result<SessionReport> SessionStateMachine::Finish() {
   if (finished_) {
     return Status::FailedPrecondition("session already finished");
   }
-  cv_.wait(lock, [&] {
-    return done_ || (pending_question_.has_value() && !pending_answered_);
-  });
+  if (!done_ && !abandoned_ && !pending_question_.has_value()) {
+    // The driver never pulled a first question (or the machine is mid
+    // stream with nothing outstanding): advance to the next boundary.
+    StepLocked();
+  }
   if (!done_) {
     return Status::FailedPrecondition(
         "a question is outstanding; answer it or Abandon first");
   }
   finished_ = true;
-  lock.unlock();
-  if (pump_.joinable()) pump_.join();
 
   SessionReport report;
   report.strategy_name = std::string(strategy_.name());
@@ -296,12 +306,14 @@ Result<SessionReport> SessionStateMachine::Finish() {
 }
 
 void SessionStateMachine::Abandon() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    abandoned_ = true;
-    cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (abandoned_ && done_) return;
+  abandoned_ = true;
+  // Wind the strategy down on this thread: the parked question (if any)
+  // and every later one are answered kIdk by the channel expert.
+  while (!done_ && fiber_ != nullptr && !fiber_->finished()) {
+    fiber_->Resume();
   }
-  if (pump_.joinable()) pump_.join();
   if (writer_.has_value()) {
     // Best effort: Abandon has no failure channel, and the journal is
     // already durable up to the last acknowledged answer.

@@ -1,19 +1,20 @@
 #ifndef UGUIDE_CORE_SESSION_STATE_H_
 #define UGUIDE_CORE_SESSION_STATE_H_
 
-#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/fiber.h"
 #include "core/session.h"
 #include "core/session_journal.h"
 #include "core/strategy.h"
 
 namespace uguide {
+
+class ViolationGraph;
 
 /// \brief One question surfaced by a stepped session.
 ///
@@ -66,6 +67,15 @@ struct SessionStepOptions {
   /// session's candidate_options.memory_budget (the daemon passes its
   /// process budget explicitly).
   MemoryBudget* memory_budget = nullptr;
+  /// Shared read-only violation engine (a DatasetRegistry artifact with
+  /// warmed partitions). Null = the machine owns a private engine, as the
+  /// CLI and standalone tests do. The engine is internally locked, so any
+  /// number of machines may share one.
+  ViolationEngine* engine = nullptr;
+  /// Shared prebuilt violation graph for the same candidate set. Cell
+  /// strategies copy it instead of rebuilding (bit-identical: the artifact
+  /// was built by the same ViolationGraph::Build). Null = build per run.
+  const ViolationGraph* graph = nullptr;
 };
 
 /// \brief A Session run inverted into an explicit step API.
@@ -74,8 +84,8 @@ struct SessionStepOptions {
 /// Expert; a served session needs the opposite shape — the caller *asks
 /// for* the next question, ships it to a remote answerer, and submits the
 /// answer whenever it arrives. SessionStateMachine inverts the control
-/// flow without rewriting any strategy: the strategy runs on an internal
-/// pump thread against a channel-backed Expert, and each expert call parks
+/// flow without rewriting any strategy: the strategy runs on a Fiber
+/// against a channel-backed Expert, and each expert call parks the fiber
 /// until the driver moves the machine forward.
 ///
 ///   auto machine = SessionStateMachine::Start(session, strategy, budget);
@@ -83,6 +93,13 @@ struct SessionStepOptions {
 ///     machine->SubmitAnswer({AskSomeone(*q)});
 ///   }
 ///   SessionReport report = machine->Finish().ValueOrDie();
+///
+/// There is no pump thread: a parked session is a parked stack, and the
+/// strategy advances *inline* on whatever thread calls NextQuestion /
+/// SubmitAnswer / Abandon. That is what lets the serving reactor execute
+/// session steps as ordinary pool tasks — 10k concurrent sessions are 10k
+/// fibers, not 10k threads — while the blocking CLI driver simply runs the
+/// strategy on its own thread between questions.
 ///
 /// Journaling, crash-safe resume, and the retry-surcharge accounting live
 /// *inside* the machine (not in the driver), so a served session that
@@ -92,41 +109,43 @@ struct SessionStepOptions {
 /// thin driver over this class (see DriveSession).
 ///
 /// Thread safety: NextQuestion/SubmitAnswer/Finish must be called from one
-/// driver thread at a time (the serving daemon serializes per session);
-/// distinct machines are fully independent and may share a ThreadPool and
-/// MemoryBudget.
+/// driver thread at a time (the serving daemon serializes per session) but
+/// successive calls may come from different threads — the machine's mutex
+/// hands the fiber over with the necessary happens-before edge. Distinct
+/// machines are fully independent and may share a ThreadPool, MemoryBudget,
+/// ViolationEngine and prebuilt graph.
 class SessionStateMachine {
  public:
   /// Validates options (loading and checking the journal on resume) and
-  /// starts the strategy on the pump thread. `session` and `strategy` must
-  /// outlive the machine.
+  /// readies the strategy fiber. `session`, `strategy` and any shared
+  /// resources in `options` must outlive the machine.
   static Result<std::unique_ptr<SessionStateMachine>> Start(
       const Session& session, Strategy& strategy, double budget,
       SessionStepOptions options = {});
 
-  /// Abandons the run if it is still in flight (see Abandon) and joins the
-  /// pump thread.
+  /// Abandons the run if it is still in flight (see Abandon).
   ~SessionStateMachine();
 
   SessionStateMachine(const SessionStateMachine&) = delete;
   SessionStateMachine& operator=(const SessionStateMachine&) = delete;
 
-  /// Blocks until the strategy surfaces its next question, or returns
-  /// nullopt once the strategy has finished. Idempotent while a question
-  /// is outstanding (re-delivers the same question — the serving daemon
-  /// resends after a reconnect).
+  /// Advances the strategy to its next question (running it inline on the
+  /// calling thread), or returns nullopt once the strategy has finished.
+  /// Idempotent while a question is outstanding (re-delivers the same
+  /// question — the serving daemon resends after a reconnect).
   std::optional<SessionQuestion> NextQuestion();
 
-  /// Delivers the answer for the outstanding question. Fails if no
-  /// question is outstanding. The answered record is durably journaled
-  /// (on the pump thread) before the strategy observes the answer, so by
-  /// the time NextQuestion returns the *next* question, the previous
+  /// Delivers the answer for the outstanding question and advances the
+  /// strategy inline until it surfaces the next question (retrievable with
+  /// NextQuestion) or completes. Fails if no question is outstanding. The
+  /// answered record is durably journaled before the strategy observes the
+  /// answer, so by the time the *next* question is visible, the previous
   /// answer has been persisted.
   Status SubmitAnswer(const AnswerSubmission& submission);
 
-  /// Blocks until the strategy completes, then evaluates detections and
-  /// returns the report. Fails if a question is still outstanding (answer
-  /// or Abandon first) or if a journal write failed during the run.
+  /// Evaluates detections and returns the report. Fails if a question is
+  /// still outstanding (answer or Abandon first) or if a journal write
+  /// failed during the run.
   Result<SessionReport> Finish();
 
   /// Cancels an in-flight run: the outstanding question (if any) and every
@@ -136,7 +155,7 @@ class SessionStateMachine {
   /// with `resume = true`. Idempotent.
   void Abandon();
 
-  /// True once the strategy has returned (Finish will not block).
+  /// True once the strategy has returned (Finish will not run any steps).
   bool done() const;
 
   /// Questions served from the journal so far (resume bookkeeping).
@@ -149,31 +168,38 @@ class SessionStateMachine {
                       double budget, SessionStepOptions options);
 
   void PumpMain();
+  /// Runs the fiber until it publishes a question or the strategy returns.
+  /// Caller holds mu_.
+  void StepLocked();
 
   const Session& session_;
   Strategy& strategy_;
   const double budget_;
   const SessionStepOptions options_;
 
-  // Machine-owned resources mirroring the monolithic Session::Run: one
-  // violation engine per run, a private pool unless the caller shared one.
-  std::unique_ptr<ViolationEngine> engine_;
+  // Machine-owned resources mirroring the monolithic Session::Run, unless
+  // the caller shared them (a serving daemon passes its process pool and
+  // the registry's warmed engine).
+  std::unique_ptr<ViolationEngine> owned_engine_;
+  ViolationEngine* engine_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
 
   std::unique_ptr<ChannelExpert> channel_;
   std::optional<JournalWriter> writer_;
 
-  std::thread pump_;
-  StrategyResult result_;  // written by the pump thread before done_
+  std::unique_ptr<Fiber> fiber_;
+  StrategyResult result_;  // written by the fiber before done_
 
+  // mu_ serializes the driver API and carries the fiber between threads
+  // (every Resume happens under it, so step N+1 sees step N's writes even
+  // when a different pool thread runs it).
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   bool done_ = false;
   bool abandoned_ = false;
   bool finished_ = false;  // Finish already consumed the run
 
-  // The single-question channel between the pump thread and the driver.
+  // The single-question channel between the fiber and the driver.
   std::optional<SessionQuestion> pending_question_;
   bool pending_answered_ = false;
   /// NextQuestion returned the pending question to the driver; only then

@@ -16,6 +16,7 @@ namespace uguide {
 
 class ThreadPool;
 class ViolationEngine;
+class ViolationGraph;
 
 /// \brief Everything an interactive strategy needs for one run.
 ///
@@ -40,6 +41,13 @@ struct QuestionContext {
   /// (or a single-thread pool) means serial. Results are bit-identical at
   /// any thread count.
   ThreadPool* pool = nullptr;
+
+  /// Prebuilt, immutable violation graph over `candidates` (a shared
+  /// DatasetRegistry artifact). Optional: cell strategies copy it instead
+  /// of rebuilding — bit-identical because the artifact was produced by
+  /// the same ViolationGraph::Build over the same candidate set. Null
+  /// means build per run, as standalone callers do.
+  const ViolationGraph* graph = nullptr;
 
   /// Sigma_T, the exact FDs discovered on the dirty table. Optional; the
   /// saturation-set tuple strategy needs it (Alg. 8) and rediscovers it if

@@ -1,78 +1,44 @@
 #include "server/daemon.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <signal.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <utility>
-
-#include "common/fault_injection.h"
-#include "server/protocol.h"
 
 namespace uguide {
 
-namespace {
-
-/// A connection feeding lines longer than this is dropped (the protocol
-/// parser enforces the same bound on well-formed frames).
-constexpr size_t kMaxLineBytes = 1 << 20;
-
-Status Errno(const std::string& action) {
-  return Status::IoError(action + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
-ServingDaemon::ServingDaemon(const Session* session, DaemonOptions options)
-    : options_(std::move(options)),
-      manager_(std::make_unique<SessionManager>(session, options_.manager)) {}
-
 Result<std::unique_ptr<ServingDaemon>> ServingDaemon::Start(
     const Session* session, DaemonOptions options) {
-  // A half-closed client must surface as a write error, not process death.
-  // MSG_NOSIGNAL guards every send; this guards any path that slips by.
-  ::signal(SIGPIPE, SIG_IGN);
+  return StartImpl(session, nullptr, std::move(options));
+}
 
-  std::unique_ptr<ServingDaemon> daemon(
-      new ServingDaemon(session, std::move(options)));
+Result<std::unique_ptr<ServingDaemon>> ServingDaemon::Start(
+    std::shared_ptr<const DatasetArtifacts> artifacts, DaemonOptions options) {
+  // Wire the shared bundle into every session the manager opens: the
+  // warmed engine and the prebuilt graph. The manager options may already
+  // carry a pool/budget from the caller; the artifacts do not override
+  // those.
+  options.manager.engine = artifacts->engine.get();
+  options.manager.graph = &artifacts->graph;
+  const Session* session = &artifacts->session;
+  return StartImpl(session, std::move(artifacts), std::move(options));
+}
 
-  daemon->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (daemon->listen_fd_ < 0) return Errno("socket");
-  const int one = 1;
-  ::setsockopt(daemon->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
-               sizeof(one));
+Result<std::unique_ptr<ServingDaemon>> ServingDaemon::StartImpl(
+    const Session* session, std::shared_ptr<const DatasetArtifacts> artifacts,
+    DaemonOptions options) {
+  std::unique_ptr<ServingDaemon> daemon(new ServingDaemon());
+  daemon->options_ = std::move(options);
+  daemon->artifacts_ = std::move(artifacts);
+  daemon->manager_ =
+      std::make_unique<SessionManager>(session, daemon->options_.manager);
 
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(daemon->options_.port));
-  if (::bind(daemon->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    return Errno("bind");
-  }
-  if (::listen(daemon->listen_fd_, daemon->options_.backlog) != 0) {
-    return Errno("listen");
-  }
-
-  socklen_t len = sizeof(addr);
-  if (::getsockname(daemon->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &len) != 0) {
-    return Errno("getsockname");
-  }
-  daemon->port_ = ntohs(addr.sin_port);
-
-  if (::pipe(daemon->wake_pipe_) != 0) return Errno("pipe");
-
-  daemon->accept_thread_ = std::thread(&ServingDaemon::AcceptLoop,
-                                       daemon.get());
+  ReactorOptions reactor;
+  reactor.port = daemon->options_.port;
+  reactor.backlog = daemon->options_.backlog;
+  reactor.max_connections = daemon->options_.max_connections;
+  reactor.pool = daemon->options_.manager.pool;
+  reactor.handler = [manager = daemon->manager_.get()](std::string_view line) {
+    return manager->HandleLine(line);
+  };
+  UGUIDE_ASSIGN_OR_RETURN(daemon->reactor_, Reactor::Start(std::move(reactor)));
   return daemon;
 }
 
@@ -81,139 +47,10 @@ ServingDaemon::~ServingDaemon() { Shutdown(); }
 void ServingDaemon::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
-  stopping_.store(true);
-
-  // Wake the accept poll, then join it.
-  if (wake_pipe_[1] >= 0) {
-    const char byte = 'x';
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  // Unblock connection reads and join their threads. shutdown() (not
-  // close) so a thread mid-write sees an orderly error, not a reused fd.
-  std::vector<std::thread> threads;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : conn_fds_) ::close(fd);
-    conn_fds_.clear();
-  }
-
-  // Abandon in-flight sessions; their journals are synced and preserved.
+  // Stop the network first (joins the reactor and every in-flight step),
+  // then abandon sessions; their journals are synced and preserved.
+  reactor_->Shutdown();
   manager_->BeginDrain();
-
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  for (int& fd : wake_pipe_) {
-    if (fd >= 0) {
-      ::close(fd);
-      fd = -1;
-    }
-  }
-}
-
-void ServingDaemon::AcceptLoop() {
-  while (!stopping_.load()) {
-    pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int ready = ::poll(fds, 2, -1);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (stopping_.load()) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-
-    // Injected accept failure: the connection is dropped before any frame
-    // is read — to the client it looks like a refused/reset connection.
-    FaultRegistry& registry = FaultRegistry::Global();
-    if (registry.enabled() && !registry.OnPoint("server.accept").ok()) {
-      ::close(conn);
-      continue;
-    }
-
-    const int one = 1;
-    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (stopping_.load()) {
-      ::close(conn);
-      break;
-    }
-    conn_fds_.push_back(conn);
-    conn_threads_.emplace_back(&ServingDaemon::ServeConnection, this, conn);
-  }
-}
-
-bool ServingDaemon::WriteLine(int fd, const std::string& line) {
-  FaultRegistry& registry = FaultRegistry::Global();
-  if (registry.enabled() && !registry.OnPoint("server.write").ok()) {
-    return false;
-  }
-  std::string framed = line;
-  framed.push_back('\n');
-  size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-void ServingDaemon::ServeConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool alive = true;
-  while (alive && !stopping_.load()) {
-    FaultRegistry& registry = FaultRegistry::Global();
-    if (registry.enabled() && !registry.OnPoint("server.read").ok()) break;
-
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error: the sessions outlive the connection.
-    buffer.append(chunk, static_cast<size_t>(n));
-    if (buffer.size() > kMaxLineBytes) break;
-
-    size_t start = 0;
-    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      std::string_view line(buffer.data() + start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      start = nl + 1;
-      if (line.empty()) continue;
-      for (const std::string& reply : manager_->HandleLine(line)) {
-        if (!WriteLine(fd, reply)) {
-          // Write-to-closed-socket: a per-connection failure. The session
-          // and its journal are untouched; the client reconnects and
-          // resyncs with op=next.
-          alive = false;
-          break;
-        }
-      }
-      if (!alive) break;
-    }
-    buffer.erase(0, start);
-  }
-  ::shutdown(fd, SHUT_RDWR);
 }
 
 }  // namespace uguide

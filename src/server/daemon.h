@@ -1,14 +1,11 @@
 #ifndef UGUIDE_SERVER_DAEMON_H_
 #define UGUIDE_SERVER_DAEMON_H_
 
-#include <atomic>
 #include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <vector>
 
 #include "core/session.h"
+#include "server/dataset_registry.h"
+#include "server/reactor.h"
 #include "server/session_manager.h"
 
 namespace uguide {
@@ -19,35 +16,50 @@ struct DaemonOptions {
   int port = 0;
   /// Listen backlog.
   int backlog = 64;
+  /// Concurrent client connections; accepts beyond this are closed
+  /// immediately (`--max-connections`). 0 = unlimited. Distinct from
+  /// manager.max_sessions: connections are cheap reactor state, sessions
+  /// are fibers with journals.
+  int max_connections = 0;
   SessionManagerOptions manager;
 };
 
 /// \brief The uguided network front end: a loopback TCP listener speaking
-/// the newline-delimited JSON protocol, one thread per connection.
+/// the newline-delimited JSON protocol on an epoll reactor.
 ///
-/// The daemon is a thin I/O shell — every byte of session logic lives in
-/// SessionManager, which is why the serving tests can exercise the manager
-/// without sockets and the daemon with them. Connections are stateless:
-/// any connection may address any session id, so a client that lost its
-/// connection reconnects and continues with `op=next` (NextQuestion is
-/// idempotent). A dead client therefore never kills a session — at worst
-/// the idle deadline evicts it, journal intact.
+/// The daemon is a thin composition shell — every byte of session logic
+/// lives in SessionManager, and every byte of socket handling in Reactor,
+/// which is why the serving tests can exercise the manager without sockets
+/// and the reactor without sessions. Each parsed request line becomes a
+/// pool task running SessionManager::HandleLine; sessions are fibers, so
+/// thousands of concurrent sessions execute on the pool's bounded threads.
+///
+/// Connections are stateless: any connection may address any session id,
+/// so a client that lost its connection reconnects and continues with
+/// `op=next` (NextQuestion is idempotent). A dead client therefore never
+/// kills a session — at worst the idle deadline evicts it, journal intact.
 ///
 /// Robustness decisions, all covered by tests:
 ///  - SIGPIPE is ignored process-wide (plus MSG_NOSIGNAL on every send):
 ///    writing to a closed socket is a per-connection error, not death.
 ///  - The fault sites "server.accept", "server.read" and "server.write"
-///    fire on the corresponding syscall paths, so `--fault-plan` drives
-///    connection failures as deterministically as expert failures.
-///  - Shutdown() is the graceful SIGTERM path: stop accepting, shut down
-///    live connections, join their threads, then drain the manager
+///    fire on the corresponding paths (see Reactor), so `--fault-plan`
+///    drives connection failures as deterministically as expert failures.
+///  - Shutdown() is the graceful SIGTERM path: stop accepting, drain
+///    in-flight steps, close connections, then drain the manager
 ///    (abandoning sessions, syncing journals).
 class ServingDaemon {
  public:
-  /// Binds, listens, and starts the accept thread. `session` must outlive
-  /// the daemon.
+  /// Binds, listens, and starts the reactor. `session` must outlive the
+  /// daemon. Sessions build private engines/graphs (no shared artifacts).
   static Result<std::unique_ptr<ServingDaemon>> Start(const Session* session,
                                                       DaemonOptions options);
+
+  /// As above, serving a DatasetRegistry artifact bundle: every session
+  /// shares the bundle's warmed engine and prebuilt graph, and the daemon
+  /// pins the bundle against eviction for its lifetime.
+  static Result<std::unique_ptr<ServingDaemon>> Start(
+      std::shared_ptr<const DatasetArtifacts> artifacts, DaemonOptions options);
 
   /// Calls Shutdown() if it has not run yet.
   ~ServingDaemon();
@@ -56,37 +68,29 @@ class ServingDaemon {
   ServingDaemon& operator=(const ServingDaemon&) = delete;
 
   /// The bound port (resolved when options.port was 0).
-  int port() const { return port_; }
+  int port() const { return reactor_->port(); }
 
   SessionManager& manager() { return *manager_; }
+
+  const Reactor& reactor() const { return *reactor_; }
 
   /// Graceful drain; idempotent, safe to call from a signal-watching
   /// thread (not from the handler itself).
   void Shutdown();
 
  private:
-  ServingDaemon(const Session* session, DaemonOptions options);
+  ServingDaemon() = default;
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Writes `line` + '\n' fully, firing "server.write"; returns false on
-  /// any failure (the caller drops the connection, never the session).
-  bool WriteLine(int fd, const std::string& line);
+  static Result<std::unique_ptr<ServingDaemon>> StartImpl(
+      const Session* session, std::shared_ptr<const DatasetArtifacts> artifacts,
+      DaemonOptions options);
 
   DaemonOptions options_;
+  /// Pins the shared artifact bundle (null when serving a bare Session).
+  std::shared_ptr<const DatasetArtifacts> artifacts_;
   std::unique_ptr<SessionManager> manager_;
-
-  int listen_fd_ = -1;
-  int port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
-
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
-  bool shut_down_ = false;  // Shutdown() already ran (main thread only)
-
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::unique_ptr<Reactor> reactor_;
+  bool shut_down_ = false;  // Shutdown() already ran (owner thread only).
 };
 
 }  // namespace uguide

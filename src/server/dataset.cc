@@ -39,4 +39,42 @@ Result<Session> MakeServedDataset(const ServedDatasetOptions& options) {
   return Session::Create(clean, std::move(dataset), config);
 }
 
+uint64_t RelationContentHash(const Relation& relation) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis.
+  auto mix_bytes = [&hash](const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash ^= bytes[i];
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_string = [&mix_bytes](const std::string& value) {
+    // Length-prefixed so ("ab","c") and ("a","bc") cannot collide.
+    const uint64_t length = value.size();
+    mix_bytes(&length, sizeof(length));
+    mix_bytes(value.data(), value.size());
+  };
+  for (const std::string& name : relation.schema().Names()) mix_string(name);
+  const TupleId rows = relation.NumRows();
+  const int cols = relation.NumAttributes();
+  for (TupleId row = 0; row < rows; ++row) {
+    for (int col = 0; col < cols; ++col) mix_string(relation.Value(row, col));
+  }
+  return hash;
+}
+
+uint64_t ServedDatasetSignature(const ServedDatasetOptions& options) {
+  size_t hash = 0;
+  HashCombine(hash, options.rows);
+  HashCombine(hash, options.error_rate);
+  HashCombine(hash, options.seed);
+  HashCombine(hash, options.idk_rate);
+  HashCombine(hash, options.wrong_rate);
+  HashCombine(hash, options.expert_seed);
+  HashCombine(hash, options.expert_votes);
+  HashCombine(hash, options.budget);
+  HashCombine(hash, options.max_lhs);
+  return hash;
+}
+
 }  // namespace uguide

@@ -34,6 +34,19 @@ struct ServedDatasetOptions {
 /// recipe the tests use.
 Result<Session> MakeServedDataset(const ServedDatasetOptions& options);
 
+/// Hash of what the relation *contains*: schema attribute names plus every
+/// cell value, in row-major order (FNV-1a over length-prefixed strings).
+/// Deliberately independent of dictionary-code assignment order, so two
+/// loads of the same table hash equal however they were built. This is the
+/// DatasetRegistry's cache key for shared artifacts.
+uint64_t RelationContentHash(const Relation& relation);
+
+/// Hash of every artifact-affecting field of the recipe — everything
+/// except `num_threads`, whose outputs are thread-invariant by the
+/// determinism discipline. Two recipes with equal signatures build
+/// byte-identical sessions, engines, and graphs.
+uint64_t ServedDatasetSignature(const ServedDatasetOptions& options);
+
 }  // namespace uguide
 
 #endif  // UGUIDE_SERVER_DATASET_H_

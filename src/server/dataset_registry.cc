@@ -1,0 +1,156 @@
+#include "server/dataset_registry.h"
+
+#include <utility>
+
+#include "common/memory_budget.h"
+#include "common/thread_pool.h"
+
+namespace uguide {
+namespace {
+
+/// Payload bytes of the session's dirty table: column code vectors plus
+/// the dictionary strings (same convention as Partition::ApproxBytes —
+/// container payloads, not allocator metadata).
+size_t ApproxRelationBytes(const Relation& relation) {
+  size_t bytes = static_cast<size_t>(relation.NumRows()) *
+                 static_cast<size_t>(relation.NumAttributes()) *
+                 sizeof(ValueCode);
+  const ValueCode pool_size = static_cast<ValueCode>(relation.pool().Size());
+  for (ValueCode code = 0; code < pool_size; ++code) {
+    bytes += sizeof(std::string) + relation.pool().Lookup(code).size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+DatasetArtifacts::DatasetArtifacts(ServedDatasetOptions opts, DatasetKey k,
+                                   Session s, ThreadPool* pool,
+                                   MemoryBudget* budget)
+    : options(opts),
+      key(k),
+      session(std::move(s)),
+      engine(std::make_unique<ViolationEngine>(&session.dirty(), budget)),
+      graph(ViolationGraph::Build(*engine, session.candidates(), pool)),
+      charged_bytes(graph.ApproxMemoryBytes() +
+                    ApproxRelationBytes(session.dirty())),
+      budget_(budget) {
+  // ForceCharge: shared artifacts must materialize; the soft limit answers
+  // with eviction rather than refusal.
+  if (budget_ != nullptr) budget_->ForceCharge(charged_bytes);
+}
+
+DatasetArtifacts::~DatasetArtifacts() {
+  if (budget_ != nullptr) budget_->Release(charged_bytes);
+}
+
+DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
+    : options_(options) {}
+
+Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::Open(
+    const ServedDatasetOptions& options) {
+  const uint64_t signature = ServedDatasetSignature(options);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto memo = recipe_to_key_.find(signature);
+      if (memo != recipe_to_key_.end()) {
+        auto it = entries_.find(memo->second);
+        if (it != entries_.end() && it->second.artifacts != nullptr) {
+          ++stats_.hits;
+          it->second.last_used = ++tick_;
+          return it->second.artifacts;
+        }
+      }
+      if (building_.count(signature) == 0) break;
+      // Singleflight: somebody is already building this recipe. Wait for
+      // them and re-check the cache rather than building a duplicate.
+      ++stats_.shared_waits;
+      build_done_.wait(lock);
+    }
+    building_.insert(signature);
+  }
+
+  // The expensive part runs unlocked so distinct recipes build in
+  // parallel and cache hits never stall behind a build.
+  Result<std::shared_ptr<const DatasetArtifacts>> built =
+      BuildArtifacts(options);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  building_.erase(signature);
+  build_done_.notify_all();
+  if (!built.ok()) return built.status();
+  std::shared_ptr<const DatasetArtifacts> artifacts =
+      std::move(built).ValueOrDie();
+
+  recipe_to_key_[signature] = artifacts->key;
+  Entry& entry = entries_[artifacts->key];
+  if (entry.artifacts != nullptr) {
+    // The content key is already resident (another recipe raced to the
+    // same bytes); keep the incumbent so every consumer shares one copy.
+    ++stats_.hits;
+    artifacts = entry.artifacts;
+  } else {
+    entry.artifacts = artifacts;
+    ++stats_.builds;
+  }
+  entry.last_used = ++tick_;
+  EvictLocked();
+  return artifacts;
+}
+
+Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::BuildArtifacts(
+    const ServedDatasetOptions& options) const {
+  UGUIDE_ASSIGN_OR_RETURN(Session session, MakeServedDataset(options));
+  const DatasetKey key{RelationContentHash(session.dirty()),
+                       ServedDatasetSignature(options)};
+  return std::shared_ptr<const DatasetArtifacts>(
+      std::make_shared<DatasetArtifacts>(options, key, std::move(session),
+                                         options_.pool,
+                                         options_.memory_budget));
+}
+
+int DatasetRegistry::EvictIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvictLocked();
+}
+
+int DatasetRegistry::EvictLocked() {
+  MemoryBudget* budget = options_.memory_budget;
+  if (budget == nullptr) return 0;
+  int evicted = 0;
+  while (budget->OverSoftLimit()) {
+    // LRU victim among unreferenced entries. use_count() == 1 is reliable
+    // here: new references are only handed out under mu_, so a count of 1
+    // cannot concurrently grow.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.artifacts.use_count() > 1) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // everything resident is pinned
+    for (auto it = recipe_to_key_.begin(); it != recipe_to_key_.end();) {
+      it = it->second == victim->first ? recipe_to_key_.erase(it)
+                                       : std::next(it);
+    }
+    entries_.erase(victim);
+    ++evicted;
+    ++stats_.evicted;
+  }
+  return evicted;
+}
+
+int DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+DatasetRegistryStats DatasetRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace uguide

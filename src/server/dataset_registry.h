@@ -1,0 +1,176 @@
+#ifndef UGUIDE_SERVER_DATASET_REGISTRY_H_
+#define UGUIDE_SERVER_DATASET_REGISTRY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "server/dataset.h"
+#include "violations/bipartite_graph.h"
+#include "violations/violation_engine.h"
+
+namespace uguide {
+
+class MemoryBudget;
+class ThreadPool;
+
+/// Cache key of a shared dataset entry: what the relation *contains*
+/// (RelationContentHash of the dirty table) plus the signature of every
+/// session-affecting option. Two deployments whose recipes load the same
+/// bytes under the same expert/budget configuration share one entry; the
+/// same bytes under a different configuration do not, because the Session
+/// they need differs.
+struct DatasetKey {
+  uint64_t content_hash = 0;
+  uint64_t config_signature = 0;
+
+  bool operator<(const DatasetKey& other) const {
+    return content_hash != other.content_hash
+               ? content_hash < other.content_hash
+               : config_signature < other.config_signature;
+  }
+  bool operator==(const DatasetKey& other) const {
+    return content_hash == other.content_hash &&
+           config_signature == other.config_signature;
+  }
+};
+
+/// \brief The immutable artifact bundle every session over one dataset
+/// shares: the built Session (dirty table, candidate AFDs, discovery
+/// outcome, expert configuration), a violation engine whose PartitionStore
+/// was warmed by the graph build, and the violation graph itself.
+///
+/// Immutability contract: nothing here changes after construction.
+/// The engine is internally locked and its cached partitions are
+/// recomputable, so concurrent readers are safe; the graph's mutable
+/// active-flags are never touched on the shared copy — cell strategies
+/// copy the graph per run (QuestionContext::graph) and mutate the copy.
+/// Consumers hold `shared_ptr<const DatasetArtifacts>`, keeping the bundle
+/// alive for as long as any session uses it; the registry drops its own
+/// reference under memory pressure (EvictIdle) and rebuilds on the next
+/// Open — byte-identically, because the whole build is deterministic.
+struct DatasetArtifacts {
+  /// Moves the built session in, then constructs the engine and the graph
+  /// against the *member* session (members initialize in declaration
+  /// order), so the engine's relation pointer is valid for the bundle's
+  /// whole life. Building the graph warms the engine's partition store
+  /// with every candidate LHS. Charges the graph + relation payload bytes
+  /// against `budget`.
+  DatasetArtifacts(ServedDatasetOptions opts, DatasetKey k, Session s,
+                   ThreadPool* pool, MemoryBudget* budget);
+  /// Releases `charged_bytes` back to the budget (the engine's partitions
+  /// release their own charges when the store dies).
+  ~DatasetArtifacts();
+
+  DatasetArtifacts(const DatasetArtifacts&) = delete;
+  DatasetArtifacts& operator=(const DatasetArtifacts&) = delete;
+
+  const ServedDatasetOptions options;  ///< The recipe that built the entry.
+  const DatasetKey key;
+  const Session session;
+  /// Shared across sessions; thread-safe, partitions pre-warmed for every
+  /// candidate LHS by the graph build below.
+  const std::unique_ptr<ViolationEngine> engine;
+  /// Prebuilt over `session.candidates()`. Read-only here; copy to mutate.
+  const ViolationGraph graph;
+  /// Bytes ForceCharged at build (graph + relation payloads).
+  const size_t charged_bytes;
+
+ private:
+  MemoryBudget* const budget_;
+};
+
+struct DatasetRegistryOptions {
+  /// Worker pool for artifact builds (parallel graph construction).
+  /// Null = serial. Results are bit-identical at any thread count.
+  ThreadPool* pool = nullptr;
+  /// Budget charged for shared artifacts and the engines' partition
+  /// stores; its soft limit drives eviction. Null = ungoverned.
+  MemoryBudget* memory_budget = nullptr;
+};
+
+struct DatasetRegistryStats {
+  int64_t builds = 0;        ///< Full artifact builds.
+  int64_t hits = 0;          ///< Opens served from cache.
+  int64_t shared_waits = 0;  ///< Opens that waited behind an in-flight build.
+  int64_t evicted = 0;       ///< Artifacts dropped under memory pressure.
+};
+
+/// \brief Process-wide cache of shared dataset artifacts, built once per
+/// content under a singleflight guard.
+///
+/// A serving process may field thousands of session opens against a
+/// handful of datasets. Everything expensive about an open — generating
+/// or loading the table, discovery, candidate generation, warming the
+/// partition store, building the violation graph — depends only on the
+/// dataset recipe, not on the session, so the registry computes it once
+/// and hands every session the same immutable DatasetArtifacts. Sessions
+/// keep only per-strategy mutable state (their fiber, journal, and — for
+/// cell strategies — a private copy of the graph).
+///
+/// Singleflight: N concurrent Opens of the same recipe perform exactly one
+/// build; the rest block until it completes and share the result. Distinct
+/// recipes build concurrently.
+///
+/// Eviction: Open and EvictIdle drop least-recently-used entries no
+/// session references (use_count() == 1) while the budget sits over its
+/// soft limit. A dropped entry costs nothing but recompute time: the next
+/// Open rebuilds it and, the build being deterministic, every later
+/// session report is byte-identical to one served before the eviction.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(DatasetRegistryOptions options = {});
+
+  /// Returns the shared artifacts for `options`, building them if no
+  /// entry matches (singleflight per recipe signature). The returned
+  /// pointer pins the artifacts against eviction until released.
+  Result<std::shared_ptr<const DatasetArtifacts>> Open(
+      const ServedDatasetOptions& options);
+
+  /// Evicts unreferenced entries (LRU first) while the budget is over its
+  /// soft limit; returns how many were dropped. The daemon calls this from
+  /// its maintenance tick, next to session idle eviction.
+  int EvictIdle();
+
+  /// Entries currently resident.
+  int size() const;
+
+  DatasetRegistryStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DatasetArtifacts> artifacts;
+    uint64_t last_used = 0;  ///< Registry tick, for LRU ordering.
+  };
+
+  /// The expensive path: stage 1 (generate + discover + inject) and
+  /// stage 2 (Session::Create, engine, graph build, budget charge).
+  /// Runs without the registry lock held.
+  Result<std::shared_ptr<const DatasetArtifacts>> BuildArtifacts(
+      const ServedDatasetOptions& options) const;
+
+  /// Caller holds mu_. Returns entries dropped.
+  int EvictLocked();
+
+  const DatasetRegistryOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable build_done_;
+  std::map<DatasetKey, Entry> entries_;
+  /// Recipe signature -> content key, so repeat opens skip regenerating
+  /// the table just to recompute its hash.
+  std::map<uint64_t, DatasetKey> recipe_to_key_;
+  /// Recipe signatures with an in-flight build (the singleflight guard).
+  std::set<uint64_t> building_;
+  uint64_t tick_ = 0;
+  DatasetRegistryStats stats_;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_SERVER_DATASET_REGISTRY_H_

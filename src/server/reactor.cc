@@ -1,0 +1,439 @@
+#include "server/reactor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
+
+namespace uguide {
+
+namespace {
+
+Status Errno(const std::string& action) {
+  return Status::IoError(action + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+bool LineBuffer::Append(const char* data, size_t size) {
+  buffer_.append(data, size);
+  return pending_bytes() <= max_line_bytes_;
+}
+
+std::optional<std::string> LineBuffer::NextLine() {
+  while (true) {
+    const size_t nl = buffer_.find('\n', start_);
+    if (nl == std::string::npos) {
+      // Compact once the consumed prefix dominates the buffer.
+      if (start_ > 0 && start_ >= buffer_.size() / 2) {
+        buffer_.erase(0, start_);
+        start_ = 0;
+      }
+      return std::nullopt;
+    }
+    size_t end = nl;
+    if (end > start_ && buffer_[end - 1] == '\r') --end;
+    std::string line = buffer_.substr(start_, end - start_);
+    start_ = nl + 1;
+    if (!line.empty()) return line;
+    // Bare keep-alive newline: skip and keep scanning.
+  }
+}
+
+Result<std::unique_ptr<Reactor>> Reactor::Start(ReactorOptions options) {
+  // A half-closed client must surface as a write error, not process death.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::unique_ptr<Reactor> reactor(new Reactor());
+  reactor->options_ = std::move(options);
+
+  reactor->listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (reactor->listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(reactor->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(reactor->options_.port));
+  if (::bind(reactor->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(reactor->listen_fd_, reactor->options_.backlog) != 0) {
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(reactor->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Errno("getsockname");
+  }
+  reactor->port_ = ntohs(addr.sin_port);
+
+  reactor->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (reactor->epoll_fd_ < 0) return Errno("epoll_create1");
+  reactor->wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (reactor->wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = reactor->listen_fd_;
+  if (::epoll_ctl(reactor->epoll_fd_, EPOLL_CTL_ADD, reactor->listen_fd_,
+                  &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = reactor->wake_fd_;
+  if (::epoll_ctl(reactor->epoll_fd_, EPOLL_CTL_ADD, reactor->wake_fd_, &ev) !=
+      0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  reactor->reactor_thread_ = std::thread(&Reactor::Loop, reactor.get());
+  return reactor;
+}
+
+Reactor::~Reactor() { Shutdown(); }
+
+void Reactor::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  stopping_.store(true);
+  NotifyDirty(-1);
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+
+  // The reactor thread is gone, so no new drain tasks can start; wait for
+  // the in-flight ones (they only touch connection queues and the eventfd,
+  // both still valid here).
+  {
+    std::unique_lock<std::mutex> lock(in_flight_mu_);
+    in_flight_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+
+  for (auto& [fd, conn] : conns_) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  conns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    active_ = 0;
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+void Reactor::NotifyDirty(int fd) {
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.push_back(fd);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::Loop() {
+  // Published before any drain task can exist: pool tasks are scheduled
+  // only from this thread, so they observe the assignment through the
+  // pool queue's lock.
+  reactor_tid_ = std::this_thread::get_id();
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load()) {
+    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < ready && !stopping_.load(); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->closing = true;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
+      FlushAndMaybeClose(conn);
+    }
+    // Connections whose drain task queued replies (or flagged a close).
+    std::vector<int> dirty;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty.swap(dirty_);
+    }
+    for (const int fd : dirty) {
+      auto it = conns_.find(fd);
+      if (it != conns_.end()) FlushAndMaybeClose(it->second);
+    }
+  }
+}
+
+void Reactor::HandleAccept() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error: back to epoll.
+    }
+
+    // Injected accept failure: the connection is dropped before any frame
+    // is read — to the client it looks like a refused/reset connection.
+    FaultRegistry& registry = FaultRegistry::Global();
+    if (registry.enabled() && !registry.OnPoint("server.accept").ok()) {
+      ::close(fd);
+      continue;
+    }
+    if (options_.max_connections > 0 &&
+        static_cast<int>(conns_.size()) >= options_.max_connections) {
+      // Count before close(): a peer that just observed EOF may already
+      // be reading stats().
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.refused;
+      }
+      ::close(fd);
+      continue;
+    }
+
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>(fd, options_.max_line_bytes);
+    conn->armed_events = EPOLLIN;
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+    ++active_;
+  }
+}
+
+void Reactor::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char chunk[4096];
+  bool got_lines = false;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->read_done || conn->closing) break;
+    }
+    FaultRegistry& registry = FaultRegistry::Global();
+    if (registry.enabled() && !registry.OnPoint("server.read").ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->read_done = true;
+      break;
+    }
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closing = true;
+      break;
+    }
+    if (n == 0) {
+      // EOF: serve what was already framed, flush, then close.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->read_done = true;
+      break;
+    }
+    if (!conn->in.Append(chunk, static_cast<size_t>(n))) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closing = true;
+      break;
+    }
+    while (std::optional<std::string> line = conn->in.NextLine()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->lines.push_back(std::move(*line));
+      got_lines = true;
+    }
+    // A short read means the socket buffer is (almost certainly) drained;
+    // skip the recv that would just return EAGAIN. Level-triggered epoll
+    // re-reports the fd if more bytes raced in.
+    if (static_cast<size_t>(n) < sizeof(chunk)) break;
+  }
+  if (got_lines) {
+    bool run_inline = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      run_inline = ScheduleDrainLocked(conn);
+    }
+    if (run_inline) DrainLines(conn);
+  }
+}
+
+bool Reactor::ScheduleDrainLocked(const std::shared_ptr<Connection>& conn) {
+  if (conn->dispatching || conn->lines.empty() || conn->closing ||
+      stopping_.load()) {
+    return false;
+  }
+  conn->dispatching = true;
+  {
+    std::lock_guard<std::mutex> lock(in_flight_mu_);
+    ++in_flight_;
+  }
+  if (options_.pool != nullptr && options_.pool->num_threads() > 1) {
+    std::shared_ptr<Connection> shared = conn;
+    options_.pool->Submit([this, shared] { DrainLines(shared); });
+    return false;
+  }
+  return true;
+}
+
+void Reactor::DrainLines(std::shared_ptr<Connection> conn) {
+  while (true) {
+    std::string line;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->lines.empty() || conn->closing) {
+        conn->dispatching = false;
+        break;
+      }
+      line = std::move(conn->lines.front());
+      conn->lines.pop_front();
+    }
+    // The step itself runs without the connection lock: replies for other
+    // connections must not stall behind this session's strategy.
+    std::vector<std::string> replies = options_.handler(line);
+    std::lock_guard<std::mutex> lock(conn->mu);
+    FaultRegistry& registry = FaultRegistry::Global();
+    for (const std::string& reply : replies) {
+      // Injected write failure: a per-connection error. The session and
+      // its journal are untouched; the client reconnects and resyncs with
+      // op=next.
+      if (registry.enabled() && !registry.OnPoint("server.write").ok()) {
+        conn->closing = true;
+        break;
+      }
+      conn->out.append(reply);
+      conn->out.push_back('\n');
+    }
+  }
+  // Inline drains (single-threaded pool) run inside the reactor loop,
+  // which flushes this connection right after — the eventfd wake would be
+  // a wasted syscall and a spurious epoll wakeup.
+  if (std::this_thread::get_id() != reactor_tid_) NotifyDirty(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(in_flight_mu_);
+    --in_flight_;
+  }
+  in_flight_cv_.notify_all();
+}
+
+void Reactor::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  // Level-triggered EPOLLOUT is disarmed by FlushAndMaybeClose once the
+  // buffer empties; nothing extra to do here.
+  FlushAndMaybeClose(conn);
+}
+
+void Reactor::FlushAndMaybeClose(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (conn->out_offset < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->out.data() + conn->out_offset,
+                 conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        conn->closing = true;
+        break;
+      }
+      conn->out_offset += static_cast<size_t>(n);
+    }
+    if (conn->out_offset >= conn->out.size()) {
+      conn->out.clear();
+      conn->out_offset = 0;
+    }
+    const bool pending = !conn->out.empty();
+    // A finished connection closes once everything it was owed is flushed
+    // and no step is still producing replies for it.
+    close_now = conn->closing ||
+                (conn->read_done && !pending && !conn->dispatching &&
+                 conn->lines.empty());
+    if (!close_now) {
+      // Re-arm interest: reads until EOF, writes only while the buffer is
+      // nonempty (level-triggered EPOLLOUT would otherwise spin).
+      const uint32_t desired =
+          (conn->read_done ? 0u : EPOLLIN) | (pending ? EPOLLOUT : 0u);
+      if (desired != conn->armed_events) {
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = desired;
+        ev.data.fd = conn->fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+          conn->armed_events = desired;
+        }
+      }
+    }
+  }
+  if (close_now) CloseConnection(conn);
+}
+
+void Reactor::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  if (conns_.erase(conn->fd) == 0) return;  // already closed
+  // Stats update first: once close() lands, the peer can observe EOF and
+  // immediately read stats(), which must already reflect the drop.
+  bool clean;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mu);
+    clean = !conn->closing;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --active_;
+    if (!clean) ++stats_.dropped;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
+}
+
+int Reactor::active_connections() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return active_;
+}
+
+ReactorStats Reactor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace uguide

@@ -107,6 +107,8 @@ std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
   step.journal_fsync = options_.journal_fsync;
   step.pool = options_.pool;
   step.memory_budget = options_.memory_budget;
+  step.engine = options_.engine;
+  step.graph = options_.graph;
   const double budget =
       frame.has_budget ? frame.budget : session_->config().budget;
 

@@ -40,6 +40,15 @@ struct SessionManagerOptions {
 
   /// Shared process memory budget; null falls back to the session config.
   MemoryBudget* memory_budget = nullptr;
+
+  /// Shared warmed violation engine over the served dataset (a
+  /// DatasetRegistry artifact). Null = each machine builds a private one.
+  ViolationEngine* engine = nullptr;
+
+  /// Shared prebuilt violation graph over the served candidate set; cell
+  /// strategies copy it per run instead of rebuilding. Null = build per
+  /// run.
+  const ViolationGraph* graph = nullptr;
 };
 
 /// Counters exposed for the daemon's exit summary and tests.

@@ -125,4 +125,19 @@ CellId ViolationGraph::FindCell(const Cell& cell) const {
   return it == cell_index_.end() ? -1 : it->second;
 }
 
+size_t ViolationGraph::ApproxMemoryBytes() const {
+  size_t bytes = fds_.size() * sizeof(Fd) + cells_.size() * sizeof(Cell);
+  for (const auto& adjacency : fd_to_cells_) {
+    bytes += sizeof(adjacency) + adjacency.size() * sizeof(CellId);
+  }
+  for (const auto& adjacency : cell_to_fds_) {
+    bytes += sizeof(adjacency) + adjacency.size() * sizeof(FdId);
+  }
+  bytes += fd_active_.size() / 8 + cell_active_.size() / 8;
+  bytes += cell_active_degree_.size() * sizeof(int);
+  bytes +=
+      cell_index_.size() * (sizeof(Cell) + sizeof(CellId) + 2 * sizeof(void*));
+  return bytes;
+}
+
 }  // namespace uguide

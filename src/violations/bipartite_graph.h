@@ -93,6 +93,11 @@ class ViolationGraph {
   /// violation node.
   CellId FindCell(const Cell& cell) const;
 
+  /// Approximate heap footprint in bytes (container payloads, not
+  /// allocator metadata — the MemoryBudget accounting convention of
+  /// DESIGN.md §8). The DatasetRegistry charges shared graphs with this.
+  size_t ApproxMemoryBytes() const;
+
  private:
   ViolationGraph() = default;
 

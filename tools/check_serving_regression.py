@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Serving-perf gate: compare a fresh BENCH_serving.json against the
+checked-in baseline.
+
+Usage: check_serving_regression.py BASELINE_JSON FRESH_JSON
+
+Per concurrency level, sessions_per_sec may not drop more than the
+tolerance below the baseline, and rtt_p99_ms may not rise more than the
+tolerance above it. The tolerance is ±25% by default — wide enough to
+absorb shared-runner noise, tight enough to catch a real regression (the
+thread-per-session daemon this gate guards against was ~30% down at
+c=64). Override with SERVING_TOLERANCE_PCT.
+
+Exit status: 0 clean, 1 regression, 2 usage/baseline mismatch.
+"""
+
+import json
+import os
+import sys
+
+
+def load_levels(path):
+    with open(path) as f:
+        report = json.load(f)
+    levels = report.get("levels")
+    if not levels:
+        sys.exit(f"{path}: no levels in bench JSON")
+    return {level["concurrency"]: level for level in levels}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = float(os.environ.get("SERVING_TOLERANCE_PCT", "25")) / 100.0
+    baseline = load_levels(sys.argv[1])
+    fresh = load_levels(sys.argv[2])
+
+    failures = []
+    for concurrency, base in sorted(baseline.items()):
+        level = fresh.get(concurrency)
+        if level is None:
+            failures.append(f"c={concurrency}: missing from fresh run")
+            continue
+        throughput = level["sessions_per_sec"]
+        floor = base["sessions_per_sec"] * (1.0 - tolerance)
+        p99 = level["rtt_p99_ms"]
+        ceiling = base["rtt_p99_ms"] * (1.0 + tolerance)
+        verdict = "ok"
+        if throughput < floor:
+            verdict = "REGRESSION"
+            failures.append(
+                f"c={concurrency}: sessions/s {throughput:.1f} < floor "
+                f"{floor:.1f} (baseline {base['sessions_per_sec']:.1f})")
+        if p99 > ceiling:
+            verdict = "REGRESSION"
+            failures.append(
+                f"c={concurrency}: rtt_p99 {p99:.1f}ms > ceiling "
+                f"{ceiling:.1f}ms (baseline {base['rtt_p99_ms']:.1f}ms)")
+        print(f"c={concurrency}: sessions/s {throughput:.1f} "
+              f"(baseline {base['sessions_per_sec']:.1f}, floor {floor:.1f}) "
+              f"p99 {p99:.1f}ms "
+              f"(baseline {base['rtt_p99_ms']:.1f}ms, ceiling {ceiling:.1f}ms) "
+              f"[{verdict}]")
+
+    if failures:
+        print("\nserving perf regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,19 +2,22 @@
 // over a newline-delimited JSON TCP protocol (see src/server/protocol.h).
 //
 //   uguided [--port=P] [--port-file=F] [--max-sessions=N]
-//           [--idle-timeout-ms=T] [--journal-dir=D]
+//           [--max-connections=N] [--idle-timeout-ms=T] [--journal-dir=D]
 //           [--journal-fsync=every|batch] [--threads=N]
 //           [--memory-budget-mb=M] [--fault-plan=PLAN]
 //           [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
 //           [--budget=B]
 //
 // The daemon pins one dataset at startup (the hospital benchmark built
-// from --rows/--error-rate/--seed — the recipe in src/server/dataset.h);
-// every served session runs one strategy against it. Clients choose the
-// strategy, budget, and session id per open. --port=0 binds an ephemeral
-// port, printed on stdout and optionally written to --port-file for
-// scripts. SIGTERM/SIGINT drain gracefully: stop accepting, abandon
-// in-flight sessions (journals synced, resumable), print a summary.
+// from --rows/--error-rate/--seed — the recipe in src/server/dataset.h),
+// opened through a DatasetRegistry so the expensive shared artifacts
+// (session, warmed violation engine, prebuilt graph) are built once and
+// shared read-only by every session; every served session runs one
+// strategy against it. Clients choose the strategy, budget, and session
+// id per open. --port=0 binds an ephemeral port, printed on stdout and
+// optionally written to --port-file for scripts. SIGTERM/SIGINT drain
+// gracefully: stop accepting, abandon in-flight sessions (journals
+// synced, resumable), print a summary.
 
 #include <signal.h>
 #include <unistd.h>
@@ -35,6 +38,7 @@
 #include "common/thread_pool.h"
 #include "server/daemon.h"
 #include "server/dataset.h"
+#include "server/dataset_registry.h"
 
 using namespace uguide;
 
@@ -48,6 +52,7 @@ struct Args {
   int port = 0;
   std::string port_file;
   int max_sessions = 64;
+  int max_connections = 0;
   double idle_timeout_ms = 0.0;
   std::string journal_dir;
   JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
@@ -61,7 +66,8 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: uguided [--port=P] [--port-file=F] [--max-sessions=N]\n"
-      "               [--idle-timeout-ms=T] [--journal-dir=D]\n"
+      "               [--max-connections=N] [--idle-timeout-ms=T]\n"
+      "               [--journal-dir=D]\n"
       "               [--journal-fsync=every|batch] [--threads=N]\n"
       "               [--memory-budget-mb=M] [--fault-plan=PLAN]\n"
       "               [--rows=R] [--error-rate=E] [--seed=S]\n"
@@ -128,6 +134,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->port_file = value;
     } else if (flag == "--max-sessions") {
       if (!ParseIntFlag("--max-sessions", value, 1, &args->max_sessions)) {
+        return false;
+      }
+    } else if (flag == "--max-connections") {
+      if (!ParseIntFlag("--max-connections", value, 0,
+                        &args->max_connections)) {
         return false;
       }
     } else if (flag == "--idle-timeout-ms") {
@@ -200,23 +211,31 @@ int main(int argc, char** argv) {
           : static_cast<int>(std::thread::hardware_concurrency());
   args.dataset.num_threads = threads;
 
-  std::fprintf(stderr, "uguided: building dataset (%d rows)...\n",
-               args.dataset.rows);
-  Result<Session> session = MakeServedDataset(args.dataset);
-  if (!session.ok()) {
-    std::fprintf(stderr, "uguided: dataset: %s\n",
-                 session.status().ToString().c_str());
-    return 1;
-  }
-
   MemoryBudget memory =
       args.memory_budget_mb > 0
           ? MemoryBudget::FromMegabytes(args.memory_budget_mb)
           : MemoryBudget();
   ThreadPool pool(std::max(1, threads));
 
+  DatasetRegistryOptions registry_options;
+  registry_options.pool = &pool;
+  registry_options.memory_budget =
+      args.memory_budget_mb > 0 ? &memory : nullptr;
+  DatasetRegistry registry(registry_options);
+
+  std::fprintf(stderr, "uguided: building dataset (%d rows)...\n",
+               args.dataset.rows);
+  Result<std::shared_ptr<const DatasetArtifacts>> artifacts =
+      registry.Open(args.dataset);
+  if (!artifacts.ok()) {
+    std::fprintf(stderr, "uguided: dataset: %s\n",
+                 artifacts.status().ToString().c_str());
+    return 1;
+  }
+
   DaemonOptions options;
   options.port = args.port;
+  options.max_connections = args.max_connections;
   options.manager.max_sessions = args.max_sessions;
   options.manager.idle_timeout_ms = args.idle_timeout_ms;
   options.manager.journal_dir = args.journal_dir;
@@ -226,7 +245,7 @@ int main(int argc, char** argv) {
       args.memory_budget_mb > 0 ? &memory : nullptr;
 
   Result<std::unique_ptr<ServingDaemon>> daemon =
-      ServingDaemon::Start(&*session, options);
+      ServingDaemon::Start(*artifacts, options);
   if (!daemon.ok()) {
     std::fprintf(stderr, "uguided: %s\n",
                  daemon.status().ToString().c_str());
@@ -252,6 +271,7 @@ int main(int argc, char** argv) {
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     (*daemon)->manager().EvictIdle();
+    registry.EvictIdle();
   }
 
   std::fprintf(stderr, "uguided: draining...\n");
