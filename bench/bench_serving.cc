@@ -267,6 +267,13 @@ int main(int argc, char** argv) {
                 level.rtt_p50_ms, level.rtt_p99_ms);
     results.push_back(level);
   }
+  // Overload/robustness counters, captured before shutdown. A clean bench
+  // run admits everything; nonzero sheds here mean the measurements were
+  // taken under (unintended) pressure. Additive: the regression gate
+  // (tools/check_serving_regression.py) reads only "levels".
+  const SessionManagerStats manager_stats = daemon->manager().stats();
+  const AdmissionStats admission = daemon->manager().admission_stats();
+  const ReactorStats reactor = daemon->reactor().stats();
   daemon->Shutdown();
 
   std::FILE* out = std::fopen(args.out.c_str(), "w");
@@ -294,7 +301,26 @@ int main(int argc, char** argv) {
                  r.sessions_per_sec, r.rtt_p50_ms, r.rtt_p99_ms,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out,
+               "  ],\n"
+               "  \"counters\": {\n"
+               "    \"opened\": %d, \"finished\": %d, \"evicted\": %d, "
+               "\"refused\": %d,\n"
+               "    \"rate_limited\": %lld, \"deadline_shed\": %lld, "
+               "\"brownout_refused\": %lld, \"brownout_shed\": %lld,\n"
+               "    \"accepted\": %lld, \"dropped\": %lld, "
+               "\"dropped_slow_reader\": %lld, \"reaped_idle\": %lld\n"
+               "  }\n}\n",
+               manager_stats.opened, manager_stats.finished,
+               manager_stats.evicted, manager_stats.refused,
+               static_cast<long long>(admission.rate_limited),
+               static_cast<long long>(admission.deadline_shed),
+               static_cast<long long>(admission.brownout_refused),
+               static_cast<long long>(admission.brownout_shed),
+               static_cast<long long>(reactor.accepted),
+               static_cast<long long>(reactor.dropped),
+               static_cast<long long>(reactor.dropped_slow_reader),
+               static_cast<long long>(reactor.reaped_idle));
   std::fclose(out);
   std::fprintf(stderr, "bench_serving: wrote %s\n", args.out.c_str());
   return 0;

@@ -34,11 +34,34 @@ Result<std::unique_ptr<ServingDaemon>> ServingDaemon::StartImpl(
   reactor.port = daemon->options_.port;
   reactor.backlog = daemon->options_.backlog;
   reactor.max_connections = daemon->options_.max_connections;
+  reactor.tick_interval_ms = daemon->options_.tick_interval_ms;
+  reactor.read_idle_ms = daemon->options_.read_idle_ms;
+  reactor.max_pending_out_bytes = daemon->options_.max_pending_out_bytes;
   reactor.pool = daemon->options_.manager.pool;
-  reactor.handler = [manager = daemon->manager_.get()](std::string_view line) {
-    return manager->HandleLine(line);
+  // The tick is the daemon's only periodic driver: idle sessions are
+  // evicted here even when no client traffic arrives.
+  reactor.on_tick = [manager = daemon->manager_.get(),
+                     extra = daemon->options_.on_tick] {
+    manager->EvictIdle();
+    if (extra) extra();
+  };
+  reactor.handler = [manager = daemon->manager_.get()](
+                        std::string_view line,
+                        std::chrono::steady_clock::time_point enqueued) {
+    return manager->HandleLine(line, enqueued);
   };
   UGUIDE_ASSIGN_OR_RETURN(daemon->reactor_, Reactor::Start(std::move(reactor)));
+
+  // op=health replies get the connection-level view only the reactor has.
+  daemon->manager_->SetHealthAugmenter(
+      [reactor = daemon->reactor_.get()](HealthInfo* health) {
+        health->active_connections = reactor->active_connections();
+        const ReactorStats stats = reactor->stats();
+        health->accepted = stats.accepted;
+        health->dropped = stats.dropped;
+        health->dropped_slow_reader = stats.dropped_slow_reader;
+        health->reaped_idle = stats.reaped_idle;
+      });
   return daemon;
 }
 

@@ -1,6 +1,7 @@
 #ifndef UGUIDE_SERVER_DAEMON_H_
 #define UGUIDE_SERVER_DAEMON_H_
 
+#include <functional>
 #include <memory>
 
 #include "core/session.h"
@@ -21,6 +22,18 @@ struct DaemonOptions {
   /// manager.max_sessions: connections are cheap reactor state, sessions
   /// are fibers with journals.
   int max_connections = 0;
+  /// Maintenance tick period (`--tick-ms`): drives reactor idle reaping
+  /// and SessionManager::EvictIdle. 0 disables the tick (and with it all
+  /// periodic eviction).
+  double tick_interval_ms = 250.0;
+  /// Reap connections with no complete line within this window
+  /// (`--read-idle-ms`, slow-loris defense). 0 = off.
+  double read_idle_ms = 0.0;
+  /// Per-connection unread-reply cap before a slow reader is dropped
+  /// (`--max-pending-out-kb`). 0 = unlimited.
+  size_t max_pending_out_bytes = 4u << 20;
+  /// Extra per-tick work (after eviction), e.g. registry maintenance.
+  std::function<void()> on_tick;
   SessionManagerOptions manager;
 };
 

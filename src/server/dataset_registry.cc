@@ -1,7 +1,10 @@
 #include "server/dataset_registry.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/memory_budget.h"
 #include "common/thread_pool.h"
 
@@ -50,6 +53,7 @@ DatasetRegistry::DatasetRegistry(DatasetRegistryOptions options)
 Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::Open(
     const ServedDatasetOptions& options) {
   const uint64_t signature = ServedDatasetSignature(options);
+  bool is_probe = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -61,6 +65,28 @@ Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::Open(
           it->second.last_used = ++tick_;
           return it->second.artifacts;
         }
+      }
+      // Circuit breaker: a quarantined recipe refuses instantly — no
+      // build, no singleflight wait — until its backoff elapses, when
+      // exactly one probe build is let through.
+      auto breaker = breakers_.find(signature);
+      if (breaker != breakers_.end() && breaker->second.quarantined &&
+          building_.count(signature) == 0) {
+        const auto now = FaultRegistry::Global().Now();
+        if (now < breaker->second.open_until) {
+          ++stats_.quarantined_opens;
+          const int wait_ms = static_cast<int>(
+              std::chrono::duration<double, std::milli>(
+                  breaker->second.open_until - now)
+                  .count()) +
+              1;
+          return Status::Unavailable(
+              "dataset recipe quarantined after repeated build failures; "
+              "retry in " +
+              std::to_string(wait_ms) + "ms");
+        }
+        is_probe = true;
+        ++stats_.probes;
       }
       if (building_.count(signature) == 0) break;
       // Singleflight: somebody is already building this recipe. Wait for
@@ -79,7 +105,11 @@ Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::Open(
   std::unique_lock<std::mutex> lock(mu_);
   building_.erase(signature);
   build_done_.notify_all();
-  if (!built.ok()) return built.status();
+  if (!built.ok()) {
+    RecordBuildFailureLocked(signature, is_probe);
+    return built.status();
+  }
+  breakers_.erase(signature);  // A good build closes the breaker outright.
   std::shared_ptr<const DatasetArtifacts> artifacts =
       std::move(built).ValueOrDie();
 
@@ -99,8 +129,46 @@ Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::Open(
   return artifacts;
 }
 
+void DatasetRegistry::RecordBuildFailureLocked(uint64_t signature,
+                                               bool was_probe) {
+  if (options_.breaker_failures <= 0) return;
+  const auto now = FaultRegistry::Global().Now();
+  Breaker& breaker = breakers_[signature];
+  if (was_probe && breaker.quarantined) {
+    // Failed half-open probe: straight back to quarantine, backoff
+    // doubled (capped) — no need to re-accumulate a window of failures.
+    breaker.trips = std::min(breaker.trips + 1, 5);
+    const double backoff_ms =
+        options_.breaker_backoff_ms * static_cast<double>(1 << (breaker.trips - 1));
+    breaker.open_until =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(backoff_ms));
+    return;
+  }
+  breaker.failures.push_back(now);
+  const auto window_start =
+      now - std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    options_.breaker_window_ms));
+  while (!breaker.failures.empty() && breaker.failures.front() < window_start) {
+    breaker.failures.pop_front();
+  }
+  if (static_cast<int>(breaker.failures.size()) >= options_.breaker_failures) {
+    breaker.quarantined = true;
+    breaker.trips = 1;
+    breaker.failures.clear();
+    breaker.open_until =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      options_.breaker_backoff_ms));
+    ++stats_.breaker_trips;
+  }
+}
+
 Result<std::shared_ptr<const DatasetArtifacts>> DatasetRegistry::BuildArtifacts(
     const ServedDatasetOptions& options) const {
+  // Deterministic failure injection for breaker tests and chaos soaks.
+  UGUIDE_FAULT_POINT("registry.build");
   UGUIDE_ASSIGN_OR_RETURN(Session session, MakeServedDataset(options));
   const DatasetKey key{RelationContentHash(session.dirty()),
                        ServedDatasetSignature(options)};

@@ -1,8 +1,10 @@
 #ifndef UGUIDE_SERVER_DATASET_REGISTRY_H_
 #define UGUIDE_SERVER_DATASET_REGISTRY_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,6 +92,16 @@ struct DatasetRegistryOptions {
   /// Budget charged for shared artifacts and the engines' partition
   /// stores; its soft limit drives eviction. Null = ungoverned.
   MemoryBudget* memory_budget = nullptr;
+  /// Circuit breaker: a recipe whose build fails this many times inside
+  /// `breaker_window_ms` is quarantined — further Opens are refused
+  /// immediately (kUnavailable, no build attempted) until the backoff
+  /// elapses, when one half-open probe build is allowed through. 0
+  /// disables the breaker.
+  int breaker_failures = 3;
+  double breaker_window_ms = 60000.0;
+  /// Base refusal window after a trip; doubles per consecutive failed
+  /// probe (capped at 16x).
+  double breaker_backoff_ms = 5000.0;
 };
 
 struct DatasetRegistryStats {
@@ -97,6 +109,9 @@ struct DatasetRegistryStats {
   int64_t hits = 0;          ///< Opens served from cache.
   int64_t shared_waits = 0;  ///< Opens that waited behind an in-flight build.
   int64_t evicted = 0;       ///< Artifacts dropped under memory pressure.
+  int64_t breaker_trips = 0;     ///< Recipes newly quarantined.
+  int64_t quarantined_opens = 0; ///< Opens refused by an open breaker.
+  int64_t probes = 0;            ///< Half-open probe builds allowed through.
 };
 
 /// \brief Process-wide cache of shared dataset artifacts, built once per
@@ -120,6 +135,14 @@ struct DatasetRegistryStats {
 /// soft limit. A dropped entry costs nothing but recompute time: the next
 /// Open rebuilds it and, the build being deterministic, every later
 /// session report is byte-identical to one served before the eviction.
+///
+/// Circuit breaker: a recipe that keeps failing to build (bad generator
+/// config, injected faults, exhausted budget) is quarantined after
+/// breaker_failures failures inside breaker_window_ms — Opens then refuse
+/// instantly instead of burning the build path, until a backoff elapses
+/// and a single half-open probe retries the build. Success closes the
+/// breaker; failure re-opens it with doubled backoff. One poisoned
+/// dataset thus cannot starve builds of healthy ones.
 ///
 /// Thread safety: all methods are safe to call concurrently.
 class DatasetRegistry {
@@ -148,6 +171,15 @@ class DatasetRegistry {
     uint64_t last_used = 0;  ///< Registry tick, for LRU ordering.
   };
 
+  /// Per-recipe circuit-breaker state (fault-aware clock throughout).
+  struct Breaker {
+    /// Recent build-failure instants, pruned to the window.
+    std::deque<std::chrono::steady_clock::time_point> failures;
+    bool quarantined = false;
+    std::chrono::steady_clock::time_point open_until;
+    int trips = 0;  ///< Consecutive trips; scales the backoff.
+  };
+
   /// The expensive path: stage 1 (generate + discover + inject) and
   /// stage 2 (Session::Create, engine, graph build, budget charge).
   /// Runs without the registry lock held.
@@ -156,6 +188,10 @@ class DatasetRegistry {
 
   /// Caller holds mu_. Returns entries dropped.
   int EvictLocked();
+
+  /// Records one build failure for `signature`; trips or re-opens the
+  /// breaker as warranted. Caller holds mu_.
+  void RecordBuildFailureLocked(uint64_t signature, bool was_probe);
 
   const DatasetRegistryOptions options_;
 
@@ -167,6 +203,8 @@ class DatasetRegistry {
   std::map<uint64_t, DatasetKey> recipe_to_key_;
   /// Recipe signatures with an in-flight build (the singleflight guard).
   std::set<uint64_t> building_;
+  /// Recipe signatures with recorded build failures; erased on success.
+  std::map<uint64_t, Breaker> breakers_;
   uint64_t tick_ = 0;
   DatasetRegistryStats stats_;
 };

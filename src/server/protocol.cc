@@ -363,6 +363,10 @@ Result<ClientFrame> ParseClientFrame(std::string_view line) {
     frame.op = ClientOp::kPing;
     return frame;
   }
+  if (op == "health") {
+    frame.op = ClientOp::kHealth;
+    return frame;
+  }
   if (frame.id.empty()) return Malformed("missing field: id");
   if (frame.id.size() > 128) return Malformed("id too long");
 
@@ -418,6 +422,8 @@ std::string FormatClientFrame(const ClientFrame& frame) {
   switch (frame.op) {
     case ClientOp::kPing:
       return "{\"op\":\"ping\"}";
+    case ClientOp::kHealth:
+      return "{\"op\":\"health\"}";
     case ClientOp::kOpen:
       out << "{\"op\":\"open\",\"id\":" << JsonQuote(frame.id)
           << ",\"strategy\":" << JsonQuote(frame.strategy);
@@ -480,13 +486,48 @@ std::string FormatReportFrame(const std::string& id,
          ",\"report\":" + JsonQuote(SerializeSessionReport(report)) + "}";
 }
 
-std::string FormatErrorFrame(const std::string& id, const Status& status) {
+const char* DefaultErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return "bad_request";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+    case StatusCode::kResourceExhausted:
+      return error_code::kOverloaded;
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "error";
+}
+
+std::string FormatErrorFrame(const std::string& id, const Status& status,
+                             const std::string& code, int retry_after_ms) {
   std::ostringstream out;
   out << "{\"type\":\"error\",";
   if (!id.empty()) out << "\"id\":" << JsonQuote(id) << ",";
-  out << "\"code\":" << static_cast<int>(status.code())
-      << ",\"message\":" << JsonQuote(status.message()) << "}";
+  out << "\"code\":" << JsonQuote(code)
+      << ",\"status\":" << static_cast<int>(status.code());
+  if (retry_after_ms >= 0) out << ",\"retry_after_ms\":" << retry_after_ms;
+  out << ",\"message\":" << JsonQuote(status.message()) << "}";
   return out.str();
+}
+
+std::string FormatErrorFrame(const std::string& id, const Status& status) {
+  return FormatErrorFrame(id, status, DefaultErrorCode(status.code()),
+                          /*retry_after_ms=*/-1);
 }
 
 std::string FormatClosedFrame(const std::string& id) {
@@ -494,6 +535,24 @@ std::string FormatClosedFrame(const std::string& id) {
 }
 
 std::string FormatPongFrame() { return "{\"type\":\"pong\"}"; }
+
+std::string FormatHealthFrame(const HealthInfo& health) {
+  std::ostringstream out;
+  out << "{\"type\":\"health\",\"brownout\":" << health.brownout
+      << ",\"active_sessions\":" << health.active_sessions
+      << ",\"active_connections\":" << health.active_connections
+      << ",\"opened\":" << health.opened << ",\"finished\":" << health.finished
+      << ",\"evicted\":" << health.evicted << ",\"refused\":" << health.refused
+      << ",\"rate_limited\":" << health.rate_limited
+      << ",\"deadline_shed\":" << health.deadline_shed
+      << ",\"brownout_refused\":" << health.brownout_refused
+      << ",\"brownout_shed\":" << health.brownout_shed
+      << ",\"accepted\":" << health.accepted
+      << ",\"dropped\":" << health.dropped
+      << ",\"dropped_slow_reader\":" << health.dropped_slow_reader
+      << ",\"reaped_idle\":" << health.reaped_idle << "}";
+  return out.str();
+}
 
 Result<ServerFrame> ParseServerFrame(std::string_view line) {
   UGUIDE_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(line));
@@ -512,8 +571,49 @@ Result<ServerFrame> ParseServerFrame(std::string_view line) {
   }
   if (type == "error") {
     frame.type = ServerFrameType::kError;
-    UGUIDE_ASSIGN_OR_RETURN(frame.code, root.GetInt("code", 0));
+    // `code` is the machine-readable slug; numbers are accepted too (the
+    // pre-slug wire form carried the numeric status there).
+    const JsonValue* code = root.Get("code");
+    if (code != nullptr) {
+      if (code->is_string()) {
+        frame.error_code = code->string_value();
+      } else if (code->is_number()) {
+        UGUIDE_ASSIGN_OR_RETURN(frame.code, root.GetInt("code", 0));
+      } else {
+        return Malformed("code must be a string or number");
+      }
+    }
+    UGUIDE_ASSIGN_OR_RETURN(frame.code, root.GetInt("status", frame.code));
+    UGUIDE_ASSIGN_OR_RETURN(frame.retry_after_ms,
+                            root.GetInt("retry_after_ms", -1));
     UGUIDE_ASSIGN_OR_RETURN(frame.message, root.GetString("message", false));
+    return frame;
+  }
+  if (type == "health") {
+    frame.type = ServerFrameType::kHealth;
+    HealthInfo& h = frame.health;
+    UGUIDE_ASSIGN_OR_RETURN(h.brownout, root.GetInt("brownout", 0));
+    UGUIDE_ASSIGN_OR_RETURN(h.active_sessions,
+                            root.GetInt("active_sessions", 0));
+    UGUIDE_ASSIGN_OR_RETURN(h.active_connections,
+                            root.GetInt("active_connections", 0));
+    const std::pair<std::string_view, int64_t*> counters[] = {
+        {"opened", &h.opened},
+        {"finished", &h.finished},
+        {"evicted", &h.evicted},
+        {"refused", &h.refused},
+        {"rate_limited", &h.rate_limited},
+        {"deadline_shed", &h.deadline_shed},
+        {"brownout_refused", &h.brownout_refused},
+        {"brownout_shed", &h.brownout_shed},
+        {"accepted", &h.accepted},
+        {"dropped", &h.dropped},
+        {"dropped_slow_reader", &h.dropped_slow_reader},
+        {"reaped_idle", &h.reaped_idle}};
+    for (const auto& [key, target] : counters) {
+      UGUIDE_ASSIGN_OR_RETURN(const int value, root.GetInt(key, 0));
+      *target = value;
+    }
     return frame;
   }
   if (type == "report") {

@@ -27,14 +27,24 @@ namespace uguide {
 ///    "retry_cost":"0x0p+0","exhausted":false}     // last two optional
 ///   {"op":"close","id":"s1"}                      // abandon, journal kept
 ///   {"op":"ping"}
+///   {"op":"health"}                               // overload introspection
 ///
 /// Server frames (`type` discriminates):
 ///   {"type":"question","id":"s1","seq":3,"kind":"cell","row":7,"col":2,
 ///    "cost":"0x1p+0","replayed":false}            // fd adds "lhs"/"rhs"
 ///   {"type":"report","id":"s1","report":"strategy=...\n..."}
-///   {"type":"error","id":"s1","code":3,"message":"..."}
+///   {"type":"error","id":"s1","code":"overloaded","status":9,
+///    "retry_after_ms":200,"message":"..."}        // retry_after_ms optional
 ///   {"type":"closed","id":"s1"}
 ///   {"type":"pong"}
+///   {"type":"health","brownout":0,"active_sessions":3,...}
+///
+/// Error frames carry two machine-readable fields: `code`, a stable slug a
+/// client can branch on ("overloaded", "rate_limited", "quarantined",
+/// "bad_frame", ...), and `status`, the numeric StatusCode. Refusals the
+/// client should retry additionally carry `retry_after_ms`. The parser
+/// also accepts the pre-slug wire form where `code` was the numeric
+/// status, so old peers and the checked-in fuzz corpus stay parseable.
 ///
 /// Doubles that must survive the round trip bit-exactly (costs, budgets,
 /// report fields) travel as C hexfloat *strings*, the same convention the
@@ -103,7 +113,7 @@ std::string HexFloat(double value);
 Result<double> ParseHexFloat(std::string_view token);
 
 /// The client→server operations.
-enum class ClientOp { kOpen, kNext, kAnswer, kClose, kPing };
+enum class ClientOp { kOpen, kNext, kAnswer, kClose, kPing, kHealth };
 
 /// One parsed client frame; fields beyond `op`/`id` are op-specific.
 struct ClientFrame {
@@ -131,7 +141,53 @@ Result<ClientFrame> ParseClientFrame(std::string_view line);
 std::string FormatClientFrame(const ClientFrame& frame);
 
 /// The server→client frame types.
-enum class ServerFrameType { kQuestion, kReport, kError, kClosed, kPong };
+enum class ServerFrameType {
+  kQuestion,
+  kReport,
+  kError,
+  kClosed,
+  kPong,
+  kHealth
+};
+
+/// Machine-readable error slugs carried in error frames' `code`. Kept as
+/// named constants so the daemon, loadgen, and tests cannot drift.
+namespace error_code {
+inline constexpr char kOverloaded[] = "overloaded";
+inline constexpr char kRateLimited[] = "rate_limited";
+inline constexpr char kQuarantined[] = "quarantined";
+inline constexpr char kBadFrame[] = "bad_frame";
+inline constexpr char kDraining[] = "draining";
+}  // namespace error_code
+
+/// The default slug for a status with no call-site-specific code (e.g.
+/// kNotFound → "not_found", kResourceExhausted → "overloaded").
+const char* DefaultErrorCode(StatusCode code);
+
+/// The op=health reply: the daemon's overload posture in one frame. The
+/// session/admission fields come from the SessionManager; the connection
+/// fields are filled by the daemon's reactor (zero when the manager is
+/// driven without one, as in unit tests).
+struct HealthInfo {
+  int brownout = 0;  ///< 0 normal, 1 over soft limit, 2 near hard limit.
+  int active_sessions = 0;
+  int active_connections = 0;
+  // SessionManager counters.
+  int64_t opened = 0;
+  int64_t finished = 0;
+  int64_t evicted = 0;
+  int64_t refused = 0;
+  // AdmissionController counters.
+  int64_t rate_limited = 0;
+  int64_t deadline_shed = 0;
+  int64_t brownout_refused = 0;
+  int64_t brownout_shed = 0;
+  // Reactor counters.
+  int64_t accepted = 0;
+  int64_t dropped = 0;
+  int64_t dropped_slow_reader = 0;
+  int64_t reaped_idle = 0;
+};
 
 /// One parsed server frame (the load generator's read side).
 struct ServerFrame {
@@ -139,8 +195,11 @@ struct ServerFrame {
   std::string id;
   SessionQuestion question;  // kQuestion
   std::string report;        // kReport: canonical SerializeSessionReport text
-  int code = 0;              // kError: StatusCode as int
+  int code = 0;              // kError: StatusCode as int (wire: "status")
+  std::string error_code;    // kError: machine-readable slug (wire: "code")
+  int retry_after_ms = -1;   // kError: retry hint; negative = absent
   std::string message;       // kError
+  HealthInfo health;         // kHealth
 };
 
 /// Parses one server line; tolerant, never crashes.
@@ -150,9 +209,15 @@ std::string FormatQuestionFrame(const std::string& id,
                                 const SessionQuestion& question);
 std::string FormatReportFrame(const std::string& id,
                               const SessionReport& report);
+/// Error with the status's default slug and no retry hint.
 std::string FormatErrorFrame(const std::string& id, const Status& status);
+/// Error with an explicit slug and (when `retry_after_ms` >= 0) a retry
+/// hint — the structured-refusal form every admission shed uses.
+std::string FormatErrorFrame(const std::string& id, const Status& status,
+                             const std::string& code, int retry_after_ms);
 std::string FormatClosedFrame(const std::string& id);
 std::string FormatPongFrame();
+std::string FormatHealthFrame(const HealthInfo& health);
 
 /// \brief Canonical, byte-comparable text form of a SessionReport.
 ///

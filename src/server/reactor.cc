@@ -7,8 +7,10 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -103,6 +105,33 @@ Result<std::unique_ptr<Reactor>> Reactor::Start(ReactorOptions options) {
     return Errno("epoll_ctl(wake)");
   }
 
+  // Maintenance tick: explicit period, or a quarter of the read-idle
+  // window (a reap can then be at most 25% late), or none at all.
+  double tick_ms = reactor->options_.tick_interval_ms;
+  if (tick_ms <= 0.0 && reactor->options_.read_idle_ms > 0.0) {
+    tick_ms = std::max(10.0, reactor->options_.read_idle_ms / 4.0);
+  }
+  if (tick_ms <= 0.0 && reactor->options_.on_tick) tick_ms = 250.0;
+  if (tick_ms > 0.0) {
+    reactor->timer_fd_ =
+        ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (reactor->timer_fd_ < 0) return Errno("timerfd_create");
+    itimerspec spec;
+    std::memset(&spec, 0, sizeof(spec));
+    const long ns = static_cast<long>(tick_ms * 1e6);
+    spec.it_interval.tv_sec = ns / 1000000000L;
+    spec.it_interval.tv_nsec = ns % 1000000000L;
+    spec.it_value = spec.it_interval;
+    if (::timerfd_settime(reactor->timer_fd_, 0, &spec, nullptr) != 0) {
+      return Errno("timerfd_settime");
+    }
+    ev.data.fd = reactor->timer_fd_;
+    if (::epoll_ctl(reactor->epoll_fd_, EPOLL_CTL_ADD, reactor->timer_fd_,
+                    &ev) != 0) {
+      return Errno("epoll_ctl(timer)");
+    }
+  }
+
   reactor->reactor_thread_ = std::thread(&Reactor::Loop, reactor.get());
   return reactor;
 }
@@ -136,7 +165,8 @@ void Reactor::Shutdown() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
-  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = timer_fd_ = -1;
 }
 
 void Reactor::NotifyDirty(int fd) {
@@ -167,6 +197,13 @@ void Reactor::Loop() {
         uint64_t drained;
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
         }
+        continue;
+      }
+      if (fd == timer_fd_) {
+        uint64_t expirations;
+        while (::read(timer_fd_, &expirations, sizeof(expirations)) > 0) {
+        }
+        HandleTick();
         continue;
       }
       if (fd == listen_fd_) {
@@ -229,6 +266,7 @@ void Reactor::HandleAccept() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
     auto conn = std::make_shared<Connection>(fd, options_.max_line_bytes);
+    conn->last_line_at = FaultRegistry::Global().Now();
     conn->armed_events = EPOLLIN;
     epoll_event ev;
     std::memset(&ev, 0, sizeof(ev));
@@ -243,6 +281,35 @@ void Reactor::HandleAccept() {
     ++stats_.accepted;
     ++active_;
   }
+}
+
+void Reactor::HandleTick() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.ticks;
+  }
+  if (options_.read_idle_ms > 0.0) {
+    const auto now = FaultRegistry::Global().Now();
+    std::vector<std::shared_ptr<Connection>> reap;
+    for (auto& [fd, conn] : conns_) {
+      const double idle_ms =
+          std::chrono::duration<double, std::milli>(now - conn->last_line_at)
+              .count();
+      if (idle_ms <= options_.read_idle_ms) continue;
+      std::lock_guard<std::mutex> lock(conn->mu);
+      // A connection with framed, in-flight, or unflushed work is slow to
+      // *read or compute*, not a loris; the write cap polices those.
+      if (conn->dispatching || !conn->lines.empty() ||
+          conn->out_offset < conn->out.size()) {
+        continue;
+      }
+      conn->closing = true;
+      conn->drop_reason = DropReason::kIdleReap;
+      reap.push_back(conn);
+    }
+    for (const auto& conn : reap) CloseConnection(conn);
+  }
+  if (options_.on_tick) options_.on_tick();
 }
 
 void Reactor::HandleReadable(const std::shared_ptr<Connection>& conn) {
@@ -278,10 +345,14 @@ void Reactor::HandleReadable(const std::shared_ptr<Connection>& conn) {
       conn->closing = true;
       break;
     }
-    while (std::optional<std::string> line = conn->in.NextLine()) {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      conn->lines.push_back(std::move(*line));
-      got_lines = true;
+    if (std::optional<std::string> line = conn->in.NextLine()) {
+      const auto now = FaultRegistry::Global().Now();
+      conn->last_line_at = now;
+      do {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->lines.push_back(PendingLine{std::move(*line), now});
+        got_lines = true;
+      } while ((line = conn->in.NextLine()));
     }
     // A short read means the socket buffer is (almost certainly) drained;
     // skip the recv that would just return EAGAIN. Level-triggered epoll
@@ -318,7 +389,7 @@ bool Reactor::ScheduleDrainLocked(const std::shared_ptr<Connection>& conn) {
 
 void Reactor::DrainLines(std::shared_ptr<Connection> conn) {
   while (true) {
-    std::string line;
+    PendingLine line;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->lines.empty() || conn->closing) {
@@ -330,7 +401,8 @@ void Reactor::DrainLines(std::shared_ptr<Connection> conn) {
     }
     // The step itself runs without the connection lock: replies for other
     // connections must not stall behind this session's strategy.
-    std::vector<std::string> replies = options_.handler(line);
+    std::vector<std::string> replies =
+        options_.handler(line.text, line.enqueued);
     std::lock_guard<std::mutex> lock(conn->mu);
     FaultRegistry& registry = FaultRegistry::Global();
     for (const std::string& reply : replies) {
@@ -343,6 +415,14 @@ void Reactor::DrainLines(std::shared_ptr<Connection> conn) {
       }
       conn->out.append(reply);
       conn->out.push_back('\n');
+    }
+    // Slow-reader cap: a client that stops reading must not grow `out`
+    // without bound. Hard drop — half a reply stream is useless anyway;
+    // the journal survives and a reconnect resumes the session.
+    if (options_.max_pending_out_bytes > 0 && !conn->closing &&
+        conn->out.size() - conn->out_offset > options_.max_pending_out_bytes) {
+      conn->closing = true;
+      conn->drop_reason = DropReason::kSlowReader;
     }
   }
   // Inline drains (single-threaded pool) run inside the reactor loop,
@@ -381,6 +461,13 @@ void Reactor::FlushAndMaybeClose(const std::shared_ptr<Connection>& conn) {
     if (conn->out_offset >= conn->out.size()) {
       conn->out.clear();
       conn->out_offset = 0;
+    } else if (options_.max_pending_out_bytes > 0 &&
+               conn->out.size() - conn->out_offset >
+                   options_.max_pending_out_bytes) {
+      // The kernel refused everything and the backlog is over the cap:
+      // the peer has stopped reading.
+      conn->closing = true;
+      conn->drop_reason = DropReason::kSlowReader;
     }
     const bool pending = !conn->out.empty();
     // A finished connection closes once everything it was owed is flushed
@@ -412,14 +499,20 @@ void Reactor::CloseConnection(const std::shared_ptr<Connection>& conn) {
   // Stats update first: once close() lands, the peer can observe EOF and
   // immediately read stats(), which must already reflect the drop.
   bool clean;
+  DropReason reason;
   {
     std::lock_guard<std::mutex> conn_lock(conn->mu);
     clean = !conn->closing;
+    reason = conn->drop_reason;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     --active_;
-    if (!clean) ++stats_.dropped;
+    if (!clean) {
+      ++stats_.dropped;
+      if (reason == DropReason::kSlowReader) ++stats_.dropped_slow_reader;
+      if (reason == DropReason::kIdleReap) ++stats_.reaped_idle;
+    }
   }
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::shutdown(conn->fd, SHUT_RDWR);

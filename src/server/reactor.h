@@ -2,6 +2,7 @@
 #define UGUIDE_SERVER_REACTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -63,21 +64,47 @@ struct ReactorOptions {
   int max_connections = 0;
   /// A connection feeding a line longer than this is dropped.
   size_t max_line_bytes = 1 << 20;
+  /// Reply bytes a connection may leave unread before it is hard-dropped
+  /// as a slow reader (counted in stats().dropped_slow_reader). Without
+  /// the cap a client that opens a session and stops reading grows the
+  /// output buffer without bound. 0 = unlimited.
+  size_t max_pending_out_bytes = 0;
+  /// A connection with no complete line framed within this window is
+  /// reaped on the tick (slow-loris defense; counted in
+  /// stats().reaped_idle). Connections with queued or in-flight work are
+  /// never reaped. 0 = off. Uses the fault-aware clock.
+  double read_idle_ms = 0.0;
+  /// Period of the maintenance tick (timerfd). 0 derives one from
+  /// read_idle_ms (a quarter, floored at 10ms) or stays off when neither
+  /// read_idle_ms nor on_tick needs it.
+  double tick_interval_ms = 0.0;
+  /// Runs on the reactor thread every tick, after idle reaping — the
+  /// daemon drives SessionManager::EvictIdle here.
+  std::function<void()> on_tick;
   /// Executes handler steps. Null (or a single-thread pool) runs them
   /// inline on the reactor thread — the graceful serial fallback.
   ThreadPool* pool = nullptr;
   /// The protocol: one request line in, reply frames out (newlines are
-  /// appended by the reactor). Must be thread-safe: steps for distinct
-  /// connections run concurrently on the pool. Steps for one connection
-  /// never overlap and run in arrival order.
-  std::function<std::vector<std::string>(std::string_view)> handler;
+  /// appended by the reactor). The time_point is when the reactor framed
+  /// the line (fault-aware clock) — admission control sheds lines that
+  /// waited in queue past the deadline. Must be thread-safe: steps for
+  /// distinct connections run concurrently on the pool. Steps for one
+  /// connection never overlap and run in arrival order.
+  std::function<std::vector<std::string>(
+      std::string_view, std::chrono::steady_clock::time_point)>
+      handler;
 };
 
 struct ReactorStats {
   int64_t accepted = 0;
   int64_t refused = 0;  ///< Closed at accept: over max_connections.
   int64_t dropped = 0;  ///< Connections dropped mid-stream (fault, oversize
-                        ///< line, write failure, peer reset).
+                        ///< line, write failure, peer reset, cap, reap).
+  /// Of `dropped`: exceeded max_pending_out_bytes (slow reader).
+  int64_t dropped_slow_reader = 0;
+  /// Of `dropped`: no complete line within read_idle_ms (slow loris).
+  int64_t reaped_idle = 0;
+  int64_t ticks = 0;  ///< Maintenance ticks run.
 };
 
 /// \brief Epoll front end executing protocol steps on a shared pool.
@@ -128,6 +155,15 @@ class Reactor {
   ReactorStats stats() const;
 
  private:
+  /// Why a connection was hard-dropped; picks the stats counter.
+  enum class DropReason { kNone, kSlowReader, kIdleReap };
+
+  /// One framed request plus the instant the reactor framed it.
+  struct PendingLine {
+    std::string text;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   struct Connection {
     explicit Connection(int fd_in, size_t max_line_bytes)
         : fd(fd_in), in(max_line_bytes) {}
@@ -135,22 +171,29 @@ class Reactor {
     const int fd;
     /// Reactor thread only.
     LineBuffer in;
+    /// When the last complete line was framed (accept time initially).
+    /// Reactor thread only — read by the tick's idle reaper.
+    std::chrono::steady_clock::time_point last_line_at;
 
     /// Guards everything below (the reactor <-> pool-task channel).
     std::mutex mu;
-    std::deque<std::string> lines;  ///< Framed requests awaiting a step.
+    std::deque<PendingLine> lines;  ///< Framed requests awaiting a step.
     bool dispatching = false;       ///< A pool task is draining `lines`.
     std::string out;                ///< Reply bytes not yet flushed.
     size_t out_offset = 0;
     uint32_t armed_events = 0;  ///< Event mask currently registered.
     bool read_done = false;     ///< EOF/read fault: flush, then close.
     bool closing = false;       ///< Hard drop (write failure/oversize line).
+    DropReason drop_reason = DropReason::kNone;
   };
 
   Reactor() = default;
 
   void Loop();
   void HandleAccept();
+  /// Timerfd maintenance: reap read-idle connections, then on_tick.
+  /// Reactor thread only.
+  void HandleTick();
   void HandleReadable(const std::shared_ptr<Connection>& conn);
   void HandleWritable(const std::shared_ptr<Connection>& conn);
   /// Flushes pending output and closes the connection once it is both
@@ -171,7 +214,8 @@ class Reactor {
   ReactorOptions options_;
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd
+  int wake_fd_ = -1;   ///< eventfd
+  int timer_fd_ = -1;  ///< timerfd driving HandleTick; -1 = no tick.
   int port_ = 0;
 
   std::thread reactor_thread_;

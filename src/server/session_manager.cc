@@ -25,7 +25,15 @@ bool ValidSessionId(const std::string& id) {
 
 SessionManager::SessionManager(const Session* session,
                                SessionManagerOptions options)
-    : session_(session), options_(std::move(options)) {}
+    : session_(session),
+      options_(std::move(options)),
+      admission_(options_.admission, options_.memory_budget) {}
+
+void SessionManager::SetHealthAugmenter(
+    std::function<void(HealthInfo*)> augmenter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_augmenter_ = std::move(augmenter);
+}
 
 SessionManager::~SessionManager() { BeginDrain(); }
 
@@ -47,13 +55,32 @@ void SessionManager::Erase(const std::string& id) {
 }
 
 std::vector<std::string> SessionManager::HandleLine(std::string_view line) {
+  return HandleLine(line, FaultRegistry::Global().Now());
+}
+
+std::vector<std::string> SessionManager::HandleLine(
+    std::string_view line, std::chrono::steady_clock::time_point enqueued) {
   Result<ClientFrame> parsed = ParseClientFrame(line);
-  if (!parsed.ok()) return {FormatErrorFrame("", parsed.status())};
+  if (!parsed.ok()) {
+    return {FormatErrorFrame("", parsed.status(), error_code::kBadFrame, -1)};
+  }
   const ClientFrame& frame = *parsed;
 
+  // Ping and health bypass admission: both are the probes an operator (or
+  // a backing-off client) uses to see whether the daemon is alive and why
+  // it is refusing — shedding them would blind exactly the tooling that
+  // responds to overload.
+  if (frame.op == ClientOp::kPing) return {FormatPongFrame()};
+  if (frame.op == ClientOp::kHealth) return HandleHealth();
+
+  const AdmissionVerdict verdict =
+      admission_.Admit(frame.op, frame.id, enqueued);
+  if (!verdict.admitted()) {
+    return {FormatErrorFrame(frame.id, verdict.status, verdict.code,
+                             verdict.retry_after_ms)};
+  }
+
   switch (frame.op) {
-    case ClientOp::kPing:
-      return {FormatPongFrame()};
     case ClientOp::kOpen:
       return HandleOpen(frame);
     case ClientOp::kNext:
@@ -61,8 +88,33 @@ std::vector<std::string> SessionManager::HandleLine(std::string_view line) {
       return HandleStep(frame);
     case ClientOp::kClose:
       return HandleClose(frame);
+    case ClientOp::kPing:
+    case ClientOp::kHealth:
+      break;  // handled above
   }
   return {FormatErrorFrame(frame.id, Status::Internal("unreachable"))};
+}
+
+std::vector<std::string> SessionManager::HandleHealth() {
+  HealthInfo health;
+  health.brownout = static_cast<int>(admission_.brownout());
+  const AdmissionStats admission = admission_.stats();
+  health.rate_limited = admission.rate_limited;
+  health.deadline_shed = admission.deadline_shed;
+  health.brownout_refused = admission.brownout_refused;
+  health.brownout_shed = admission.brownout_shed;
+  std::function<void(HealthInfo*)> augmenter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    health.active_sessions = static_cast<int>(sessions_.size());
+    health.opened = stats_.opened;
+    health.finished = stats_.finished;
+    health.evicted = stats_.evicted;
+    health.refused = stats_.refused;
+    augmenter = health_augmenter_;
+  }
+  if (augmenter) augmenter(&health);
+  return {FormatHealthFrame(health)};
 }
 
 std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
@@ -85,12 +137,14 @@ std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
     if (draining_) {
       ++stats_.refused;
       return {FormatErrorFrame(frame.id,
-                               Status::Unavailable("daemon is draining"))};
+                               Status::Unavailable("daemon is draining"),
+                               error_code::kDraining, -1)};
     }
     if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
       ++stats_.refused;
       return {FormatErrorFrame(
-          frame.id, Status::ResourceExhausted("session limit reached"))};
+          frame.id, Status::ResourceExhausted("session limit reached"),
+          error_code::kOverloaded, options_.admission.retry_after_ms)};
     }
     if (sessions_.count(frame.id) != 0) {
       return {FormatErrorFrame(
@@ -213,6 +267,12 @@ void SessionManager::BeginDrain() {
 
 int SessionManager::EvictIdle() {
   if (options_.idle_timeout_ms <= 0.0) return 0;
+  // Under memory pressure an idle session holds exactly the resource the
+  // brownout ladder is protecting, so the timeout tightens to a quarter.
+  const double timeout_ms =
+      admission_.brownout() >= BrownoutLevel::kBrownout
+          ? options_.idle_timeout_ms / 4.0
+          : options_.idle_timeout_ms;
   const auto now = FaultRegistry::Global().Now();
   std::vector<std::shared_ptr<Served>> idle;
   {
@@ -221,7 +281,7 @@ int SessionManager::EvictIdle() {
       const double idle_ms = std::chrono::duration<double, std::milli>(
                                  now - it->second->last_active)
                                  .count();
-      if (idle_ms > options_.idle_timeout_ms) {
+      if (idle_ms > timeout_ms) {
         idle.push_back(it->second);
         it = sessions_.erase(it);
       } else {

@@ -2,6 +2,7 @@
 #define UGUIDE_SERVER_SESSION_MANAGER_H_
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +13,7 @@
 
 #include "core/session.h"
 #include "core/session_state.h"
+#include "server/admission.h"
 #include "server/protocol.h"
 
 namespace uguide {
@@ -49,6 +51,10 @@ struct SessionManagerOptions {
   /// strategies copy it per run instead of rebuilding. Null = build per
   /// run.
   const ViolationGraph* graph = nullptr;
+
+  /// Overload-protection knobs, all off by default. The brownout ladder
+  /// additionally needs `memory_budget` to be set.
+  AdmissionOptions admission;
 };
 
 /// Counters exposed for the daemon's exit summary and tests.
@@ -86,8 +92,12 @@ class SessionManager {
 
   /// Handles one protocol line, returning the frames to write back (each
   /// without trailing newline). Malformed input yields an error frame,
-  /// never a crash.
+  /// never a crash. `enqueued` is when the reactor framed the line — the
+  /// admission queue deadline sheds lines that waited too long. The 1-arg
+  /// form stamps "now" (no queue, nothing to shed).
   std::vector<std::string> HandleLine(std::string_view line);
+  std::vector<std::string> HandleLine(
+      std::string_view line, std::chrono::steady_clock::time_point enqueued);
 
   /// Refuses new opens from now on and abandons every in-flight session
   /// (journals synced and preserved). Idempotent; part of SIGTERM drain.
@@ -99,6 +109,13 @@ class SessionManager {
   int active_sessions() const;
   bool draining() const;
   SessionManagerStats stats() const;
+  AdmissionStats admission_stats() const { return admission_.stats(); }
+  BrownoutLevel brownout() const { return admission_.brownout(); }
+
+  /// Installed by the daemon to add reactor/connection fields to op=health
+  /// replies; called (outside the manager lock) with the frame the manager
+  /// already filled from its own counters.
+  void SetHealthAugmenter(std::function<void(HealthInfo*)> augmenter);
 
  private:
   struct Served {
@@ -116,6 +133,7 @@ class SessionManager {
   std::vector<std::string> HandleOpen(const ClientFrame& frame);
   std::vector<std::string> HandleStep(const ClientFrame& frame);
   std::vector<std::string> HandleClose(const ClientFrame& frame);
+  std::vector<std::string> HandleHealth();
 
   /// Pulls the next question (or the final report) out of `served`.
   /// Caller holds served->step_mu.
@@ -127,11 +145,13 @@ class SessionManager {
 
   const Session* session_;
   const SessionManagerOptions options_;
+  AdmissionController admission_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Served>> sessions_;
   bool draining_ = false;
   SessionManagerStats stats_;
+  std::function<void(HealthInfo*)> health_augmenter_;
 };
 
 }  // namespace uguide

@@ -1,0 +1,92 @@
+# Chaos smoke test: the acceptance scenario of the overload-safe serving
+# work. uguided runs with every protection armed (admission deadline,
+# read-idle reaping, output cap, fast tick) and 8 session slots; the load
+# generator offers 4x that with --chaos — garbage frames, half-written
+# lines, slow readers, mid-question disconnects, and close/reopen-resume
+# storms. The bar: every admitted session finishes with a byte-verified
+# report, every refusal carries a machine-readable code + retry hint (the
+# loadgen exits nonzero otherwise — no --allow-refused here: structured
+# retries must converge), no answered question is lost, and every journal
+# resumes cleanly.
+#
+# Inputs: -DUGUIDED=<binary> -DLOADGEN=<binary> -DWORK_DIR=<scratch dir>
+
+if(NOT UGUIDED OR NOT LOADGEN OR NOT WORK_DIR)
+  message(FATAL_ERROR "chaos_smoke: UGUIDED, LOADGEN and WORK_DIR are "
+                      "required")
+endif()
+
+find_program(BASH_PROGRAM bash)
+if(NOT BASH_PROGRAM)
+  message(FATAL_ERROR "chaos_smoke: bash not found")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/journals")
+
+# $1 = uguided, $2 = uguide_loadgen. No --memory-budget-mb here: the shared
+# artifacts would pin the budget over its soft limit and brownout would
+# (correctly) refuse every open forever — the brownout path has its own
+# unit tests against an explicit MemoryBudget.
+file(WRITE "${WORK_DIR}/chaos.sh" [=[
+uguided="$1"
+loadgen="$2"
+
+"$uguided" --port=0 --port-file=port.txt --journal-dir=journals \
+  --max-sessions=8 --rows=150 --budget=12 --threads=4 \
+  --tick-ms=50 --read-idle-ms=2000 --queue-deadline-ms=5000 \
+  >daemon.log 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 240); do
+  [ -s port.txt ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.25
+done
+if ! [ -s port.txt ]; then
+  echo "chaos_smoke: daemon never published its port" >&2
+  cat daemon.log >&2
+  kill "$daemon_pid" 2>/dev/null
+  exit 1
+fi
+
+"$loadgen" --port="$(cat port.txt)" --sessions=32 --concurrency=32 \
+  --strategy=all --rows=150 --budget=12 --chaos --chaos-seed=1234 \
+  --check-journals=journals
+loadgen_rc=$?
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_rc=$?
+cat daemon.log
+
+if [ "$loadgen_rc" -ne 0 ]; then
+  echo "chaos_smoke: loadgen failed (rc=$loadgen_rc)" >&2
+  exit 1
+fi
+if [ "$daemon_rc" -ne 0 ]; then
+  echo "chaos_smoke: daemon did not drain cleanly (rc=$daemon_rc)" >&2
+  exit 1
+fi
+if ! grep -q "finished=32" daemon.log; then
+  echo "chaos_smoke: daemon summary disagrees with loadgen" >&2
+  exit 1
+fi
+exit 0
+]=])
+
+execute_process(
+  COMMAND "${BASH_PROGRAM}" "${WORK_DIR}/chaos.sh" "${UGUIDED}" "${LOADGEN}"
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+message(STATUS "chaos_smoke stdout:\n${out}")
+if(err)
+  message(STATUS "chaos_smoke stderr:\n${err}")
+endif()
+if(NOT exit_code STREQUAL "0")
+  message(FATAL_ERROR "chaos_smoke: failed with exit code ${exit_code}")
+endif()

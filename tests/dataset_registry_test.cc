@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "oracle/simulated_expert.h"
@@ -185,6 +186,58 @@ TEST(DatasetRegistryTest, EvictsUnderPressureAndRebuildsIdentically) {
   auto rebuilt = registry.Open(SmallDataset()).ValueOrDie();
   EXPECT_EQ(registry.stats().builds, 2);
   EXPECT_EQ(ServeReport(*rebuilt, /*budget=*/16.0), before);
+}
+
+TEST(DatasetRegistryTest, BreakerQuarantinesFailingRecipeThenRecovers) {
+  DatasetRegistryOptions options;
+  options.breaker_failures = 3;
+  options.breaker_window_ms = 60000.0;
+  options.breaker_backoff_ms = 5000.0;
+  DatasetRegistry registry(options);
+
+  // The first four build attempts fail at the injected fault site; the
+  // clock.tick clause advances the virtual clock 6s per fire, stepping
+  // through the breaker's backoff without sleeping.
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .LoadPlan("registry.build=unavailable@1-4;"
+                            "clock.tick=latency:6000")
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(registry.Open(SmallDataset()).ok());
+  }
+  EXPECT_EQ(registry.stats().breaker_trips, 1);
+
+  // Quarantined: the refusal is instant (kUnavailable, no build attempt)
+  // and says so.
+  auto refused = registry.Open(SmallDataset());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find("quarantined"),
+            std::string::npos);
+  EXPECT_EQ(registry.stats().quarantined_opens, 1);
+
+  // Past the backoff, exactly one half-open probe builds — and fails
+  // (fault hit #4), re-opening the breaker with a doubled backoff.
+  FaultRegistry::Global().OnPoint("clock.tick").IgnoreError();
+  EXPECT_FALSE(registry.Open(SmallDataset()).ok());
+  EXPECT_EQ(registry.stats().probes, 1);
+  EXPECT_FALSE(registry.Open(SmallDataset()).ok());  // refused again
+  EXPECT_EQ(registry.stats().quarantined_opens, 2);
+
+  // 12 more virtual seconds clear the doubled (10s) backoff; the fault
+  // range is exhausted, so the second probe succeeds and closes the
+  // breaker outright.
+  FaultRegistry::Global().OnPoint("clock.tick").IgnoreError();
+  FaultRegistry::Global().OnPoint("clock.tick").IgnoreError();
+  auto recovered = registry.Open(SmallDataset());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(registry.stats().probes, 2);
+  EXPECT_EQ(registry.stats().builds, 1);
+
+  // Closed means closed: the next open is a plain cache hit.
+  EXPECT_TRUE(registry.Open(SmallDataset()).ok());
+  EXPECT_GE(registry.stats().hits, 1);
+  FaultRegistry::Global().Reset();
 }
 
 }  // namespace

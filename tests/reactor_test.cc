@@ -10,9 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -146,7 +149,8 @@ class TestClient {
 ReactorOptions EchoOptions(ThreadPool* pool = nullptr) {
   ReactorOptions options;
   options.pool = pool;
-  options.handler = [](std::string_view line) {
+  options.handler = [](std::string_view line,
+                       std::chrono::steady_clock::time_point) {
     return std::vector<std::string>{"echo:" + std::string(line)};
   };
   return options;
@@ -184,7 +188,8 @@ TEST(ReactorTest, ShortWritesDrainThroughEpollout) {
   // path; every byte must still arrive, in order.
   ReactorOptions options;
   const std::string padding(100, 'p');
-  options.handler = [&padding](std::string_view line) {
+  options.handler = [&padding](std::string_view line,
+                               std::chrono::steady_clock::time_point) {
     return std::vector<std::string>{std::string(line) + ":" + padding};
   };
   auto reactor = Reactor::Start(options).ValueOrDie();
@@ -240,6 +245,65 @@ TEST(ReactorTest, RefusesConnectionsOverTheCap) {
   }
   EXPECT_TRUE(served);
   reactor->Shutdown();
+}
+
+TEST(ReactorTest, ReapsSlowLorisHoldingAPartialLine) {
+  // A peer that trickles a frame but never finishes it must not pin a
+  // connection slot forever: the maintenance tick reaps any connection
+  // with no complete line inside read_idle_ms.
+  ReactorOptions options = EchoOptions();
+  options.read_idle_ms = 50.0;
+  options.tick_interval_ms = 10.0;
+  auto reactor = Reactor::Start(options).ValueOrDie();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(reactor->port()));
+  ASSERT_TRUE(client.Write("{\"op\":\"op"));  // no newline, ever
+  EXPECT_TRUE(client.ReadUntilClosed());      // blocks until the reap
+  EXPECT_GE(reactor->stats().reaped_idle, 1);
+  EXPECT_GE(reactor->stats().dropped, 1);
+  EXPECT_GE(reactor->stats().ticks, 1);
+  reactor->Shutdown();
+}
+
+TEST(ReactorTest, DropsSlowReaderOverThePendingOutputCap) {
+  // A client that pipelines thousands of requests and never reads grows
+  // the reply buffer; past max_pending_out_bytes it is hard-dropped and
+  // counted separately from protocol drops.
+  ReactorOptions options;
+  const std::string padding(1024, 'p');
+  options.handler = [&padding](std::string_view line,
+                               std::chrono::steady_clock::time_point) {
+    return std::vector<std::string>{std::string(line) + ":" + padding};
+  };
+  options.max_pending_out_bytes = 16 << 10;
+  auto reactor = Reactor::Start(options).ValueOrDie();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(reactor->port()));
+  std::string burst;
+  for (int i = 0; i < 2000; ++i) burst += std::to_string(i) + "\n";
+  ASSERT_TRUE(client.Write(burst));  // ~2 MiB of replies, 16 KiB allowed
+  EXPECT_TRUE(client.ReadUntilClosed());
+  EXPECT_GE(reactor->stats().dropped_slow_reader, 1);
+  EXPECT_GE(reactor->stats().dropped, 1);
+  reactor->Shutdown();
+}
+
+TEST(ReactorTest, MaintenanceTickDrivesOnTickCallback) {
+  std::atomic<int> ticks{0};
+  ReactorOptions options = EchoOptions();
+  options.tick_interval_ms = 10.0;
+  options.on_tick = [&ticks] { ++ticks; };
+  auto reactor = Reactor::Start(options).ValueOrDie();
+  for (int i = 0; i < 500 && ticks.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(ticks.load(), 3);
+  EXPECT_GE(reactor->stats().ticks, 3);
+  reactor->Shutdown();
+  // Shutdown stops the tick: the counter settles.
+  const int after = ticks.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(ticks.load(), after);
 }
 
 TEST(ReactorTest, DropsConnectionFeedingAnOversizeLine) {

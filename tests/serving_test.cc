@@ -358,6 +358,37 @@ TEST_F(ServingTest, ManagerRefusesBeyondLimitAndWhileDraining) {
   EXPECT_EQ(manager.stats().refused, 2);
 }
 
+TEST_F(ServingTest, OverloadRefusalsCarryStructuredCodes) {
+  SessionManagerOptions options;
+  options.max_sessions = 1;
+  options.admission.retry_after_ms = 150;
+  SessionManager manager(session_, options);
+  ASSERT_EQ(One(manager.HandleLine(OpenLine("sa", "FDQ-BMC", 8.0))).type,
+            ServerFrameType::kQuestion);
+
+  // Session-limit refusal: machine-readable slug plus the retry hint, so
+  // clients back off instead of guessing from prose.
+  ServerFrame refused = One(manager.HandleLine(OpenLine("sb", "FDQ-BMC",
+                                                        8.0)));
+  ASSERT_EQ(refused.type, ServerFrameType::kError);
+  EXPECT_EQ(refused.error_code, error_code::kOverloaded);
+  EXPECT_EQ(refused.retry_after_ms, 150);
+
+  // Draining is terminal: its slug differs so clients know not to retry
+  // against this process.
+  manager.BeginDrain();
+  ServerFrame draining = One(manager.HandleLine(OpenLine("sc", "FDQ-BMC",
+                                                         8.0)));
+  ASSERT_EQ(draining.type, ServerFrameType::kError);
+  EXPECT_EQ(draining.error_code, error_code::kDraining);
+
+  // Malformed input gets its own slug (never a retry hint).
+  ServerFrame bad = One(manager.HandleLine("{\"op\":"));
+  ASSERT_EQ(bad.type, ServerFrameType::kError);
+  EXPECT_EQ(bad.error_code, error_code::kBadFrame);
+  EXPECT_LT(bad.retry_after_ms, 0);
+}
+
 TEST_F(ServingTest, EvictedSessionResumesFromItsJournal) {
   SessionManagerOptions options;
   options.journal_dir = MakeJournalDir("serving_evict_journals");
@@ -540,6 +571,63 @@ TEST_F(ServingTest, KilledClientDoesNotKillItsSession) {
   }
   ASSERT_EQ(frame.type, ServerFrameType::kReport);
   EXPECT_EQ(frame.report, ReferenceReport("FDQ-Greedy", budget));
+  daemon->Shutdown();
+}
+
+TEST_F(ServingTest, HealthOpReportsDaemonPosture) {
+  DaemonOptions options;
+  auto daemon = ServingDaemon::Start(session_, options).ValueOrDie();
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(daemon->port()));
+  ASSERT_TRUE(client.WriteLine(OpenLine("h1", "FDQ-BMC", 8.0)));
+  ServerFrame q = ParseServerFrame(*client.ReadLine()).ValueOrDie();
+  ASSERT_EQ(q.type, ServerFrameType::kQuestion);
+
+  ASSERT_TRUE(client.WriteLine("{\"op\":\"health\"}"));
+  ServerFrame health = ParseServerFrame(*client.ReadLine()).ValueOrDie();
+  ASSERT_EQ(health.type, ServerFrameType::kHealth);
+  EXPECT_EQ(health.health.brownout, 0);
+  EXPECT_EQ(health.health.active_sessions, 1);
+  // The daemon's augmenter fills the reactor-side fields.
+  EXPECT_EQ(health.health.active_connections, 1);
+  EXPECT_GE(health.health.accepted, 1);
+  EXPECT_EQ(health.health.opened, 1);
+  EXPECT_EQ(health.health.dropped, 0);
+  daemon->Shutdown();
+}
+
+TEST_F(ServingTest, QueueDeadlineShedsPipelinedBacklog) {
+  DaemonOptions options;
+  options.manager.admission.queue_deadline_ms = 500.0;
+  options.manager.admission.retry_after_ms = 75;
+  auto daemon = ServingDaemon::Start(session_, options).ValueOrDie();
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(daemon->port()));
+  // Two pipelined lines arrive in one read event, so both carry the same
+  // enqueue stamp. Every reply write then advances the virtual clock two
+  // seconds: by the time the second line is picked up it has "waited"
+  // past the 500ms deadline and must be shed, not executed.
+  ASSERT_TRUE(
+      FaultRegistry::Global().LoadPlan("server.write=latency:2000").ok());
+  ASSERT_TRUE(client.WriteLine(OpenLine("qd1", "FDQ-BMC", 8.0) + "\n" +
+                               NextLine("qd1")));
+  ServerFrame first = ParseServerFrame(*client.ReadLine()).ValueOrDie();
+  ASSERT_EQ(first.type, ServerFrameType::kQuestion);
+  ServerFrame shed = ParseServerFrame(*client.ReadLine()).ValueOrDie();
+  ASSERT_EQ(shed.type, ServerFrameType::kError);
+  EXPECT_EQ(shed.error_code, error_code::kOverloaded);
+  EXPECT_EQ(shed.retry_after_ms, 75);
+  EXPECT_EQ(daemon->manager().admission_stats().deadline_shed, 1);
+  ASSERT_TRUE(FaultRegistry::Global().LoadPlan("").ok());
+
+  // The shed step did not touch the session: a fresh op=next re-delivers
+  // the outstanding question.
+  ASSERT_TRUE(client.WriteLine(NextLine("qd1")));
+  ServerFrame again = ParseServerFrame(*client.ReadLine()).ValueOrDie();
+  ASSERT_EQ(again.type, ServerFrameType::kQuestion);
+  EXPECT_EQ(again.question.index, first.question.index);
   daemon->Shutdown();
 }
 

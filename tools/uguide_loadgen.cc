@@ -7,11 +7,26 @@
 //                  [--strategy=NAME|all] [--budget=B] [--id-prefix=X]
 //                  [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
 //                  [--no-verify] [--allow-refused] [--check-journals=DIR]
+//                  [--chaos] [--chaos-seed=S]
 //
 // The dataset flags must match the daemon's — both sides rebuild the same
 // dataset (src/server/dataset.h) and the reports can only be byte-equal if
 // they agree. Exit status: 0 iff every session finished with a verified
 // report (refusals tolerated only under --allow-refused).
+//
+// Refusal errors carrying retry_after_ms (code overloaded / rate_limited /
+// quarantined) are always retried after the hinted backoff, so an
+// overloaded daemon slows the run down rather than failing it.
+//
+// --chaos turns each session into a deterministic adversary (per-session
+// Rng off --chaos-seed): garbage frames, half-line writes followed by
+// reconnects, mid-question disconnects resynced with op=next, deliberately
+// slow reads, and close-then-resume storms (the latter only when
+// --check-journals names the daemon's journal dir). The invariant asserted
+// end-to-end: every refusal carries a machine-readable code, and every
+// finished session's report matches the in-process reference byte-for-byte
+// (modulo the questions_replayed counter, which resume legitimately
+// changes).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -32,9 +47,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/uguide.h"
 #include "server/dataset.h"
 #include "server/protocol.h"
@@ -55,6 +72,8 @@ struct Args {
   /// When set, every per-session journal the daemon wrote under this
   /// directory must load cleanly after the run (zero-corruption check).
   std::string check_journals;
+  bool chaos = false;
+  uint64_t chaos_seed = 1234;
   ServedDatasetOptions dataset;
 };
 
@@ -65,7 +84,8 @@ void Usage() {
       "                      [--strategy=NAME|all] [--budget=B]\n"
       "                      [--id-prefix=X] [--rows=R] [--error-rate=E]\n"
       "                      [--seed=S] [--idk-rate=I] [--no-verify]\n"
-      "                      [--allow-refused] [--check-journals=DIR]\n");
+      "                      [--allow-refused] [--check-journals=DIR]\n"
+      "                      [--chaos] [--chaos-seed=S]\n");
 }
 
 bool FlagError(const char* flag, const std::string& value, const char* want) {
@@ -143,6 +163,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->allow_refused = true;
     } else if (flag == "--check-journals") {
       args->check_journals = value;
+    } else if (flag == "--chaos") {
+      args->chaos = true;
+    } else if (flag == "--chaos-seed") {
+      if (!ParseU64Flag("--chaos-seed", value, &args->chaos_seed)) {
+        return false;
+      }
     } else if (flag == "--rows") {
       if (!ParseIntFlag("--rows", value, 1, &args->dataset.rows)) return false;
     } else if (flag == "--error-rate") {
@@ -174,7 +200,15 @@ class Connection {
     if (fd_ >= 0) ::close(fd_);
   }
 
+  /// Drops the socket and any half-read buffer (chaos reconnects).
+  void Reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+  }
+
   bool Connect(int port) {
+    Reset();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
     sockaddr_in addr;
@@ -196,10 +230,15 @@ class Connection {
   bool WriteLine(const std::string& line) {
     std::string framed = line;
     framed.push_back('\n');
+    return WriteRaw(framed);
+  }
+
+  /// Sends bytes exactly as given — chaos half-line frames included.
+  bool WriteRaw(const std::string& bytes) {
     size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t n = ::send(fd_, framed.data() + sent,
-                               framed.size() - sent, MSG_NOSIGNAL);
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         return false;
@@ -243,6 +282,7 @@ struct SharedState {
   std::atomic<int> mismatched{0};
   std::atomic<int> refused{0};
   std::atomic<int> failed{0};
+  std::atomic<int> retried{0};  ///< Backoffs honored from retry_after_ms.
 
   std::mutex rtt_mu;
   std::vector<double> rtt_ms;
@@ -270,8 +310,31 @@ const std::string* ReferenceReport(SharedState* state,
   return &inserted.first->second;
 }
 
-/// Runs one served session over `conn`. Returns false only on connection
-/// failure (protocol/verification failures are counted in state).
+/// Strips the questions_replayed=N line: a resumed session replays its
+/// journal, so the counter legitimately differs from the reference run
+/// while every other report byte must still match.
+std::string WithoutReplayCount(const std::string& report) {
+  std::string out;
+  out.reserve(report.size());
+  size_t pos = 0;
+  while (pos < report.size()) {
+    size_t nl = report.find('\n', pos);
+    if (nl == std::string::npos) nl = report.size();
+    const std::string_view line(report.data() + pos, nl - pos);
+    if (line.rfind("questions_replayed=", 0) != 0) {
+      out.append(line);
+      out.push_back('\n');
+    }
+    pos = nl + 1;
+  }
+  return out;
+}
+
+/// Runs one served session over `conn`. Returns false only on
+/// unrecoverable connection failure (protocol/verification failures are
+/// counted in state). Retries refusals that carry retry_after_ms; in
+/// --chaos mode additionally injects deterministic client misbehavior and
+/// recovers from its own sabotage via reconnect + op=next / resume.
 bool RunOneSession(SharedState* state, Connection* conn, int index) {
   const Session& session = *state->session;
   const Args& args = *state->args;
@@ -298,13 +361,102 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
     open.budget = args.budget;
     open.has_budget = true;
   }
-  if (!conn->WriteLine(FormatClientFrame(open))) return false;
+
+  // Chaos plan, fixed per session so reruns are reproducible.
+  Rng rng(args.chaos_seed ^
+          (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(index + 1)));
+  const bool chaos = args.chaos;
+  // Resume storms need the daemon to journal; --check-journals names the
+  // journal dir, so its presence doubles as the capability signal.
+  const bool can_resume = chaos && !args.check_journals.empty();
+  const bool send_garbage = chaos && rng.NextBool(0.2);
+  const bool send_half_line = chaos && rng.NextBool(0.15);
+  const bool slow_reader = chaos && rng.NextBool(0.1);
+  const double disconnect_p = chaos ? 0.1 : 0.0;
+  const double close_reopen_p = can_resume ? 0.05 : 0.0;
+  bool close_reopen_done = !can_resume;
+  int slow_reads_left = slow_reader ? 24 : 0;
+
+  auto reconnect = [&]() -> bool {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (conn->Connect(args.port)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  };
+
+  if (send_garbage) {
+    // A complete line of non-protocol bytes must bounce as a structured
+    // bad_frame error and leave the connection usable.
+    std::string line;
+    if (!conn->WriteLine("{\"op\":[not json") || !conn->ReadLine(&line)) {
+      if (!reconnect()) return false;
+    } else {
+      Result<ServerFrame> frame = ParseServerFrame(line);
+      if (!frame.ok() || frame->type != ServerFrameType::kError ||
+          frame->error_code != error_code::kBadFrame) {
+        std::fprintf(stderr,
+                     "uguide_loadgen: garbage line not refused as "
+                     "bad_frame for %s\n",
+                     open.id.c_str());
+        state->failed.fetch_add(1);
+        return true;
+      }
+    }
+  }
+  if (send_half_line) {
+    // Half a frame, no newline, then vanish: the daemon must simply drop
+    // the partial line (or reap us) without wedging the session slot.
+    conn->WriteRaw("{\"op\":\"open\",\"id\":\"");
+    if (!reconnect()) return false;
+  }
 
   std::vector<double> rtts;
+  int retries = 0;
+  bool opened = false;  // An open was acked (question/report seen).
+  std::string to_send = FormatClientFrame(open);
+
+  auto backoff = [&](int retry_after_ms) {
+    state->retried.fetch_add(1);
+    ++retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::clamp(retry_after_ms, 1, 1000)));
+  };
+  auto resync_frame = [&]() -> std::string {
+    if (opened) {
+      ClientFrame next;
+      next.op = ClientOp::kNext;
+      next.id = open.id;
+      return FormatClientFrame(next);
+    }
+    return FormatClientFrame(open);
+  };
+
+  constexpr int kMaxRetries = 200;
   auto sent_at = std::chrono::steady_clock::now();
   while (true) {
+    if (!to_send.empty()) {
+      sent_at = std::chrono::steady_clock::now();
+      if (!conn->WriteLine(to_send)) {
+        if (!chaos || !reconnect()) return false;
+        to_send = resync_frame();
+        continue;
+      }
+      to_send.clear();
+    }
+
+    if (slow_reads_left > 0) {
+      // A deliberately sluggish reader: the daemon's replies sit unread
+      // for a beat, exercising its pending-output accounting.
+      --slow_reads_left;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     std::string line;
-    if (!conn->ReadLine(&line)) return false;
+    if (!conn->ReadLine(&line)) {
+      if (!chaos || !reconnect()) return false;
+      to_send = resync_frame();
+      continue;
+    }
     rtts.push_back(std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - sent_at)
                        .count());
@@ -318,6 +470,25 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
     }
     switch (frame->type) {
       case ServerFrameType::kQuestion: {
+        opened = true;
+        open.resume = true;  // any later reopen must pick up the journal
+        if (!close_reopen_done && rng.NextBool(close_reopen_p)) {
+          // Close mid-run, then reopen with resume: the journal must
+          // carry every answer across the abandon.
+          close_reopen_done = true;
+          ClientFrame close;
+          close.op = ClientOp::kClose;
+          close.id = open.id;
+          to_send = FormatClientFrame(close);
+          break;
+        }
+        if (rng.NextBool(disconnect_p)) {
+          // Vanish mid-question; the reconnect resyncs with op=next and
+          // must get the same question redelivered.
+          if (!reconnect()) return false;
+          to_send = resync_frame();
+          break;
+        }
         const SessionQuestion& q = frame->question;
         ClientFrame answer;
         answer.op = ClientOp::kAnswer;
@@ -334,15 +505,19 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
             answer.answer = head->IsFdValid(q.fd);
             break;
         }
-        sent_at = std::chrono::steady_clock::now();
-        if (!conn->WriteLine(FormatClientFrame(answer))) return false;
+        to_send = FormatClientFrame(answer);
         break;
       }
       case ServerFrameType::kReport: {
         if (state->args->verify) {
           const std::string* expected =
               ReferenceReport(state, strategy_name);
-          if (expected == nullptr || *expected != frame->report) {
+          const bool matches =
+              expected != nullptr &&
+              (*expected == frame->report ||
+               (chaos && WithoutReplayCount(*expected) ==
+                             WithoutReplayCount(frame->report)));
+          if (!matches) {
             std::fprintf(stderr,
                          "uguide_loadgen: report mismatch for %s (%s)\n",
                          open.id.c_str(), strategy_name.c_str());
@@ -362,8 +537,44 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
       }
       case ServerFrameType::kError: {
         const StatusCode code = static_cast<StatusCode>(frame->code);
+        const bool backoff_hinted =
+            frame->retry_after_ms >= 0 &&
+            (frame->error_code == error_code::kOverloaded ||
+             frame->error_code == error_code::kRateLimited ||
+             frame->error_code == error_code::kQuarantined);
+        if (backoff_hinted && retries < kMaxRetries) {
+          backoff(frame->retry_after_ms);
+          to_send = resync_frame();
+          break;
+        }
+        if (code == StatusCode::kAlreadyExists && !opened) {
+          // Our open landed but its ack was lost to a chaos disconnect;
+          // the session is live — resync instead of failing.
+          opened = true;
+          to_send = resync_frame();
+          break;
+        }
+        if (chaos && code == StatusCode::kNotFound && can_resume &&
+            retries < kMaxRetries) {
+          // Evicted (or closed by our own chaos move) between frames:
+          // reopen from the journal.
+          ++retries;
+          open.resume = true;
+          opened = false;
+          to_send = FormatClientFrame(open);
+          break;
+        }
         const bool refusal = code == StatusCode::kResourceExhausted ||
                              code == StatusCode::kUnavailable;
+        if (chaos && refusal && frame->error_code.empty()) {
+          // The whole point of structured refusals: a shedding daemon
+          // must say why. An unlabeled refusal is a bug.
+          std::fprintf(stderr,
+                       "uguide_loadgen: refusal without code for %s: %s\n",
+                       open.id.c_str(), frame->message.c_str());
+          state->failed.fetch_add(1);
+          return true;
+        }
         if (refusal && args.allow_refused) {
           state->refused.fetch_add(1);
         } else {
@@ -373,8 +584,15 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
         }
         return true;
       }
-      case ServerFrameType::kClosed:
+      case ServerFrameType::kClosed: {
+        // Ack of our deliberate close: reopen from the journal.
+        open.resume = true;
+        opened = false;
+        to_send = FormatClientFrame(open);
+        break;
+      }
       case ServerFrameType::kPong:
+      case ServerFrameType::kHealth:
         // Unexpected here but harmless; keep reading.
         break;
     }
@@ -468,13 +686,14 @@ int main(int argc, char** argv) {
   const int mismatched = state.mismatched.load();
   const int refused = state.refused.load();
   const int failed = state.failed.load();
+  const int retried = state.retried.load();
   const double p50 = Percentile(&state.rtt_ms, 50.0);
   const double p99 = Percentile(&state.rtt_ms, 99.0);
   std::printf(
       "uguide_loadgen: ok=%d mismatched=%d refused=%d failed=%d "
-      "answers=%zu elapsed=%.2fs rtt_p50=%.3fms rtt_p99=%.3fms\n",
-      ok, mismatched, refused, failed, state.rtt_ms.size(), elapsed_s, p50,
-      p99);
+      "retried=%d answers=%zu elapsed=%.2fs rtt_p50=%.3fms rtt_p99=%.3fms\n",
+      ok, mismatched, refused, failed, retried, state.rtt_ms.size(),
+      elapsed_s, p50, p99);
 
   if (!args.check_journals.empty()) {
     const int checked = CheckJournals(args);

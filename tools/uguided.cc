@@ -5,6 +5,8 @@
 //           [--max-connections=N] [--idle-timeout-ms=T] [--journal-dir=D]
 //           [--journal-fsync=every|batch] [--threads=N]
 //           [--memory-budget-mb=M] [--fault-plan=PLAN]
+//           [--tick-ms=T] [--read-idle-ms=T] [--max-pending-out-kb=K]
+//           [--queue-deadline-ms=T] [--rate-limit=R] [--rate-burst=B]
 //           [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
 //           [--budget=B]
 //
@@ -59,6 +61,12 @@ struct Args {
   int threads = 1;
   int memory_budget_mb = 0;
   std::string fault_plan;
+  double tick_ms = 250.0;
+  double read_idle_ms = 0.0;
+  int max_pending_out_kb = 4096;
+  double queue_deadline_ms = 0.0;
+  double rate_limit = 0.0;
+  double rate_burst = 8.0;
   ServedDatasetOptions dataset;
 };
 
@@ -70,8 +78,28 @@ void Usage() {
       "               [--journal-dir=D]\n"
       "               [--journal-fsync=every|batch] [--threads=N]\n"
       "               [--memory-budget-mb=M] [--fault-plan=PLAN]\n"
+      "               [--tick-ms=T] [--read-idle-ms=T]\n"
+      "               [--max-pending-out-kb=K] [--queue-deadline-ms=T]\n"
+      "               [--rate-limit=R] [--rate-burst=B]\n"
       "               [--rows=R] [--error-rate=E] [--seed=S]\n"
-      "               [--idk-rate=I] [--budget=B]\n");
+      "               [--idk-rate=I] [--budget=B]\n"
+      "\n"
+      "overload protection:\n"
+      "  --tick-ms=T            maintenance tick period: drives idle session\n"
+      "                         eviction, registry eviction, and connection\n"
+      "                         reaping without client traffic (default 250;\n"
+      "                         0 disables periodic eviction)\n"
+      "  --read-idle-ms=T       reap connections with no complete request\n"
+      "                         line for T ms (slow-loris defense; 0=off)\n"
+      "  --max-pending-out-kb=K drop a connection holding more than K KiB of\n"
+      "                         unread replies (slow reader; 0=unlimited,\n"
+      "                         default 4096)\n"
+      "  --queue-deadline-ms=T  shed requests that waited more than T ms\n"
+      "                         between framing and execution (0=off)\n"
+      "  --rate-limit=R         per-session-id token bucket: R ops/sec with\n"
+      "                         burst --rate-burst (0=off)\n"
+      "Refusals carry machine-readable code + retry_after_ms; op=health\n"
+      "reports the brownout level and all shed/refused/dropped counters.\n");
 }
 
 bool FlagError(const char* flag, const std::string& value, const char* want) {
@@ -163,6 +191,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (flag == "--fault-plan") {
       args->fault_plan = value;
+    } else if (flag == "--tick-ms") {
+      if (!ParseDoubleFlag("--tick-ms", value, &args->tick_ms)) return false;
+    } else if (flag == "--read-idle-ms") {
+      if (!ParseDoubleFlag("--read-idle-ms", value, &args->read_idle_ms)) {
+        return false;
+      }
+    } else if (flag == "--max-pending-out-kb") {
+      if (!ParseIntFlag("--max-pending-out-kb", value, 0,
+                        &args->max_pending_out_kb)) {
+        return false;
+      }
+    } else if (flag == "--queue-deadline-ms") {
+      if (!ParseDoubleFlag("--queue-deadline-ms", value,
+                           &args->queue_deadline_ms)) {
+        return false;
+      }
+    } else if (flag == "--rate-limit") {
+      if (!ParseDoubleFlag("--rate-limit", value, &args->rate_limit)) {
+        return false;
+      }
+    } else if (flag == "--rate-burst") {
+      if (!ParseDoubleFlag("--rate-burst", value, &args->rate_burst)) {
+        return false;
+      }
     } else if (flag == "--rows") {
       if (!ParseIntFlag("--rows", value, 1, &args->dataset.rows)) return false;
     } else if (flag == "--error-rate") {
@@ -236,6 +288,12 @@ int main(int argc, char** argv) {
   DaemonOptions options;
   options.port = args.port;
   options.max_connections = args.max_connections;
+  options.tick_interval_ms = args.tick_ms;
+  options.read_idle_ms = args.read_idle_ms;
+  options.max_pending_out_bytes =
+      static_cast<size_t>(args.max_pending_out_kb) * 1024;
+  // Registry eviction rides the same maintenance tick as session eviction.
+  options.on_tick = [&registry] { registry.EvictIdle(); };
   options.manager.max_sessions = args.max_sessions;
   options.manager.idle_timeout_ms = args.idle_timeout_ms;
   options.manager.journal_dir = args.journal_dir;
@@ -243,6 +301,9 @@ int main(int argc, char** argv) {
   options.manager.pool = &pool;
   options.manager.memory_budget =
       args.memory_budget_mb > 0 ? &memory : nullptr;
+  options.manager.admission.queue_deadline_ms = args.queue_deadline_ms;
+  options.manager.admission.rate_limit_per_sec = args.rate_limit;
+  options.manager.admission.rate_burst = args.rate_burst;
 
   Result<std::unique_ptr<ServingDaemon>> daemon =
       ServingDaemon::Start(*artifacts, options);
@@ -268,17 +329,27 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
 
+  // Eviction now rides the reactor's maintenance tick (--tick-ms); the
+  // main thread only waits for the stop signal.
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    (*daemon)->manager().EvictIdle();
-    registry.EvictIdle();
   }
 
   std::fprintf(stderr, "uguided: draining...\n");
   (*daemon)->Shutdown();
   const SessionManagerStats stats = (*daemon)->manager().stats();
+  const AdmissionStats admission = (*daemon)->manager().admission_stats();
+  const ReactorStats reactor = (*daemon)->reactor().stats();
   std::printf(
       "uguided: done. opened=%d finished=%d evicted=%d refused=%d\n",
       stats.opened, stats.finished, stats.evicted, stats.refused);
+  std::printf(
+      "uguided: overload. rate_limited=%" PRId64 " deadline_shed=%" PRId64
+      " brownout_refused=%" PRId64 " brownout_shed=%" PRId64
+      " dropped=%" PRId64 " dropped_slow_reader=%" PRId64
+      " reaped_idle=%" PRId64 "\n",
+      admission.rate_limited, admission.deadline_shed,
+      admission.brownout_refused, admission.brownout_shed, reactor.dropped,
+      reactor.dropped_slow_reader, reactor.reaped_idle);
   return 0;
 }
