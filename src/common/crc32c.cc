@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace uguide {
+
+namespace {
+
+/// The 256-entry lookup table for the reflected Castagnoli polynomial,
+/// computed once bit-by-bit (the classic Sarwate construction).
+std::array<uint32_t, 256> BuildTable() {
+  constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace uguide

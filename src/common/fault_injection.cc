@@ -1,5 +1,6 @@
 #include "common/fault_injection.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -120,6 +121,34 @@ Status ParseAction(std::string_view action, FaultRule* rule) {
     rule->action = FaultAction::kCrash;
     return Status::OK();
   }
+  if (action == "eio") {
+    rule->action = FaultAction::kEio;
+    return Status::OK();
+  }
+  if (action == "enospc") {
+    rule->action = FaultAction::kEnospc;
+    return Status::OK();
+  }
+  if (action.rfind("short:", 0) == 0) {
+    int n = 0;
+    if (!ParseInt(action.substr(6), &n)) {
+      return Status::InvalidArgument("bad short-write byte count: " +
+                                     std::string(action));
+    }
+    rule->action = FaultAction::kShortWrite;
+    rule->byte_count = n;
+    return Status::OK();
+  }
+  if (action.rfind("torn:", 0) == 0) {
+    int n = 0;
+    if (!ParseInt(action.substr(5), &n)) {
+      return Status::InvalidArgument("bad torn-write byte count: " +
+                                     std::string(action));
+    }
+    rule->action = FaultAction::kTornWrite;
+    rule->byte_count = n;
+    return Status::OK();
+  }
   if (action.rfind("latency:", 0) == 0) {
     double ms = 0.0;
     // Bounded so `latency_ms * 1e3` always fits an int64 microsecond count
@@ -202,9 +231,18 @@ void FaultRegistry::Reset() {
 
 Status FaultRegistry::OnPoint(std::string_view site) {
   if (!enabled()) return Status::OK();
+  IoFault fault = OnIoPoint(site);
+  // A non-IO-aware site cannot model a partial write: a torn write degrades
+  // to dying before the write, a short write to failing outright.
+  if (fault.crash_after) CrashNow();
+  return fault.status;
+}
+
+IoFault FaultRegistry::OnIoPoint(std::string_view site) {
+  IoFault out;
+  if (!enabled()) return out;
   std::lock_guard<std::mutex> lock(mu_);
   const int hit = ++hits_[std::string(site)];
-  Status injected = Status::OK();
   for (const FaultRule& rule : rules_) {
     if (rule.site != site) continue;
     bool triggered;
@@ -215,26 +253,54 @@ Status FaultRegistry::OnPoint(std::string_view site) {
       triggered = hit >= rule.first_hit && hit <= rule.last_hit;
     }
     if (!triggered) continue;
+    const std::string where =
+        std::string(site) + " (hit " + std::to_string(hit) + ")";
     switch (rule.action) {
       case FaultAction::kCrash:
         // Die exactly here: no flushing, no destructors — only what was
         // already fsync'd survives, which is what crash tests verify.
-        std::_Exit(kCrashExitCode);
+        CrashNow();
       case FaultAction::kLatency:
         clock_skew_us_.fetch_add(static_cast<int64_t>(rule.latency_ms * 1e3),
                                  std::memory_order_relaxed);
         break;
       case FaultAction::kUnavailable:
-        if (injected.ok()) {
-          injected = Status::Unavailable(
-              "injected fault at " + std::string(site) + " (hit " +
-              std::to_string(hit) + ")");
+        if (out.status.ok()) {
+          out.status = Status::Unavailable("injected fault at " + where);
+        }
+        break;
+      case FaultAction::kEio:
+        if (out.status.ok()) {
+          out.status = Status::IoError("injected EIO at " + where);
+          out.fault_errno = EIO;
+        }
+        break;
+      case FaultAction::kEnospc:
+        if (out.status.ok()) {
+          out.status = Status::IoError("injected ENOSPC at " + where);
+          out.fault_errno = ENOSPC;
+        }
+        break;
+      case FaultAction::kShortWrite:
+        if (out.status.ok()) {
+          out.status = Status::IoError("injected short write at " + where);
+          out.fault_errno = ENOSPC;
+          out.bytes = static_cast<size_t>(rule.byte_count);
+        }
+        break;
+      case FaultAction::kTornWrite:
+        if (out.status.ok()) {
+          out.status = Status::IoError("injected torn write at " + where);
+          out.bytes = static_cast<size_t>(rule.byte_count);
+          out.crash_after = true;
         }
         break;
     }
   }
-  return injected;
+  return out;
 }
+
+void FaultRegistry::CrashNow() { std::_Exit(kCrashExitCode); }
 
 int FaultRegistry::HitCount(std::string_view site) const {
   std::lock_guard<std::mutex> lock(mu_);

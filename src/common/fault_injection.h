@@ -22,6 +22,16 @@ enum class FaultAction {
   kUnavailable,  ///< the call fails transiently (Status::Unavailable)
   kLatency,      ///< the call is slow: advances the registry's virtual clock
   kCrash,        ///< the process dies on the spot (std::_Exit)
+  kEio,          ///< the syscall fails with EIO (media error)
+  kEnospc,       ///< the syscall fails with ENOSPC (disk full)
+  /// A write persists only the first `byte_count` bytes, then fails with
+  /// ENOSPC — the classic full-disk partial write. Only meaningful at
+  /// IO-aware sites (OnIoPoint); OnPoint degrades it to a plain ENOSPC.
+  kShortWrite,
+  /// A write persists only the first `byte_count` bytes, then the process
+  /// dies (std::_Exit) — a torn write at byte N, the crash-consistency
+  /// scenario salvage logic exists for. OnPoint degrades it to kCrash.
+  kTornWrite,
 };
 
 /// \brief One parsed clause of a fault plan: when site `site` fires and the
@@ -31,12 +41,32 @@ struct FaultRule {
   FaultAction action = FaultAction::kUnavailable;
   /// Virtual milliseconds added to the clock by kLatency.
   double latency_ms = 0.0;
+  /// Bytes let through before kShortWrite fails / kTornWrite kills.
+  int byte_count = 0;
   /// Trigger: either a probability per hit (seeded, deterministic) or an
   /// inclusive 1-based hit range [first_hit, last_hit].
   bool probabilistic = false;
   double probability = 0.0;
   int first_hit = 1;
   int last_hit = std::numeric_limits<int>::max();
+};
+
+/// \brief What an IO-aware fault site should do, as decided by OnIoPoint.
+///
+/// Contract for callers wrapping a syscall:
+///   - `status.ok() && !crash_after`  → perform the real operation.
+///   - otherwise                      → persist at most `bytes` bytes of the
+///     intended write (0 for non-write syscalls), then: if `crash_after`,
+///     call FaultRegistry::CrashNow(); else set errno to `fault_errno` and
+///     surface `status` (with path context added by the caller).
+struct IoFault {
+  Status status;
+  /// The errno the failed syscall should appear to produce (EIO, ENOSPC).
+  int fault_errno = 0;
+  /// Bytes of the intended write to let through before failing/dying.
+  size_t bytes = 0;
+  /// True for torn writes: persist `bytes` bytes, then die on the spot.
+  bool crash_after = false;
 };
 
 /// \brief Process-wide, deterministic fault-injection registry.
@@ -54,6 +84,9 @@ struct FaultRule {
 ///   clause  := "seed=" uint64
 ///            | site '=' action ('@' trigger)?
 ///   action  := "unavailable" | "latency:" ms | "crash"
+///            | "eio" | "enospc"          syscall-level disk faults
+///            | "short:" N                write N bytes, then ENOSPC
+///            | "torn:" N                 write N bytes, then die
 ///   trigger := 'p' float          probability per hit (seeded)
 ///            | N                  exactly the N-th hit (1-based)
 ///            | N '-' M            hits N..M inclusive
@@ -95,6 +128,19 @@ class FaultRegistry {
   /// with kCrashExitCode (the whole point: nothing gets to flush except
   /// what was already fsync'd). No-op returning OK when no rule matches.
   Status OnPoint(std::string_view site);
+
+  /// IO-aware variant for code wrapping real syscalls (the journal's
+  /// open/write/fsync/rename paths). Same counting and trigger semantics as
+  /// OnPoint, but byte-limited actions (short:N, torn:N) come back as data
+  /// instead of degrading: the caller persists the partial write itself and
+  /// then fails or dies per the IoFault contract. kCrash still terminates
+  /// inside this call.
+  IoFault OnIoPoint(std::string_view site);
+
+  /// Terminates the process with kCrashExitCode, flushing nothing. Callers
+  /// honouring IoFault::crash_after use this so the exit code matches what
+  /// the kill/restart harnesses expect.
+  [[noreturn]] static void CrashNow();
 
   /// How many times `site` has fired since the plan was loaded.
   int HitCount(std::string_view site) const;

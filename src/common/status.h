@@ -22,6 +22,11 @@ enum class StatusCode {
   /// Transient failure: the operation may succeed if retried (flaky
   /// expert, injected fault). The retry layers key on this code.
   kUnavailable = 10,
+  /// Durable state is provably damaged (checksum mismatch mid-journal,
+  /// bit-rot). Unlike kIoError this is *not* transient and *not* a parse
+  /// problem: the bytes were once valid and no longer are. The recovery
+  /// scan keys on this code to quarantine instead of resume.
+  kDataLoss = 11,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -77,6 +82,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this is a transient (retryable) failure.

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/crc32c.h"
 #include "common/fault_injection.h"
 
 namespace uguide {
@@ -119,7 +120,78 @@ std::vector<std::string_view> SplitTokens(std::string_view line) {
 }
 
 Status Errno(const std::string& action, const std::string& path) {
-  return Status::IoError(action + " " + path + ": " + std::strerror(errno));
+  const int err = errno;
+  return Status::IoError(action + " " + path + ": " + std::strerror(err) +
+                         " (errno " + std::to_string(err) + ")");
+}
+
+std::string Hex32(uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", value);
+  return buf;
+}
+
+bool ParseHex32(std::string_view token, uint32_t* out) {
+  if (token.size() != 8) return false;
+  uint32_t value = 0;
+  for (char c : token) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// Unwraps one v2 record line `<len>.<crc> <payload>`. False on any
+/// framing defect: bad length, bad checksum, malformed prefix.
+bool UnwrapJournalFrame(std::string_view line, std::string_view* payload) {
+  const size_t dot = line.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  uint64_t len = 0;
+  if (!ParseU64(line.substr(0, dot), &len)) return false;
+  const size_t space = dot + 9;
+  if (space >= line.size() || line[space] != ' ') return false;
+  uint32_t crc = 0;
+  if (!ParseHex32(line.substr(dot + 1, 8), &crc)) return false;
+  const std::string_view body = line.substr(space + 1);
+  if (body.size() != len) return false;
+  if (Crc32c(body) != crc) return false;
+  *payload = body;
+  return true;
+}
+
+/// The payload of the v2 end marker: `end <questions> <cost-hexfloat>`.
+std::string FormatEndPayload(int questions_asked, double cost_spent) {
+  std::ostringstream out;
+  out << "end " << questions_asked << ' ' << HexDouble(cost_spent);
+  return out.str();
+}
+
+bool ParseEndPayload(std::string_view payload, int* questions, double* cost) {
+  const std::vector<std::string_view> tokens = SplitTokens(payload);
+  if (tokens.size() != 3 || tokens[0] != "end") return false;
+  int q = 0;
+  double c = 0.0;
+  if (!ParseInt(tokens[1], &q) || q < 0 || !ParseStrictDouble(tokens[2], &c)) {
+    return false;
+  }
+  *questions = q;
+  *cost = c;
+  return true;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 }  // namespace
@@ -229,13 +301,12 @@ std::string FormatJournalHeader(const JournalHeader& header) {
   return out.str();
 }
 
-Result<JournalHeader> ParseJournalHeader(std::string_view line) {
-  const std::vector<std::string_view> tokens = SplitTokens(line);
-  const Status malformed =
-      Status::InvalidArgument("malformed journal header: " + std::string(line));
-  if (tokens.size() != 8 || tokens[0] != "uguide-journal" || tokens[1] != "v=1")
-    return malformed;
+namespace {
 
+/// Parses the six identity fields shared by every header version
+/// (tokens[2..7] of the header line).
+Result<JournalHeader> ParseHeaderFields(
+    const std::vector<std::string_view>& tokens, const Status& malformed) {
   JournalHeader header;
   bool seen[6] = {false, false, false, false, false, false};
   for (size_t i = 2; i < tokens.size(); ++i) {
@@ -271,6 +342,69 @@ Result<JournalHeader> ParseJournalHeader(std::string_view line) {
   }
   return header;
 }
+
+}  // namespace
+
+Result<JournalHeader> ParseJournalHeader(std::string_view line) {
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  const Status malformed =
+      Status::InvalidArgument("malformed journal header: " + std::string(line));
+  if (tokens.size() != 8 || tokens[0] != "uguide-journal" ||
+      tokens[1] != "v=1") {
+    return malformed;
+  }
+  return ParseHeaderFields(tokens, malformed);
+}
+
+std::string FormatJournalHeaderV2(const JournalHeader& header) {
+  std::ostringstream out;
+  out << "uguide-journal v=2 strategy=" << header.strategy_name
+      << " budget=" << HexDouble(header.budget)
+      << " seed=" << header.expert_seed << " votes=" << header.expert_votes
+      << " idk=" << HexDouble(header.idk_rate)
+      << " wrong=" << HexDouble(header.wrong_rate);
+  const std::string body = out.str();
+  return body + " hcrc=" + Hex32(Crc32c(body));
+}
+
+std::string FormatJournalFrame(std::string_view payload) {
+  std::ostringstream out;
+  out << payload.size() << '.' << Hex32(Crc32c(payload)) << ' ' << payload;
+  return out.str();
+}
+
+namespace {
+
+/// Parses a v2 header line: verifies the hcrc suffix covers the rest of
+/// the line, then parses the v1-shaped fields. A well-formed-but-
+/// checksum-failing header is kDataLoss (it was once valid); anything
+/// structurally wrong is InvalidArgument.
+Result<JournalHeader> ParseJournalHeaderV2(std::string_view line,
+                                           const std::string& origin) {
+  const Status malformed =
+      Status::InvalidArgument("malformed v2 journal header in " + origin);
+  constexpr std::string_view kSuffix = " hcrc=";
+  const size_t at = line.rfind(kSuffix);
+  if (at == std::string_view::npos) return malformed;
+  uint32_t crc = 0;
+  const std::string_view crc_text = line.substr(at + kSuffix.size());
+  if (!ParseHex32(crc_text, &crc)) return malformed;
+  const std::string_view body = line.substr(0, at);
+  if (Crc32c(body) != crc) {
+    return Status::DataLoss("journal " + origin +
+                            ": header checksum mismatch (expected " +
+                            Hex32(Crc32c(body)) + ", found " +
+                            std::string(crc_text) + ")");
+  }
+  const std::vector<std::string_view> tokens = SplitTokens(body);
+  if (tokens.size() != 8 || tokens[0] != "uguide-journal" ||
+      tokens[1] != "v=2") {
+    return malformed;
+  }
+  return ParseHeaderFields(tokens, malformed);
+}
+
+}  // namespace
 
 Status ValidateJournalHeader(const JournalHeader& expected,
                              const JournalHeader& found) {
@@ -311,8 +445,10 @@ Status ValidateJournalHeader(const JournalHeader& expected,
 Result<LoadedJournal> ParseJournalText(std::string_view contents,
                                        const std::string& origin) {
   // Split into lines, remembering whether the final line was terminated —
-  // an unterminated tail is the footprint of a crash mid-append.
+  // an unterminated tail is the footprint of a crash mid-append — and
+  // where each line ends in the file (resume_offset bookkeeping).
   std::vector<std::string_view> lines;
+  std::vector<uint64_t> line_end;  // offset just past each line's '\n'
   size_t start = 0;
   bool terminated = true;
   const std::string_view view = contents;
@@ -320,22 +456,54 @@ Result<LoadedJournal> ParseJournalText(std::string_view contents,
     const size_t nl = view.find('\n', start);
     if (nl == std::string_view::npos) {
       lines.push_back(view.substr(start));
+      line_end.push_back(view.size());
       terminated = false;
       break;
     }
     lines.push_back(view.substr(start, nl - start));
+    line_end.push_back(nl + 1);
     start = nl + 1;
   }
   if (lines.empty()) {
     return Status::InvalidArgument("journal " + origin + " is empty");
   }
 
-  LoadedJournal journal;
-  UGUIDE_ASSIGN_OR_RETURN(journal.header, ParseJournalHeader(lines[0]));
+  // Version sniff on the raw first line: both formats open with the magic
+  // and a `v=N` token. Damage to the magic itself means the file cannot be
+  // identified as a journal at all.
+  int version = 0;
+  {
+    const std::vector<std::string_view> tokens = SplitTokens(lines[0]);
+    if (tokens.size() < 2 || tokens[0] != "uguide-journal" ||
+        tokens[1].rfind("v=", 0) != 0) {
+      return Status::InvalidArgument("journal " + origin +
+                                     " has no recognizable header");
+    }
+    if (tokens[1] == "v=1") {
+      version = 1;
+    } else if (tokens[1] == "v=2") {
+      version = 2;
+    } else {
+      return Status::InvalidArgument("journal " + origin +
+                                     " has unsupported version " +
+                                     std::string(tokens[1]));
+    }
+  }
   if (!terminated && lines.size() == 1) {
     // Header itself is torn; nothing trustworthy in the file.
     return Status::InvalidArgument("journal " + origin + " has a torn header");
   }
+
+  LoadedJournal journal;
+  journal.version = version;
+  if (version == 1) {
+    UGUIDE_ASSIGN_OR_RETURN(journal.header, ParseJournalHeader(lines[0]));
+  } else {
+    UGUIDE_ASSIGN_OR_RETURN(journal.header,
+                            ParseJournalHeaderV2(lines[0], origin));
+  }
+  journal.resume_offset = line_end[0];
+
   for (size_t i = 1; i < lines.size(); ++i) {
     const bool is_tail = i + 1 == lines.size();
     if (is_tail && !terminated) {
@@ -344,17 +512,51 @@ Result<LoadedJournal> ParseJournalText(std::string_view contents,
       journal.torn_tail = true;
       break;
     }
-    Result<JournalRecord> record = ParseJournalRecord(lines[i]);
-    if (!record.ok()) {
-      if (is_tail) {
-        journal.torn_tail = true;
-        break;
+    if (version == 1) {
+      Result<JournalRecord> record = ParseJournalRecord(lines[i]);
+      if (!record.ok()) {
+        if (is_tail) {
+          // v1 cannot tell a terminated-but-garbled tail from corruption;
+          // it keeps the lenient pre-framing behaviour and salvages.
+          journal.torn_tail = true;
+          break;
+        }
+        return Status::InvalidArgument("journal " + origin + " line " +
+                                       std::to_string(i + 1) + ": " +
+                                       record.status().ToString());
       }
-      return Status::InvalidArgument("journal " + origin + " line " +
-                                     std::to_string(i + 1) + ": " +
-                                     record.status().ToString());
+      journal.records.push_back(*std::move(record));
+      journal.resume_offset = line_end[i];
+      continue;
     }
+
+    // v2: the line is newline-terminated, so the write that produced it
+    // completed — any framing/checksum/parse failure from here on is
+    // in-place damage, not a torn write, and must quarantine.
+    const Status corrupt = Status::DataLoss(
+        "journal " + origin + " line " + std::to_string(i + 1) +
+        ": record framing or checksum failure (mid-file corruption)");
+    std::string_view payload;
+    if (!UnwrapJournalFrame(lines[i], &payload)) return corrupt;
+    if (journal.finished) {
+      return Status::DataLoss("journal " + origin + " line " +
+                              std::to_string(i + 1) +
+                              ": record after end marker");
+    }
+    if (payload.rfind("end ", 0) == 0) {
+      if (!ParseEndPayload(payload, &journal.finished_questions,
+                           &journal.finished_cost)) {
+        return corrupt;
+      }
+      journal.finished = true;
+      // Deliberately not folded into resume_offset: resuming a finished
+      // journal truncates the marker away and Finish re-appends it.
+      continue;
+    }
+    Result<JournalRecord> record = ParseJournalRecord(payload);
+    if (!record.ok()) return corrupt;
     journal.records.push_back(*std::move(record));
+    journal.resume_offset = line_end[i];
   }
   return journal;
 }
@@ -376,65 +578,193 @@ Result<JournalFsyncMode> ParseJournalFsyncMode(std::string_view text) {
                                  "' (expected every|batch)");
 }
 
+Status FsyncDir(const std::string& dir) {
+  IoFault fault = FaultRegistry::Global().enabled()
+                      ? FaultRegistry::Global().OnIoPoint("journal.fsync")
+                      : IoFault{};
+  if (fault.crash_after) FaultRegistry::CrashNow();
+  if (!fault.status.ok()) {
+    errno = fault.fault_errno;
+    return Errno("cannot fsync directory", dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("cannot open directory", dir);
+  if (::fsync(fd) != 0) {
+    const Status status = Errno("cannot fsync directory", dir);
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) return Errno("cannot close directory", dir);
+  return Status::OK();
+}
+
+Status QuarantineJournal(const std::string& path,
+                         std::string* quarantined_path) {
+  const std::string target = path + ".quarantined";
+  IoFault fault = FaultRegistry::Global().enabled()
+                      ? FaultRegistry::Global().OnIoPoint("journal.rename")
+                      : IoFault{};
+  if (fault.crash_after) FaultRegistry::CrashNow();
+  if (!fault.status.ok()) {
+    errno = fault.fault_errno;
+    return Errno("cannot quarantine journal", path);
+  }
+  if (::rename(path.c_str(), target.c_str()) != 0) {
+    return Errno("cannot quarantine journal", path);
+  }
+  UGUIDE_RETURN_NOT_OK(FsyncDir(ParentDir(path)));
+  if (quarantined_path != nullptr) *quarantined_path = target;
+  return Status::OK();
+}
+
 Result<JournalWriter> JournalWriter::Open(const std::string& path,
                                           const JournalHeader& header,
-                                          bool resume,
-                                          JournalFsyncMode fsync_mode) {
-  const int flags = O_WRONLY | O_CREAT | (resume ? O_APPEND : O_TRUNC);
+                                          const JournalWriterOptions& options) {
+  {
+    IoFault fault = FaultRegistry::Global().enabled()
+                        ? FaultRegistry::Global().OnIoPoint("journal.open")
+                        : IoFault{};
+    if (fault.crash_after) FaultRegistry::CrashNow();
+    if (!fault.status.ok()) {
+      errno = fault.fault_errno;
+      return Errno("cannot open journal", path);
+    }
+  }
+  const int flags = O_WRONLY | O_CREAT | (options.resume ? O_APPEND : O_TRUNC);
   const int fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) return Errno("cannot open journal", path);
-  JournalWriter writer(fd, fsync_mode);
-  if (!resume) {
-    const std::string line = FormatJournalHeader(header) + "\n";
-    const ssize_t written = ::write(fd, line.data(), line.size());
-    if (written != static_cast<ssize_t>(line.size())) {
-      return Errno("cannot write journal header to", path);
+  JournalWriter writer(fd, path, options.fsync_mode, options.version);
+  if (options.resume) {
+    // Drop the torn tail / stale end marker the load classified away, so
+    // new appends can never concatenate onto a partial old line.
+    if (::ftruncate(fd, static_cast<off_t>(options.resume_offset)) != 0) {
+      return Errno("cannot truncate journal for resume", path);
     }
-    if (::fsync(fd) != 0) return Errno("cannot fsync journal", path);
+  } else {
+    const std::string line =
+        (options.version >= 2 ? FormatJournalHeaderV2(header)
+                              : FormatJournalHeader(header)) +
+        "\n";
+    UGUIDE_RETURN_NOT_OK(writer.WriteAll(line));
+    UGUIDE_RETURN_NOT_OK(writer.SyncFd());
+    // The file's *name* must survive a crash too, or recovery would never
+    // see the journal it is supposed to resume.
+    if (options.sync_dir) UGUIDE_RETURN_NOT_OK(FsyncDir(ParentDir(path)));
   }
   return writer;
 }
 
+Result<JournalWriter> JournalWriter::Open(const std::string& path,
+                                          const JournalHeader& header,
+                                          bool resume,
+                                          JournalFsyncMode fsync_mode) {
+  if (resume) {
+    // Legacy resume: append at end-of-file, no truncation. Keep appending
+    // in whatever version the file already is.
+    UGUIDE_ASSIGN_OR_RETURN(LoadedJournal loaded, LoadJournal(path));
+    JournalWriterOptions options;
+    options.resume = true;
+    options.fsync_mode = fsync_mode;
+    options.version = loaded.version;
+    options.resume_offset = loaded.resume_offset;
+    return Open(path, header, options);
+  }
+  JournalWriterOptions options;
+  options.fsync_mode = fsync_mode;
+  return Open(path, header, options);
+}
+
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
     : fd_(other.fd_),
+      path_(std::move(other.path_)),
       fsync_mode_(other.fsync_mode_),
-      unsynced_(other.unsynced_) {
+      version_(other.version_),
+      unsynced_(other.unsynced_),
+      poisoned_(std::move(other.poisoned_)) {
   other.fd_ = -1;
   other.unsynced_ = 0;
+  other.poisoned_ = Status::OK();
 }
 
 JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
   if (this != &other) {
     Close().IgnoreError();
     fd_ = other.fd_;
+    path_ = std::move(other.path_);
     fsync_mode_ = other.fsync_mode_;
+    version_ = other.version_;
     unsynced_ = other.unsynced_;
+    poisoned_ = std::move(other.poisoned_);
     other.fd_ = -1;
     other.unsynced_ = 0;
+    other.poisoned_ = Status::OK();
   }
   return *this;
 }
 
 JournalWriter::~JournalWriter() { Close().IgnoreError(); }
 
-Status JournalWriter::Append(const JournalRecord& record) {
-  if (fd_ < 0) return Status::FailedPrecondition("journal writer is closed");
-  const std::string line = FormatJournalRecord(record) + "\n";
+Status JournalWriter::WriteAll(std::string_view data) {
+  if (!poisoned_.ok()) return poisoned_;
+  size_t limit = data.size();
+  IoFault fault = FaultRegistry::Global().enabled()
+                      ? FaultRegistry::Global().OnIoPoint("journal.write")
+                      : IoFault{};
+  const bool faulted = !fault.status.ok() || fault.crash_after;
+  if (faulted && fault.bytes < limit) limit = fault.bytes;
   size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t written = ::write(fd_, line.data() + off, line.size() - off);
+  while (off < limit) {
+    const ssize_t written = ::write(fd_, data.data() + off, limit - off);
     if (written < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(std::string("journal append failed: ") +
-                             std::strerror(errno));
+      poisoned_ = Errno("journal append to", path_);
+      return poisoned_;
     }
     off += static_cast<size_t>(written);
   }
+  if (fault.crash_after) {
+    // Torn write: the partial line is in the page cache (visible to the
+    // restarted daemon) and the process dies before finishing it.
+    FaultRegistry::CrashNow();
+  }
+  if (faulted) {
+    errno = fault.fault_errno;
+    poisoned_ = Errno("journal append to", path_);
+    return poisoned_;
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::SyncFd() {
+  if (!poisoned_.ok()) return poisoned_;
+  IoFault fault = FaultRegistry::Global().enabled()
+                      ? FaultRegistry::Global().OnIoPoint("journal.fsync")
+                      : IoFault{};
+  if (fault.crash_after) FaultRegistry::CrashNow();
+  if (!fault.status.ok()) {
+    errno = fault.fault_errno;
+    poisoned_ = Errno("journal fsync of", path_);
+    return poisoned_;
+  }
+  if (::fsync(fd_) != 0) {
+    // Poison, never retry: after a failed fsync the kernel may have marked
+    // the dirty pages clean without writing them, so a "successful" retry
+    // would claim durability for bytes that are gone (fsyncgate).
+    poisoned_ = Errno("journal fsync of", path_);
+    return poisoned_;
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal writer is closed");
+  if (!poisoned_.ok()) return poisoned_;
+  const std::string body = FormatJournalRecord(record);
+  const std::string line =
+      (version_ >= 2 ? FormatJournalFrame(body) : body) + "\n";
+  UGUIDE_RETURN_NOT_OK(WriteAll(line));
   if (fsync_mode_ == JournalFsyncMode::kEvery) {
-    if (::fsync(fd_) != 0) {
-      return Status::IoError(std::string("journal fsync failed: ") +
-                             std::strerror(errno));
-    }
+    UGUIDE_RETURN_NOT_OK(SyncFd());
   } else {
     ++unsynced_;
     if (unsynced_ >= kBatchInterval) UGUIDE_RETURN_NOT_OK(Sync());
@@ -445,26 +775,44 @@ Status JournalWriter::Append(const JournalRecord& record) {
   return Status::OK();
 }
 
+Status JournalWriter::AppendEnd(int questions_asked, double cost_spent) {
+  if (fd_ < 0) return Status::FailedPrecondition("journal writer is closed");
+  if (!poisoned_.ok()) return poisoned_;
+  if (version_ < 2) return Status::OK();
+  const std::string line =
+      FormatJournalFrame(FormatEndPayload(questions_asked, cost_spent)) + "\n";
+  UGUIDE_RETURN_NOT_OK(WriteAll(line));
+  // Always durable, whatever the batch mode: the marker is the GC
+  // eligibility bit and must not evaporate with the page cache.
+  UGUIDE_RETURN_NOT_OK(SyncFd());
+  unsynced_ = 0;
+  return Status::OK();
+}
+
 Status JournalWriter::Sync() {
   if (fd_ < 0) return Status::FailedPrecondition("journal writer is closed");
+  if (!poisoned_.ok()) return poisoned_;
   if (unsynced_ == 0) return Status::OK();
-  if (::fsync(fd_) != 0) {
-    return Status::IoError(std::string("journal fsync failed: ") +
-                           std::strerror(errno));
-  }
+  UGUIDE_RETURN_NOT_OK(SyncFd());
   unsynced_ = 0;
   return Status::OK();
 }
 
 Status JournalWriter::Close() {
-  if (fd_ < 0) return Status::OK();
+  if (fd_ < 0) return poisoned_;
   const int fd = fd_;
   fd_ = -1;
-  if (::fsync(fd) != 0 || ::close(fd) != 0) {
-    return Status::IoError(std::string("journal close failed: ") +
-                           std::strerror(errno));
+  // A poisoned writer must not fsync again (see SyncFd); just release the
+  // descriptor and keep reporting the original failure.
+  if (poisoned_.ok() && ::fsync(fd) != 0) {
+    const Status status = Errno("journal close fsync of", path_);
+    ::close(fd);
+    return status;
   }
-  return Status::OK();
+  if (::close(fd) != 0 && poisoned_.ok()) {
+    return Errno("journal close of", path_);
+  }
+  return poisoned_;
 }
 
 JournalingExpert::JournalingExpert(Expert* live, JournalWriter* writer,

@@ -53,6 +53,20 @@ struct LoadedJournal {
   /// True iff the file ended in a torn (incomplete) last line, which was
   /// dropped — the expected shape after a crash mid-write.
   bool torn_tail = false;
+  /// Format version the file was written in (1 = bare lines, 2 = CRC32C
+  /// framed). Resume appends records in the same version it found.
+  int version = 1;
+  /// True iff a v2 end marker was found: the session ran to completion and
+  /// its report is durable, so the file is eligible for retention GC.
+  bool finished = false;
+  /// From the end marker (v2 finished journals only).
+  int finished_questions = 0;
+  double finished_cost = 0.0;
+  /// Byte offset just past the last intact *question* record (excludes any
+  /// end marker and any torn/garbage tail). A resuming writer truncates the
+  /// file to this offset before appending, so a torn tail or a superseded
+  /// end marker can never be concatenated with new records.
+  uint64_t resume_offset = 0;
 };
 
 /// True iff `a` and `b` ask the same question (answer/cost ignored) — the
@@ -66,11 +80,26 @@ std::string FormatJournalRecord(const JournalRecord& record);
 /// Parses one journal line. Fails on any deviation from the format.
 Result<JournalRecord> ParseJournalRecord(std::string_view line);
 
-/// Serializes the header line (no trailing newline).
+/// Serializes the v1 header line (no trailing newline).
 std::string FormatJournalHeader(const JournalHeader& header);
 
-/// Parses the header line.
+/// Parses the v1 header line.
 Result<JournalHeader> ParseJournalHeader(std::string_view line);
+
+/// The journal format version new writers produce.
+inline constexpr int kJournalVersionCurrent = 2;
+
+/// \brief Serializes the v2 header line (no trailing newline): the v1
+/// fields under `v=2`, closed by `hcrc=XXXXXXXX` — the CRC32C of
+/// everything before the ` hcrc=` suffix. A flipped bit anywhere in the
+/// header is therefore detectable, not just in the records.
+std::string FormatJournalHeaderV2(const JournalHeader& header);
+
+/// \brief Wraps a payload as one v2 record line (no trailing newline):
+/// `<len>.<crc> <payload>` with `len` the decimal payload byte count and
+/// `crc` the 8-hex-digit CRC32C of the payload. Length framing catches
+/// truncation-with-coincidental-parse; the checksum catches bit-rot.
+std::string FormatJournalFrame(std::string_view payload);
 
 /// \brief Compares a loaded journal header against the resume
 /// configuration.
@@ -91,13 +120,34 @@ Status ValidateJournalHeader(const JournalHeader& expected,
 Result<LoadedJournal> ParseJournalText(std::string_view contents,
                                        const std::string& origin);
 
-/// \brief Reads a journal file.
+/// \brief Reads a journal file, sniffing the format version.
 ///
-/// A torn final line (no terminating newline, or unparseable) is dropped
-/// and reported via `torn_tail` — that is what a crash between write and
-/// completion leaves behind. A malformed line anywhere *before* the tail
-/// means the file is not a journal (or is corrupt) and fails the load.
+/// v1: a torn final line (no terminating newline, or unparseable) is
+/// dropped and reported via `torn_tail`; a malformed line anywhere before
+/// the tail fails the load with InvalidArgument (v1 cannot tell corruption
+/// from a foreign file).
+///
+/// v2: the framing makes the call deterministic. An *unterminated* tail —
+/// the only shape a torn write can leave — is salvaged (`torn_tail`,
+/// records up to the last intact frame, `resume_offset` set). Any
+/// *terminated* line that fails its length/CRC/parse check is proof of
+/// in-place damage and fails the load with StatusCode::kDataLoss: the
+/// caller must quarantine, never resume. A file that is empty or has no
+/// recognizable header is InvalidArgument ("not a journal").
 Result<LoadedJournal> LoadJournal(const std::string& path);
+
+/// \brief Fsyncs a directory, making renames/creates/unlinks inside it
+/// durable. Fires the "journal.fsync" fault site.
+Status FsyncDir(const std::string& dir);
+
+/// \brief Moves a damaged journal aside as `<path>.quarantined` (fsyncing
+/// the parent directory so the rename itself survives a crash) and returns
+/// the quarantine path via `quarantined_path` if non-null. Fires the
+/// "journal.rename" fault site. The original path no longer exists on
+/// success, so a later resume attempt sees NotFound + the quarantine
+/// marker instead of re-reading damaged bytes.
+Status QuarantineJournal(const std::string& path,
+                         std::string* quarantined_path = nullptr);
 
 /// Durability policy of a JournalWriter (the `--journal-fsync` knob).
 enum class JournalFsyncMode {
@@ -115,6 +165,25 @@ enum class JournalFsyncMode {
 /// Parses "every" / "batch"; anything else is an InvalidArgument.
 Result<JournalFsyncMode> ParseJournalFsyncMode(std::string_view text);
 
+/// How a JournalWriter is opened (the full-fidelity Open overload).
+struct JournalWriterOptions {
+  /// False: truncate/create and write a fresh header. True: the caller has
+  /// loaded and validated the journal; the file is truncated to
+  /// `resume_offset` (dropping any torn tail or end marker) and extended.
+  bool resume = false;
+  JournalFsyncMode fsync_mode = JournalFsyncMode::kEvery;
+  /// Format to write. On resume this must be the loaded journal's version
+  /// so the file stays homogeneous; fresh journals should use
+  /// kJournalVersionCurrent.
+  int version = kJournalVersionCurrent;
+  /// On resume: LoadedJournal::resume_offset. Ignored on create.
+  uint64_t resume_offset = 0;
+  /// On create: fsync the parent directory after the file exists, so the
+  /// journal's *name* survives a crash too. (Off only for unit tests that
+  /// count fsyncs.)
+  bool sync_dir = true;
+};
+
 /// \brief Append-only, fsync-per-record journal writer.
 ///
 /// Every Append writes one line and (in kEvery mode) fsyncs before
@@ -124,14 +193,29 @@ Result<JournalFsyncMode> ParseJournalFsyncMode(std::string_view text);
 /// invariant the kill/resume tests are built on. In kBatch mode the fsync
 /// is amortized over kBatchInterval records and a crash@k plan leaves *at
 /// most* k durable records.
+///
+/// Disk faults: the syscall paths run through the "journal.open",
+/// "journal.write" and "journal.fsync" fault sites and check every
+/// ::write/::fsync/::close return value; failures carry the journal path
+/// and errno. A failed write or fsync *poisons* the writer: after fsync
+/// reports an error the kernel may have dropped the dirty pages, so
+/// retrying the fsync and believing its success would un-report data loss
+/// (the fsyncgate failure mode). Every later Append/Sync/AppendEnd returns
+/// the original error; Close still releases the fd.
 class JournalWriter {
  public:
   /// Records per fsync in JournalFsyncMode::kBatch.
   static constexpr int kBatchInterval = 32;
 
-  /// Opens `path` for appending. When `resume` is false the file is
-  /// truncated and `header` written as the first line; when true the file
-  /// is extended as-is (the caller has already validated the header).
+  /// Opens `path` per `options` (see JournalWriterOptions).
+  static Result<JournalWriter> Open(const std::string& path,
+                                    const JournalHeader& header,
+                                    const JournalWriterOptions& options);
+
+  /// Convenience overload kept for pre-v2 callers: create writes a
+  /// current-version header; resume appends at the current end of file
+  /// *without* truncation (callers that know the resume offset should use
+  /// the options overload — it is the one that repairs torn tails).
   static Result<JournalWriter> Open(
       const std::string& path, const JournalHeader& header, bool resume,
       JournalFsyncMode fsync_mode = JournalFsyncMode::kEvery);
@@ -146,22 +230,54 @@ class JournalWriter {
   /// "session.record" fault site.
   Status Append(const JournalRecord& record);
 
+  /// Appends the v2 end marker recording that the session finished with
+  /// `questions_asked` questions at `cost_spent`, and fsyncs regardless of
+  /// mode — the marker is what makes the journal eligible for retention
+  /// GC, so it must not sit in the page cache. No-op on v1 journals (the
+  /// format has no marker).
+  Status AppendEnd(int questions_asked, double cost_spent);
+
   /// Forces any unsynced appends to disk (no-op in kEvery mode or when
   /// nothing is pending). Batch-mode callers invoke this at quiesce points
   /// (session end, daemon drain).
   Status Sync();
 
   /// Fsyncs and closes the file. Idempotent; also run by the destructor.
+  /// A poisoned writer skips the fsync (see class comment) and reports the
+  /// original error after releasing the fd.
   Status Close();
 
+  /// The sticky first write/fsync error, if any. A non-OK value means
+  /// records since that point are NOT durable and the session must be
+  /// surfaced as storage-failed, not silently continued.
+  const Status& poisoned() const { return poisoned_; }
+
+  /// Format version this writer emits (1 or 2).
+  int version() const { return version_; }
+
  private:
-  JournalWriter(int fd, JournalFsyncMode fsync_mode)
-      : fd_(fd), fsync_mode_(fsync_mode) {}
+  JournalWriter(int fd, std::string path, JournalFsyncMode fsync_mode,
+                int version)
+      : fd_(fd),
+        path_(std::move(path)),
+        fsync_mode_(fsync_mode),
+        version_(version) {}
+
+  /// Write-it-all loop through the "journal.write" fault site; sets
+  /// `poisoned_` on failure.
+  Status WriteAll(std::string_view data);
+  /// fsync through the "journal.fsync" fault site; sets `poisoned_` on
+  /// failure and never retries after one.
+  Status SyncFd();
 
   int fd_ = -1;
+  std::string path_;
   JournalFsyncMode fsync_mode_ = JournalFsyncMode::kEvery;
+  int version_ = kJournalVersionCurrent;
   /// Appends since the last fsync (kBatch bookkeeping).
   int unsynced_ = 0;
+  /// First write/fsync failure; sticky (fsyncgate discipline).
+  Status poisoned_ = Status::OK();
 };
 
 /// \brief Expert decorator that records answers and replays them on resume.

@@ -174,10 +174,14 @@ Result<std::unique_ptr<SessionStateMachine>> SessionStateMachine::Start(
   header.wrong_rate = config.wrong_rate;
 
   std::vector<JournalRecord> replay;
+  JournalWriterOptions writer_options;
+  writer_options.fsync_mode = options.journal_fsync;
   if (options.resume) {
     if (options.journal_path.empty()) {
       return Status::InvalidArgument("resume requires a journal path");
     }
+    // A DataLoss here (v2 checksum failure) propagates unchanged: the
+    // caller must quarantine the file, not retry the resume.
     UGUIDE_ASSIGN_OR_RETURN(LoadedJournal journal,
                             LoadJournal(options.journal_path));
     Status header_ok = ValidateJournalHeader(header, journal.header);
@@ -186,14 +190,16 @@ Result<std::unique_ptr<SessionStateMachine>> SessionStateMachine::Start(
                                      header_ok.message());
     }
     replay = std::move(journal.records);
+    writer_options.resume = true;
+    writer_options.version = journal.version;
+    writer_options.resume_offset = journal.resume_offset;
   }
 
   std::optional<JournalWriter> writer;
   if (!options.journal_path.empty()) {
     UGUIDE_ASSIGN_OR_RETURN(
-        writer,
-        JournalWriter::Open(options.journal_path, header,
-                            /*resume=*/options.resume, options.journal_fsync));
+        writer, JournalWriter::Open(options.journal_path, header,
+                                    writer_options));
   }
 
   std::unique_ptr<SessionStateMachine> machine(
@@ -296,6 +302,10 @@ Result<SessionReport> SessionStateMachine::Finish() {
   report.questions_replayed = served_replays_;
   if (!write_status_.ok()) return write_status_;
   if (writer_.has_value()) {
+    // The durable end marker: recovery classifies this journal as finished
+    // (GC-eligible) instead of resumable.
+    UGUIDE_RETURN_NOT_OK(writer_->AppendEnd(report.result.questions_asked,
+                                            report.result.cost_spent));
     UGUIDE_RETURN_NOT_OK(writer_->Close());
     writer_.reset();
   }
@@ -330,6 +340,11 @@ bool SessionStateMachine::done() const {
 int SessionStateMachine::questions_replayed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return served_replays_;
+}
+
+Status SessionStateMachine::write_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_status_;
 }
 
 Result<SessionReport> DriveSession(SessionStateMachine& machine, Expert& expert,

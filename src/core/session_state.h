@@ -161,6 +161,12 @@ class SessionStateMachine {
   /// Questions served from the journal so far (resume bookkeeping).
   int questions_replayed() const;
 
+  /// The sticky first journal write/fsync failure, if any. Once non-OK,
+  /// answers are no longer durable: the serving layer must stop advancing
+  /// the session outward (structured `storage_failed` refusal) even though
+  /// the in-memory machine itself is still consistent and answerable.
+  Status write_status() const;
+
  private:
   class ChannelExpert;
 

@@ -71,9 +71,11 @@ void ServingDaemon::Shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   // Stop the network first (joins the reactor and every in-flight step),
-  // then abandon sessions; their journals are synced and preserved.
-  reactor_->Shutdown();
-  manager_->BeginDrain();
+  // then abandon sessions; their journals are synced and preserved. Either
+  // member may be null when StartImpl bailed out part-way (e.g. the bind
+  // raced a dying incarnation of the same daemon on restart).
+  if (reactor_ != nullptr) reactor_->Shutdown();
+  if (manager_ != nullptr) manager_->BeginDrain();
 }
 
 }  // namespace uguide

@@ -509,6 +509,8 @@ const char* DefaultErrorCode(StatusCode code) {
       return error_code::kOverloaded;
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kDataLoss:
+      return error_code::kJournalCorrupt;
   }
   return "error";
 }
@@ -550,7 +552,12 @@ std::string FormatHealthFrame(const HealthInfo& health) {
       << ",\"accepted\":" << health.accepted
       << ",\"dropped\":" << health.dropped
       << ",\"dropped_slow_reader\":" << health.dropped_slow_reader
-      << ",\"reaped_idle\":" << health.reaped_idle << "}";
+      << ",\"reaped_idle\":" << health.reaped_idle
+      << ",\"journals_resumable\":" << health.journals_resumable
+      << ",\"journals_finished\":" << health.journals_finished
+      << ",\"journals_quarantined\":" << health.journals_quarantined
+      << ",\"journals_gced\":" << health.journals_gced
+      << ",\"storage_failed\":" << health.storage_failed << "}";
   return out.str();
 }
 
@@ -609,7 +616,12 @@ Result<ServerFrame> ParseServerFrame(std::string_view line) {
         {"accepted", &h.accepted},
         {"dropped", &h.dropped},
         {"dropped_slow_reader", &h.dropped_slow_reader},
-        {"reaped_idle", &h.reaped_idle}};
+        {"reaped_idle", &h.reaped_idle},
+        {"journals_resumable", &h.journals_resumable},
+        {"journals_finished", &h.journals_finished},
+        {"journals_quarantined", &h.journals_quarantined},
+        {"journals_gced", &h.journals_gced},
+        {"storage_failed", &h.storage_failed}};
     for (const auto& [key, target] : counters) {
       UGUIDE_ASSIGN_OR_RETURN(const int value, root.GetInt(key, 0));
       *target = value;

@@ -158,6 +158,13 @@ inline constexpr char kRateLimited[] = "rate_limited";
 inline constexpr char kQuarantined[] = "quarantined";
 inline constexpr char kBadFrame[] = "bad_frame";
 inline constexpr char kDraining[] = "draining";
+/// The session's journal can no longer persist answers (failed write or
+/// fsync). The in-memory session is consistent but must not advance; the
+/// client should close and re-open elsewhere.
+inline constexpr char kStorageFailed[] = "storage_failed";
+/// The journal failed its checksum (bit-rot / mid-file corruption) and was
+/// quarantined; a resume can never succeed. Terminal, do not retry.
+inline constexpr char kJournalCorrupt[] = "journal_corrupt";
 }  // namespace error_code
 
 /// The default slug for a status with no call-site-specific code (e.g.
@@ -187,6 +194,13 @@ struct HealthInfo {
   int64_t dropped = 0;
   int64_t dropped_slow_reader = 0;
   int64_t reaped_idle = 0;
+  // Durable-state counters: the startup recovery scan's index plus the
+  // running quarantine/storage-failure tallies.
+  int64_t journals_resumable = 0;
+  int64_t journals_finished = 0;
+  int64_t journals_quarantined = 0;
+  int64_t journals_gced = 0;
+  int64_t storage_failed = 0;
 };
 
 /// One parsed server frame (the load generator's read side).

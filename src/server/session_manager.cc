@@ -1,5 +1,10 @@
 #include "server/session_manager.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <ctime>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -21,13 +26,71 @@ bool ValidSessionId(const std::string& id) {
   return true;
 }
 
+bool EndsWith(const std::string& name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 SessionManager::SessionManager(const Session* session,
                                SessionManagerOptions options)
     : session_(session),
       options_(std::move(options)),
-      admission_(options_.admission, options_.memory_budget) {}
+      admission_(options_.admission, options_.memory_budget) {
+  RecoverJournals();
+}
+
+void SessionManager::RecoverJournals() {
+  if (options_.journal_dir.empty()) return;
+  DIR* dir = ::opendir(options_.journal_dir.c_str());
+  if (dir == nullptr) return;  // nothing durable yet: a fresh deployment
+  std::vector<std::string> journals;
+  while (const dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (EndsWith(name, ".journal.quarantined")) {
+      // A quarantine backlog from earlier incarnations: still surfaced —
+      // every damaged session stays visible until an operator triages it.
+      ++recovery_.quarantined;
+    } else if (EndsWith(name, ".journal")) {
+      journals.push_back(name);
+    }
+  }
+  ::closedir(dir);
+
+  bool unlinked = false;
+  const std::time_t now = std::time(nullptr);
+  for (const std::string& name : journals) {
+    const std::string path = options_.journal_dir + "/" + name;
+    Result<LoadedJournal> loaded = LoadJournal(path);
+    if (!loaded.ok()) {
+      // Checksum failure, torn header, unreadable: no resume can ever
+      // succeed, so move the evidence aside where it cannot be mistaken
+      // for live state. (kDataLoss and structurally-unreadable files get
+      // the same treatment; they differ only in the error text.)
+      if (QuarantineJournal(path).ok()) ++recovery_.quarantined;
+      continue;
+    }
+    if (!loaded->finished) {
+      ++recovery_.resumable;
+      continue;
+    }
+    if (options_.journal_retain_s > 0.0) {
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0 &&
+          static_cast<double>(now - st.st_mtime) > options_.journal_retain_s &&
+          ::unlink(path.c_str()) == 0) {
+        ++recovery_.gced;
+        unlinked = true;
+        continue;
+      }
+    }
+    ++recovery_.finished;
+  }
+  // One directory fsync covers every unlink: recovery itself must not be
+  // undone by a crash right after it runs.
+  if (unlinked) FsyncDir(options_.journal_dir).IgnoreError();
+}
 
 void SessionManager::SetHealthAugmenter(
     std::function<void(HealthInfo*)> augmenter) {
@@ -111,6 +174,11 @@ std::vector<std::string> SessionManager::HandleHealth() {
     health.finished = stats_.finished;
     health.evicted = stats_.evicted;
     health.refused = stats_.refused;
+    health.storage_failed = stats_.storage_failed;
+    health.journals_resumable = recovery_.resumable;
+    health.journals_finished = recovery_.finished;
+    health.journals_quarantined = recovery_.quarantined;
+    health.journals_gced = recovery_.gced;
     augmenter = health_augmenter_;
   }
   if (augmenter) augmenter(&health);
@@ -121,6 +189,22 @@ std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
   if (!ValidSessionId(frame.id)) {
     return {FormatErrorFrame(frame.id,
                              Status::InvalidArgument("bad session id"))};
+  }
+
+  const std::string journal_path = JournalPathFor(frame.id);
+  if (frame.resume && !journal_path.empty()) {
+    // A journal that was moved aside is a terminal verdict, not a missing
+    // file: tell the client exactly that so it stops retrying the resume.
+    struct stat st;
+    if (::stat(journal_path.c_str(), &st) != 0 &&
+        ::stat((journal_path + ".quarantined").c_str(), &st) == 0) {
+      return {FormatErrorFrame(
+          frame.id,
+          Status::DataLoss("journal for session '" + frame.id +
+                           "' was quarantined (checksum failure); the "
+                           "session cannot be resumed"),
+          error_code::kJournalCorrupt, -1)};
+    }
   }
 
   Result<std::unique_ptr<Strategy>> strategy =
@@ -171,6 +255,15 @@ std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
                                  std::move(step));
   if (!machine.ok()) {
     Erase(frame.id);
+    if (machine.status().code() == StatusCode::kDataLoss &&
+        !journal_path.empty()) {
+      // The load proved mid-file corruption. Quarantine now so the state
+      // is consistent with the refusal and later resumes hit the marker.
+      if (QuarantineJournal(journal_path).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++recovery_.quarantined;
+      }
+    }
     return {FormatErrorFrame(frame.id, machine.status())};
   }
 
@@ -233,6 +326,22 @@ std::vector<std::string> SessionManager::HandleClose(const ClientFrame& frame) {
 
 std::vector<std::string> SessionManager::Advance(
     const std::shared_ptr<Served>& served) {
+  // A poisoned journal writer means the last acknowledged answer may not
+  // be durable: stop advancing the session outward. The machine itself is
+  // consistent (the session stays in the map, close still works, health
+  // still counts it) — the refusal is about durability, not state.
+  const Status write_status = served->machine->write_status();
+  if (!write_status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!served->storage_failed_counted) {
+        served->storage_failed_counted = true;
+        ++stats_.storage_failed;
+      }
+    }
+    return {FormatErrorFrame(served->id, write_status,
+                             error_code::kStorageFailed, -1)};
+  }
   std::optional<SessionQuestion> question = served->machine->NextQuestion();
   if (question.has_value()) {
     served->last_question = question;
@@ -310,6 +419,11 @@ bool SessionManager::draining() const {
 SessionManagerStats SessionManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+JournalRecoveryStats SessionManager::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_;
 }
 
 }  // namespace uguide

@@ -36,6 +36,13 @@ struct SessionManagerOptions {
   /// Durability policy of every served journal.
   JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
 
+  /// Retention for *finished* journals (`--journal-retain-s`): the startup
+  /// recovery scan deletes any journal whose durable end marker is older
+  /// than this many seconds (by file mtime). 0 = keep forever. Resumable
+  /// and quarantined journals are never GC'd — one holds live work, the
+  /// other is evidence.
+  double journal_retain_s = 0.0;
+
   /// Shared process pool for the violation-graph builds of all sessions;
   /// null gives every session a private single-thread pool.
   ThreadPool* pool = nullptr;
@@ -63,6 +70,20 @@ struct SessionManagerStats {
   int finished = 0;
   int evicted = 0;
   int refused = 0;
+  /// Sessions whose journal writer became poisoned (failed write/fsync)
+  /// and were converted to structured `storage_failed` refusals.
+  int storage_failed = 0;
+};
+
+/// What the startup recovery scan found in journal_dir (plus runtime
+/// quarantines). Reported via op=health and the daemon exit summary: the
+/// crash-restart gate checks that no admitted session is missing from
+/// resumable + finished + quarantined.
+struct JournalRecoveryStats {
+  int resumable = 0;    ///< intact, unfinished: a resume will replay these
+  int finished = 0;     ///< durable end marker present (retained)
+  int quarantined = 0;  ///< damaged files moved to *.quarantined
+  int gced = 0;         ///< finished journals deleted past journal_retain_s
 };
 
 /// \brief Owns the N concurrent served sessions of a daemon.
@@ -109,6 +130,8 @@ class SessionManager {
   int active_sessions() const;
   bool draining() const;
   SessionManagerStats stats() const;
+  /// The recovery index built at construction, plus quarantines since.
+  JournalRecoveryStats recovery_stats() const;
   AdmissionStats admission_stats() const { return admission_.stats(); }
   BrownoutLevel brownout() const { return admission_.brownout(); }
 
@@ -128,6 +151,8 @@ class SessionManager {
     std::chrono::steady_clock::time_point last_active;
     /// Serializes machine access across connection threads.
     std::mutex step_mu;
+    /// The storage_failed counter ticked once for this session.
+    bool storage_failed_counted = false;
   };
 
   std::vector<std::string> HandleOpen(const ClientFrame& frame);
@@ -143,6 +168,12 @@ class SessionManager {
   void Erase(const std::string& id);
   std::string JournalPathFor(const std::string& id) const;
 
+  /// Startup scan over journal_dir: classify every journal as resumable /
+  /// finished / quarantined, move damaged files aside, and GC finished
+  /// journals past the retention window. Runs once, from the constructor,
+  /// before any connection exists.
+  void RecoverJournals();
+
   const Session* session_;
   const SessionManagerOptions options_;
   AdmissionController admission_;
@@ -151,6 +182,7 @@ class SessionManager {
   std::map<std::string, std::shared_ptr<Served>> sessions_;
   bool draining_ = false;
   SessionManagerStats stats_;
+  JournalRecoveryStats recovery_;
   std::function<void(HealthInfo*)> health_augmenter_;
 };
 

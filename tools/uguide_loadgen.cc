@@ -7,7 +7,7 @@
 //                  [--strategy=NAME|all] [--budget=B] [--id-prefix=X]
 //                  [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
 //                  [--no-verify] [--allow-refused] [--check-journals=DIR]
-//                  [--chaos] [--chaos-seed=S]
+//                  [--chaos] [--chaos-seed=S] [--restart-grace-ms=T]
 //
 // The dataset flags must match the daemon's — both sides rebuild the same
 // dataset (src/server/dataset.h) and the reports can only be byte-equal if
@@ -27,6 +27,17 @@
 // finished session's report matches the in-process reference byte-for-byte
 // (modulo the questions_replayed counter, which resume legitimately
 // changes).
+//
+// --restart-grace-ms=T makes the run restart-aware (the kill/restart chaos
+// gate): connection-refused is tolerated for up to T ms of reconnect
+// backoff — the window a daemon needs to come back on the same port — and
+// sessions the restarted daemon no longer knows are reopened from their
+// journals. Sessions the daemon reports as journal_corrupt count as
+// `quarantined`, an explicit verdict distinct from both ok and failed:
+// the gate's pass condition is that every admitted session ends as
+// ok/refused/quarantined, never silently lost. With --check-journals set,
+// every delivered report is additionally cross-checked against its
+// journal (record count == questions_asked, durable end marker present).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -74,6 +85,9 @@ struct Args {
   std::string check_journals;
   bool chaos = false;
   uint64_t chaos_seed = 1234;
+  /// Reconnect-backoff window for daemon restarts (0 = not restart-aware:
+  /// ~2s of reconnect attempts, initial connect must succeed at once).
+  double restart_grace_ms = 0.0;
   ServedDatasetOptions dataset;
 };
 
@@ -85,7 +99,8 @@ void Usage() {
       "                      [--id-prefix=X] [--rows=R] [--error-rate=E]\n"
       "                      [--seed=S] [--idk-rate=I] [--no-verify]\n"
       "                      [--allow-refused] [--check-journals=DIR]\n"
-      "                      [--chaos] [--chaos-seed=S]\n");
+      "                      [--chaos] [--chaos-seed=S]\n"
+      "                      [--restart-grace-ms=T]\n");
 }
 
 bool FlagError(const char* flag, const std::string& value, const char* want) {
@@ -167,6 +182,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->chaos = true;
     } else if (flag == "--chaos-seed") {
       if (!ParseU64Flag("--chaos-seed", value, &args->chaos_seed)) {
+        return false;
+      }
+    } else if (flag == "--restart-grace-ms") {
+      if (!ParseDoubleFlag("--restart-grace-ms", value,
+                           &args->restart_grace_ms)) {
         return false;
       }
     } else if (flag == "--rows") {
@@ -283,6 +303,9 @@ struct SharedState {
   std::atomic<int> refused{0};
   std::atomic<int> failed{0};
   std::atomic<int> retried{0};  ///< Backoffs honored from retry_after_ms.
+  /// Sessions the daemon ended with journal_corrupt: an explicit verdict
+  /// (the damaged journal was moved aside), not a silent loss.
+  std::atomic<int> quarantined{0};
 
   std::mutex rtt_mu;
   std::vector<double> rtt_ms;
@@ -328,6 +351,62 @@ std::string WithoutReplayCount(const std::string& report) {
     pos = nl + 1;
   }
   return out;
+}
+
+/// Extracts the integer value of a `key=N` line from a serialized report;
+/// -1 if the line is absent.
+int ReportCounter(const std::string& report, std::string_view key) {
+  size_t pos = 0;
+  while (pos < report.size()) {
+    size_t nl = report.find('\n', pos);
+    if (nl == std::string::npos) nl = report.size();
+    const std::string_view line(report.data() + pos, nl - pos);
+    if (line.size() > key.size() + 1 &&
+        line.substr(0, key.size()) == key && line[key.size()] == '=') {
+      return std::atoi(std::string(line.substr(key.size() + 1)).c_str());
+    }
+    pos = nl + 1;
+  }
+  return -1;
+}
+
+/// Cross-checks a delivered report against the journal the daemon kept for
+/// the session: every asked question must be durable (records ==
+/// questions_asked) and the end marker must agree with the report. Returns
+/// an empty string on success, the mismatch description otherwise.
+std::string CheckReportAgainstJournal(const Args& args,
+                                      const std::string& session_id,
+                                      const std::string& report) {
+  const std::string path =
+      args.check_journals + "/" + session_id + ".journal";
+  Result<LoadedJournal> journal = LoadJournal(path);
+  if (!journal.ok()) {
+    return "journal unreadable after report: " +
+           journal.status().ToString();
+  }
+  const int asked = ReportCounter(report, "questions_asked");
+  const int replayed = ReportCounter(report, "questions_replayed");
+  if (asked < 0) return "report lacks questions_asked";
+  if (static_cast<int>(journal->records.size()) != asked) {
+    return "journal holds " + std::to_string(journal->records.size()) +
+           " records but report says questions_asked=" +
+           std::to_string(asked);
+  }
+  if (replayed > asked) {
+    return "report claims questions_replayed=" + std::to_string(replayed) +
+           " > questions_asked=" + std::to_string(asked);
+  }
+  if (journal->version >= 2) {
+    if (!journal->finished) {
+      return "report delivered but journal lacks a durable end marker";
+    }
+    if (journal->finished_questions != asked) {
+      return "end marker says " +
+             std::to_string(journal->finished_questions) +
+             " questions, report says " + std::to_string(asked);
+    }
+  }
+  return std::string();
 }
 
 /// Runs one served session over `conn`. Returns false only on
@@ -377,8 +456,12 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
   bool close_reopen_done = !can_resume;
   int slow_reads_left = slow_reader ? 24 : 0;
 
+  // Under --restart-grace-ms the backoff window stretches to cover a
+  // daemon kill/restart cycle; connection-refused inside it is expected.
+  const int reconnect_attempts =
+      std::max(100, static_cast<int>(args.restart_grace_ms / 20.0) + 1);
   auto reconnect = [&]() -> bool {
-    for (int attempt = 0; attempt < 100; ++attempt) {
+    for (int attempt = 0; attempt < reconnect_attempts; ++attempt) {
       if (conn->Connect(args.port)) return true;
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
@@ -530,6 +613,18 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
             return true;
           }
         }
+        if (!args.check_journals.empty()) {
+          const std::string why =
+              CheckReportAgainstJournal(args, open.id, frame->report);
+          if (!why.empty()) {
+            std::fprintf(stderr,
+                         "uguide_loadgen: journal/report mismatch for "
+                         "%s: %s\n",
+                         open.id.c_str(), why.c_str());
+            state->failed.fetch_add(1);
+            return true;
+          }
+        }
         state->ok.fetch_add(1);
         std::lock_guard<std::mutex> lock(state->rtt_mu);
         state->rtt_ms.insert(state->rtt_ms.end(), rtts.begin(), rtts.end());
@@ -552,6 +647,30 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
           // the session is live — resync instead of failing.
           opened = true;
           to_send = resync_frame();
+          break;
+        }
+        if (frame->error_code == error_code::kJournalCorrupt) {
+          // The daemon found bit-rot and moved the journal aside. That is
+          // a terminal but *explicit* outcome: the session was not
+          // silently lost, it was quarantined for triage.
+          state->quarantined.fetch_add(1);
+          std::lock_guard<std::mutex> lock(state->rtt_mu);
+          state->rtt_ms.insert(state->rtt_ms.end(), rtts.begin(),
+                               rtts.end());
+          return true;
+        }
+        if (frame->error_code == error_code::kStorageFailed &&
+            can_resume && retries < kMaxRetries) {
+          // The session's journal writer is poisoned (failed write or
+          // fsync). The durable prefix is intact, so the documented
+          // client move is: close, then reopen with resume — a fresh
+          // writer replays everything up to the failure.
+          ++retries;
+          ClientFrame close;
+          close.op = ClientOp::kClose;
+          close.id = open.id;
+          open.resume = true;
+          to_send = FormatClientFrame(close);
           break;
         }
         if (chaos && code == StatusCode::kNotFound && can_resume &&
@@ -600,10 +719,22 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
 }
 
 void Worker(SharedState* state) {
+  const Args& args = *state->args;
   Connection conn;
-  if (!conn.Connect(state->args->port)) {
+  // With --restart-grace-ms the first connect may land in a restart
+  // window; keep knocking for the grace period instead of giving up.
+  const int connect_attempts =
+      std::max(1, static_cast<int>(args.restart_grace_ms / 20.0) + 1);
+  auto connect = [&]() -> bool {
+    for (int attempt = 0; attempt < connect_attempts; ++attempt) {
+      if (conn.Connect(args.port)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  };
+  if (!connect()) {
     std::fprintf(stderr, "uguide_loadgen: cannot connect to port %d\n",
-                 state->args->port);
+                 args.port);
     state->failed.fetch_add(1);
     return;
   }
@@ -613,7 +744,7 @@ void Worker(SharedState* state) {
     if (!RunOneSession(state, &conn, index)) {
       // Connection died; reconnect and keep draining the work queue.
       state->failed.fetch_add(1);
-      if (!conn.Connect(state->args->port)) return;
+      if (!connect()) return;
     }
   }
 }
@@ -687,13 +818,15 @@ int main(int argc, char** argv) {
   const int refused = state.refused.load();
   const int failed = state.failed.load();
   const int retried = state.retried.load();
+  const int quarantined = state.quarantined.load();
   const double p50 = Percentile(&state.rtt_ms, 50.0);
   const double p99 = Percentile(&state.rtt_ms, 99.0);
   std::printf(
       "uguide_loadgen: ok=%d mismatched=%d refused=%d failed=%d "
-      "retried=%d answers=%zu elapsed=%.2fs rtt_p50=%.3fms rtt_p99=%.3fms\n",
-      ok, mismatched, refused, failed, retried, state.rtt_ms.size(),
-      elapsed_s, p50, p99);
+      "quarantined=%d retried=%d answers=%zu elapsed=%.2fs "
+      "rtt_p50=%.3fms rtt_p99=%.3fms\n",
+      ok, mismatched, refused, failed, quarantined, retried,
+      state.rtt_ms.size(), elapsed_s, p50, p99);
 
   if (!args.check_journals.empty()) {
     const int checked = CheckJournals(args);
@@ -702,6 +835,9 @@ int main(int argc, char** argv) {
   }
 
   if (mismatched > 0 || failed > 0) return 1;
-  if (ok + refused < args.sessions) return 1;
+  // Every session must end in an explicit verdict — delivered, refused
+  // with a code, or quarantined with its journal preserved for triage.
+  // Anything short of that is a silently lost session.
+  if (ok + refused + quarantined < args.sessions) return 1;
   return 0;
 }

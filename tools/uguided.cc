@@ -3,7 +3,8 @@
 //
 //   uguided [--port=P] [--port-file=F] [--max-sessions=N]
 //           [--max-connections=N] [--idle-timeout-ms=T] [--journal-dir=D]
-//           [--journal-fsync=every|batch] [--threads=N]
+//           [--journal-fsync=every|batch] [--journal-retain-s=T]
+//           [--threads=N]
 //           [--memory-budget-mb=M] [--fault-plan=PLAN]
 //           [--tick-ms=T] [--read-idle-ms=T] [--max-pending-out-kb=K]
 //           [--queue-deadline-ms=T] [--rate-limit=R] [--rate-burst=B]
@@ -58,6 +59,7 @@ struct Args {
   double idle_timeout_ms = 0.0;
   std::string journal_dir;
   JournalFsyncMode journal_fsync = JournalFsyncMode::kEvery;
+  double journal_retain_s = 0.0;
   int threads = 1;
   int memory_budget_mb = 0;
   std::string fault_plan;
@@ -76,7 +78,8 @@ void Usage() {
       "usage: uguided [--port=P] [--port-file=F] [--max-sessions=N]\n"
       "               [--max-connections=N] [--idle-timeout-ms=T]\n"
       "               [--journal-dir=D]\n"
-      "               [--journal-fsync=every|batch] [--threads=N]\n"
+      "               [--journal-fsync=every|batch] [--journal-retain-s=T]\n"
+      "               [--threads=N]\n"
       "               [--memory-budget-mb=M] [--fault-plan=PLAN]\n"
       "               [--tick-ms=T] [--read-idle-ms=T]\n"
       "               [--max-pending-out-kb=K] [--queue-deadline-ms=T]\n"
@@ -98,6 +101,11 @@ void Usage() {
       "                         between framing and execution (0=off)\n"
       "  --rate-limit=R         per-session-id token bucket: R ops/sec with\n"
       "                         burst --rate-burst (0=off)\n"
+      "durability:\n"
+      "  --journal-retain-s=T   delete finished journals older than T\n"
+      "                         seconds at startup (0=keep forever);\n"
+      "                         resumable and quarantined journals are\n"
+      "                         never deleted\n"
       "Refusals carry machine-readable code + retry_after_ms; op=health\n"
       "reports the brownout level and all shed/refused/dropped counters.\n");
 }
@@ -182,6 +190,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return FlagError("--journal-fsync", value, "every|batch");
       }
       args->journal_fsync = *mode;
+    } else if (flag == "--journal-retain-s") {
+      if (!ParseDoubleFlag("--journal-retain-s", value,
+                           &args->journal_retain_s)) {
+        return false;
+      }
     } else if (flag == "--threads") {
       if (!ParseIntFlag("--threads", value, 0, &args->threads)) return false;
     } else if (flag == "--memory-budget-mb") {
@@ -298,6 +311,7 @@ int main(int argc, char** argv) {
   options.manager.idle_timeout_ms = args.idle_timeout_ms;
   options.manager.journal_dir = args.journal_dir;
   options.manager.journal_fsync = args.journal_fsync;
+  options.manager.journal_retain_s = args.journal_retain_s;
   options.manager.pool = &pool;
   options.manager.memory_budget =
       args.memory_budget_mb > 0 ? &memory : nullptr;
@@ -313,6 +327,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!args.journal_dir.empty()) {
+    // The recovery index (built by the manager before the port opened):
+    // what the previous incarnation left behind and what happened to it.
+    const JournalRecoveryStats recovery = (*daemon)->manager().recovery_stats();
+    std::printf(
+        "uguided: recovery. resumable=%d finished_journals=%d quarantined=%d"
+        " gced=%d\n",
+        recovery.resumable, recovery.finished, recovery.quarantined,
+        recovery.gced);
+  }
   std::printf("uguided: listening on 127.0.0.1:%d\n", (*daemon)->port());
   std::fflush(stdout);
   if (!args.port_file.empty()) {
@@ -340,9 +364,12 @@ int main(int argc, char** argv) {
   const SessionManagerStats stats = (*daemon)->manager().stats();
   const AdmissionStats admission = (*daemon)->manager().admission_stats();
   const ReactorStats reactor = (*daemon)->reactor().stats();
+  const JournalRecoveryStats recovery = (*daemon)->manager().recovery_stats();
   std::printf(
-      "uguided: done. opened=%d finished=%d evicted=%d refused=%d\n",
-      stats.opened, stats.finished, stats.evicted, stats.refused);
+      "uguided: done. opened=%d finished=%d evicted=%d refused=%d"
+      " storage_failed=%d quarantined=%d\n",
+      stats.opened, stats.finished, stats.evicted, stats.refused,
+      stats.storage_failed, recovery.quarantined);
   std::printf(
       "uguided: overload. rate_limited=%" PRId64 " deadline_shed=%" PRId64
       " brownout_refused=%" PRId64 " brownout_shed=%" PRId64
