@@ -55,6 +55,32 @@ const TaxFixture& TaxAtScale(int rows) {
   return cache->emplace(rows, std::move(fixture)).first->second;
 }
 
+// Ready-to-run Tax session at 5000 rows: the acceptance target for the
+// CellQ-HS selection speedup. Built once.
+const Session& TaxSession() {
+  static Session* session = [] {
+    DataGenOptions gen;
+    gen.rows = 5000;
+    Relation clean = GenerateTax(gen);
+
+    TaneOptions tane;
+    tane.max_lhs_size = 3;
+    FdSet true_fds = DiscoverFds(clean, tane).ValueOrDie();
+
+    ErrorGenOptions errors;
+    errors.model = ErrorModel::kSystematic;
+    errors.error_rate = 0.10;
+    DirtyDataset dataset = InjectErrors(clean, true_fds, errors).ValueOrDie();
+
+    SessionConfig config;
+    config.candidate_options.max_lhs_size = 3;
+    config.budget = 150.0;
+    return new Session(
+        Session::Create(clean, std::move(dataset), config).ValueOrDie());
+  }();
+  return *session;
+}
+
 // Ready-to-run Hospital session, one per thread count. Session::Run spins
 // its own engine and pool from candidate_options.num_threads.
 const Session& HospitalSession(int threads) {
@@ -137,14 +163,104 @@ void BM_GraphBuildEngineCold(benchmark::State& state) {
 BENCHMARK(BM_GraphBuildEngineCold)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// --- Partition product: CSR vs nested-vector reference -----------------------
+
+// The pre-CSR product (nested-vector layout), reproduced inline as the
+// in-tree reference: label tuples by class in `a`, split each class of `b`
+// with per-class scratch vectors that allocate as they grow.
+std::vector<std::vector<TupleId>> NestedProduct(
+    TupleId num_rows, const std::vector<std::vector<TupleId>>& a,
+    const std::vector<std::vector<TupleId>>& b) {
+  std::vector<int32_t> label(static_cast<size_t>(num_rows), -1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (TupleId t : a[i]) {
+      label[static_cast<size_t>(t)] = static_cast<int32_t>(i);
+    }
+  }
+  std::vector<std::vector<TupleId>> scratch(a.size());
+  std::vector<std::vector<TupleId>> result;
+  for (const auto& cls : b) {
+    std::vector<int32_t> touched;
+    for (TupleId t : cls) {
+      int32_t l = label[static_cast<size_t>(t)];
+      if (l < 0) continue;
+      if (scratch[static_cast<size_t>(l)].empty()) touched.push_back(l);
+      scratch[static_cast<size_t>(l)].push_back(t);
+    }
+    for (int32_t l : touched) {
+      auto& group = scratch[static_cast<size_t>(l)];
+      if (group.size() >= 2) result.push_back(group);
+      group.clear();
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<TupleId>> NestedClasses(const Partition& p) {
+  std::vector<std::vector<TupleId>> classes(p.NumClasses());
+  for (size_t i = 0; i < p.NumClasses(); ++i) {
+    classes[i] = p.Class(i).ToVector();
+  }
+  return classes;
+}
+
+// The two Tax columns with the largest stripped partitions: the heaviest
+// single product the TANE lattice walk and LHS-partition composition pay.
+std::pair<int, int> HeaviestTaxColumns(const Relation& dirty) {
+  int first = 0, second = 1;
+  size_t first_size = 0, second_size = 0;
+  for (int col = 0; col < dirty.NumAttributes(); ++col) {
+    const size_t size = Partition::ForColumn(dirty, col).StrippedSize();
+    if (size > first_size) {
+      second = first;
+      second_size = first_size;
+      first = col;
+      first_size = size;
+    } else if (size > second_size) {
+      second = col;
+      second_size = size;
+    }
+  }
+  return {first, second};
+}
+
+void BM_PartitionProductCsr(benchmark::State& state) {
+  const TaxFixture& tax = TaxAtScale(5000);
+  const auto [ca, cb] = HeaviestTaxColumns(tax.dirty);
+  const Partition a = Partition::ForColumn(tax.dirty, ca);
+  const Partition b = Partition::ForColumn(tax.dirty, cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Product(b));
+  }
+  state.counters["stripped_a"] =
+      benchmark::Counter(static_cast<double>(a.StrippedSize()));
+  state.counters["stripped_b"] =
+      benchmark::Counter(static_cast<double>(b.StrippedSize()));
+}
+BENCHMARK(BM_PartitionProductCsr)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionProductReference(benchmark::State& state) {
+  const TaxFixture& tax = TaxAtScale(5000);
+  const auto [ca, cb] = HeaviestTaxColumns(tax.dirty);
+  const TupleId rows = tax.dirty.NumRows();
+  const std::vector<std::vector<TupleId>> a =
+      NestedClasses(Partition::ForColumn(tax.dirty, ca));
+  const std::vector<std::vector<TupleId>> b =
+      NestedClasses(Partition::ForColumn(tax.dirty, cb));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NestedProduct(rows, a, b));
+  }
+}
+BENCHMARK(BM_PartitionProductReference)->Unit(benchmark::kMillisecond);
+
 // --- Per-question selection --------------------------------------------------
 
 // Full strategy runs with incremental selection on vs. the retained
 // rescan reference; `per_question_us` is the normalized selection+update
 // cost the interactive loop actually pays.
-void RunCellStrategyBench(benchmark::State& state, const std::string& which,
-                          bool incremental, int sums_interval = 0) {
-  const Session& session = HospitalSession(1);
+void RunCellStrategyBench(benchmark::State& state, const Session& session,
+                          const std::string& which, bool incremental,
+                          int sums_interval = 0) {
   CellStrategyOptions options;
   options.incremental = incremental;
   if (sums_interval > 0) options.sums_recompute_interval = sums_interval;
@@ -170,32 +286,44 @@ void RunCellStrategyBench(benchmark::State& state, const std::string& which,
 }
 
 void BM_CellQHittingSetIncremental(benchmark::State& state) {
-  RunCellStrategyBench(state, "hs", /*incremental=*/true);
+  RunCellStrategyBench(state, HospitalSession(1), "hs", /*incremental=*/true);
 }
 BENCHMARK(BM_CellQHittingSetIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_CellQHittingSetReference(benchmark::State& state) {
-  RunCellStrategyBench(state, "hs", /*incremental=*/false);
+  RunCellStrategyBench(state, HospitalSession(1), "hs", /*incremental=*/false);
 }
 BENCHMARK(BM_CellQHittingSetReference)->Unit(benchmark::kMillisecond);
 
+// Tax@5000: the acceptance target for the CellQ-HS selection speedup on
+// the paper's widest relation.
+void BM_CellQHittingSetTaxIncremental(benchmark::State& state) {
+  RunCellStrategyBench(state, TaxSession(), "hs", /*incremental=*/true);
+}
+BENCHMARK(BM_CellQHittingSetTaxIncremental)->Unit(benchmark::kMillisecond);
+
+void BM_CellQHittingSetTaxReference(benchmark::State& state) {
+  RunCellStrategyBench(state, TaxSession(), "hs", /*incremental=*/false);
+}
+BENCHMARK(BM_CellQHittingSetTaxReference)->Unit(benchmark::kMillisecond);
+
 void BM_CellQGreedyIncremental(benchmark::State& state) {
-  RunCellStrategyBench(state, "greedy", /*incremental=*/true);
+  RunCellStrategyBench(state, HospitalSession(1), "greedy", /*incremental=*/true);
 }
 BENCHMARK(BM_CellQGreedyIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_CellQGreedyReference(benchmark::State& state) {
-  RunCellStrategyBench(state, "greedy", /*incremental=*/false);
+  RunCellStrategyBench(state, HospitalSession(1), "greedy", /*incremental=*/false);
 }
 BENCHMARK(BM_CellQGreedyReference)->Unit(benchmark::kMillisecond);
 
 void BM_CellQSumsIncremental(benchmark::State& state) {
-  RunCellStrategyBench(state, "sums", /*incremental=*/true);
+  RunCellStrategyBench(state, HospitalSession(1), "sums", /*incremental=*/true);
 }
 BENCHMARK(BM_CellQSumsIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_CellQSumsReference(benchmark::State& state) {
-  RunCellStrategyBench(state, "sums", /*incremental=*/false);
+  RunCellStrategyBench(state, HospitalSession(1), "sums", /*incremental=*/false);
 }
 BENCHMARK(BM_CellQSumsReference)->Unit(benchmark::kMillisecond);
 
@@ -203,13 +331,13 @@ BENCHMARK(BM_CellQSumsReference)->Unit(benchmark::kMillisecond);
 // fixpoint targets — most of the graph is clean between calls, so the
 // changed-neighborhood iteration skips nearly all adjacency sums.
 void BM_CellQSumsTightIncremental(benchmark::State& state) {
-  RunCellStrategyBench(state, "sums", /*incremental=*/true,
+  RunCellStrategyBench(state, HospitalSession(1), "sums", /*incremental=*/true,
                        /*sums_interval=*/1);
 }
 BENCHMARK(BM_CellQSumsTightIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_CellQSumsTightReference(benchmark::State& state) {
-  RunCellStrategyBench(state, "sums", /*incremental=*/false,
+  RunCellStrategyBench(state, HospitalSession(1), "sums", /*incremental=*/false,
                        /*sums_interval=*/1);
 }
 BENCHMARK(BM_CellQSumsTightReference)->Unit(benchmark::kMillisecond);
@@ -276,6 +404,15 @@ int main(int argc, char** argv) {
   }
   int args_argc = static_cast<int>(args.size());
   benchmark::Initialize(&args_argc, args.data());
+  // The JSON's library_build_type field describes how the *benchmark
+  // library* was compiled (the distro package reports debug); record this
+  // binary's own build mode so regression tooling can refuse to compare
+  // debug numbers against the Release baseline.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("uguide_build_type", "release");
+#else
+  benchmark::AddCustomContext("uguide_build_type", "debug");
+#endif
   if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) {
     return 1;
   }

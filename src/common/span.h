@@ -1,0 +1,95 @@
+#ifndef UGUIDE_COMMON_SPAN_H_
+#define UGUIDE_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uguide {
+
+/// \brief A non-owning view over a contiguous run of const T.
+///
+/// The return type of the CSR accessors (Partition classes, ViolationGraph
+/// adjacency rows): callers iterate a slice of one flat backing array
+/// without copying and without the pointer-chasing of nested vectors.
+/// Drop-in for the read-only surface of `const std::vector<T>&` (range-for,
+/// size/empty, operator[]); comparable against vectors and other spans so
+/// the equivalence suites can keep using EXPECT_EQ.
+template <typename T>
+class ConstSpan {
+ public:
+  constexpr ConstSpan() = default;
+  constexpr ConstSpan(const T* data, size_t size) : data_(data), size_(size) {}
+  ConstSpan(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    UGUIDE_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T>
+bool operator==(ConstSpan<T> a, ConstSpan<T> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool operator!=(ConstSpan<T> a, ConstSpan<T> b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator==(ConstSpan<T> a, const std::vector<T>& b) {
+  return a == ConstSpan<T>(b);
+}
+
+template <typename T>
+bool operator==(const std::vector<T>& a, ConstSpan<T> b) {
+  return ConstSpan<T>(a) == b;
+}
+
+template <typename T>
+bool operator!=(ConstSpan<T> a, const std::vector<T>& b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator!=(const std::vector<T>& a, ConstSpan<T> b) {
+  return !(a == b);
+}
+
+/// gtest-friendly printer (element-wise, capped).
+template <typename T>
+std::ostream& operator<<(std::ostream& os, ConstSpan<T> span) {
+  os << "[";
+  for (size_t i = 0; i < span.size() && i < 32; ++i) {
+    if (i != 0) os << ", ";
+    os << span[i];
+  }
+  if (span.size() > 32) os << ", ...";
+  return os << "]";
+}
+
+}  // namespace uguide
+
+#endif  // UGUIDE_COMMON_SPAN_H_

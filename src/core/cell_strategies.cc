@@ -57,12 +57,11 @@ struct CellRun {
   // threshold 0 accepts every surviving FD.
   FdSet Accept(double threshold) const {
     FdSet accepted;
-    for (FdId f = 0; f < graph.NumFds(); ++f) {
-      if (graph.FdActive(f) &&
-          fd_conf[static_cast<size_t>(f)] >= threshold) {
+    graph.ForEachActiveFd([&](FdId f) {
+      if (fd_conf[static_cast<size_t>(f)] >= threshold) {
         accepted.Add(graph.fd(f));
       }
-    }
+    });
     return accepted;
   }
 };
@@ -172,9 +171,12 @@ class CellQHittingSet : public Strategy {
     StrategyResult result;
     const double cost = ctx.cost.CellCost();
     SelectionHeap heap(run.graph.NumCells());
-    for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+    // Word scan: only active cells are visited, and Askable implies active,
+    // so seeding the heap over the bitmap matches the dense 0..NumCells
+    // scan exactly (ascending, same entries).
+    run.graph.ForEachActiveCell([&](CellId c) {
       if (run.Askable(c)) heap.Update(c, Score(run, c));
-    }
+    });
     const auto askable = [&run](CellId c) { return run.Askable(c); };
     // Scratch for per-answer rescoring: a cell adjacent to several touched
     // FDs is rescored once, not once per FD (CellWeight is O(degree)).
@@ -258,9 +260,12 @@ class CellQGreedy : public Strategy {
     StrategyResult result;
     const double cost = ctx.cost.CellCost();
     SelectionHeap heap(run.graph.NumCells());
-    for (CellId c = 0; c < run.graph.NumCells(); ++c) {
+    // Word scan: only active cells are visited, and Askable implies active,
+    // so seeding the heap over the bitmap matches the dense 0..NumCells
+    // scan exactly (ascending, same entries).
+    run.graph.ForEachActiveCell([&](CellId c) {
       if (run.Askable(c)) heap.Update(c, Score(run, c));
-    }
+    });
     const auto askable = [&run](CellId c) { return run.Askable(c); };
     std::vector<bool> seen(static_cast<size_t>(run.graph.NumCells()), false);
     std::vector<CellId> touched;
@@ -347,8 +352,8 @@ class CellQOracle : public Strategy {
       // true violation pushes its unaccepted true FDs toward acceptance.
       CellId best = -1;
       double best_payoff = 0.0;
-      for (CellId c = 0; c < run.graph.NumCells(); ++c) {
-        if (!run.Askable(c)) continue;
+      run.graph.ForEachActiveCell([&](CellId c) {
+        if (!run.Askable(c)) return;
         double payoff = 0.0;
         const bool is_violation =
             ctx.true_violations->Contains(run.graph.cell(c));
@@ -366,7 +371,7 @@ class CellQOracle : public Strategy {
           best = c;
           best_payoff = payoff;
         }
-      }
+      });
       if (best < 0) break;
       Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));
       result.cost_spent += cost;
@@ -461,8 +466,8 @@ class CellQSums : public Strategy {
       // moves on instead of re-confirming the same dependencies.
       CellId best = -1;
       double best_score = 0.0;
-      for (CellId c = 0; c < run.graph.NumCells(); ++c) {
-        if (!run.Askable(c)) continue;
+      run.graph.ForEachActiveCell([&](CellId c) {
+        if (!run.Askable(c)) return;
         const double uncertainty =
             1.0 - std::abs(2.0 * cell_conf[static_cast<size_t>(c)] - 1.0);
         double marginal = 0.0;
@@ -476,19 +481,19 @@ class CellQSums : public Strategy {
           best = c;
           best_score = score;
         }
-      }
+      });
       if (best < 0) {
         // No confirmation can add evidence anymore; spend leftover budget
         // hunting false positives instead: ask the least trusted violation,
         // whose "no" answer invalidates its flagging FDs.
         double lowest = 2.0;
-        for (CellId c = 0; c < run.graph.NumCells(); ++c) {
-          if (!run.Askable(c)) continue;
+        run.graph.ForEachActiveCell([&](CellId c) {
+          if (!run.Askable(c)) return;
           if (cell_conf[static_cast<size_t>(c)] < lowest) {
             best = c;
             lowest = cell_conf[static_cast<size_t>(c)];
           }
-        }
+        });
       }
       if (best < 0) break;
       Answer answer = ctx.expert->IsCellErroneous(run.graph.cell(best));

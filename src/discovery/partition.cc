@@ -4,47 +4,66 @@
 
 namespace uguide {
 
-Partition::Partition(TupleId num_rows,
-                     std::vector<std::vector<TupleId>> classes)
-    : num_rows_(num_rows), classes_(std::move(classes)) {
-  for (const auto& cls : classes_) {
-    UGUIDE_DCHECK(cls.size() >= 2);
-    stripped_size_ += cls.size();
+Partition::Partition(TupleId num_rows, std::vector<TupleId> elems,
+                     std::vector<uint32_t> offsets)
+    : num_rows_(num_rows),
+      elems_(std::move(elems)),
+      offsets_(std::move(offsets)) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  UGUIDE_DCHECK(offsets_.front() == 0);
+  UGUIDE_DCHECK(offsets_.back() == elems_.size());
+#ifndef NDEBUG
+  for (size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    UGUIDE_DCHECK(offsets_[i + 1] - offsets_[i] >= 2);
   }
-  approx_bytes_ = sizeof(Partition) +
-                  classes_.size() * sizeof(std::vector<TupleId>) +
-                  stripped_size_ * sizeof(TupleId);
+#endif
+  approx_bytes_ = sizeof(Partition) + offsets_.size() * sizeof(uint32_t) +
+                  elems_.size() * sizeof(TupleId);
 }
 
 Partition Partition::ForEmptySet(TupleId num_rows) {
-  std::vector<std::vector<TupleId>> classes;
+  std::vector<TupleId> elems;
+  std::vector<uint32_t> offsets{0};
   if (num_rows >= 2) {
-    std::vector<TupleId> all(static_cast<size_t>(num_rows));
-    for (TupleId t = 0; t < num_rows; ++t) all[static_cast<size_t>(t)] = t;
-    classes.push_back(std::move(all));
+    elems.resize(static_cast<size_t>(num_rows));
+    for (TupleId t = 0; t < num_rows; ++t) elems[static_cast<size_t>(t)] = t;
+    offsets.push_back(static_cast<uint32_t>(num_rows));
   }
-  return Partition(num_rows, std::move(classes));
+  return Partition(num_rows, std::move(elems), std::move(offsets));
 }
 
 Partition Partition::ForColumn(const Relation& relation, int col) {
   const std::vector<ValueCode>& codes = relation.ColumnCodes(col);
   const TupleId n = relation.NumRows();
-  // Group by dictionary code. Codes are dense, so a direct-address table
-  // works: bucket index per code.
-  std::unordered_map<ValueCode, std::vector<TupleId>> buckets;
-  buckets.reserve(static_cast<size_t>(n));
+  // Codes are dense pool-wide, so a direct-address table replaces hashing:
+  // count occurrences per code, assign class ids to non-singleton codes in
+  // first-seen order (== ascending first row, the deterministic class
+  // order), then scatter rows into the flat element array.
+  const size_t num_codes = relation.pool().Size();
+  std::vector<int32_t> count(num_codes, 0);
   for (TupleId t = 0; t < n; ++t) {
-    buckets[codes[static_cast<size_t>(t)]].push_back(t);
+    ++count[static_cast<size_t>(codes[static_cast<size_t>(t)])];
   }
-  std::vector<std::vector<TupleId>> classes;
-  classes.reserve(buckets.size());
-  for (auto& [code, cls] : buckets) {
-    if (cls.size() >= 2) classes.push_back(std::move(cls));
+  std::vector<int32_t> class_of_code(num_codes, -1);
+  std::vector<uint32_t> offsets{0};
+  uint32_t total = 0;
+  for (TupleId t = 0; t < n; ++t) {
+    const size_t c = static_cast<size_t>(codes[static_cast<size_t>(t)]);
+    if (count[c] >= 2 && class_of_code[c] < 0) {
+      class_of_code[c] = static_cast<int32_t>(offsets.size() - 1);
+      total += static_cast<uint32_t>(count[c]);
+      offsets.push_back(total);
+    }
   }
-  // Deterministic order (hash map iteration order is unspecified).
-  std::sort(classes.begin(), classes.end(),
-            [](const auto& a, const auto& b) { return a[0] < b[0]; });
-  return Partition(n, std::move(classes));
+  std::vector<TupleId> elems(total);
+  // Per-class write cursor, initialized to each class's start offset.
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (TupleId t = 0; t < n; ++t) {
+    const int32_t cls =
+        class_of_code[static_cast<size_t>(codes[static_cast<size_t>(t)])];
+    if (cls >= 0) elems[cursor[static_cast<size_t>(cls)]++] = t;
+  }
+  return Partition(n, std::move(elems), std::move(offsets));
 }
 
 Partition Partition::ForAttributes(const Relation& relation,
@@ -61,31 +80,57 @@ Partition Partition::ForAttributes(const Relation& relation,
 Partition Partition::Product(const Partition& other) const {
   UGUIDE_CHECK_EQ(num_rows_, other.num_rows_);
   // TANE's linear product: label tuples with their class index in `this`,
-  // then split each class of `other` by that label.
+  // then split each class of `other` by that label. Two passes per class of
+  // `other` — count per touched label, then scatter straight into the
+  // result's flat element array — so no per-class vectors are allocated.
+  const size_t nc = NumClasses();
   std::vector<int32_t> label(static_cast<size_t>(num_rows_), -1);
-  for (size_t i = 0; i < classes_.size(); ++i) {
-    for (TupleId t : classes_[i]) {
+  for (size_t i = 0; i < nc; ++i) {
+    for (TupleId t : Class(i)) {
       label[static_cast<size_t>(t)] = static_cast<int32_t>(i);
     }
   }
-  std::vector<std::vector<TupleId>> scratch(classes_.size());
-  std::vector<std::vector<TupleId>> result;
-  for (const auto& cls : other.classes_) {
-    // Collect per-label members of this class.
-    std::vector<int32_t> touched;
+  // Groups are emitted per other-class in first-touch label order with
+  // members ascending — identical to the nested-vector layout's order.
+  std::vector<int32_t> count(nc, 0);
+  std::vector<uint32_t> pos(nc, 0);
+  std::vector<int32_t> touched;
+  touched.reserve(nc);
+  constexpr uint32_t kSkip = static_cast<uint32_t>(-1);
+  std::vector<TupleId> elems;
+  elems.reserve(std::min(StrippedSize(), other.StrippedSize()));
+  std::vector<uint32_t> offsets{0};
+  for (size_t oc = 0; oc < other.NumClasses(); ++oc) {
+    const ClassView cls = other.Class(oc);
     for (TupleId t : cls) {
-      int32_t l = label[static_cast<size_t>(t)];
+      const int32_t l = label[static_cast<size_t>(t)];
       if (l < 0) continue;
-      if (scratch[static_cast<size_t>(l)].empty()) touched.push_back(l);
-      scratch[static_cast<size_t>(l)].push_back(t);
+      if (count[static_cast<size_t>(l)] == 0) touched.push_back(l);
+      ++count[static_cast<size_t>(l)];
     }
+    uint32_t base = offsets.back();
     for (int32_t l : touched) {
-      auto& group = scratch[static_cast<size_t>(l)];
-      if (group.size() >= 2) result.push_back(group);
-      group.clear();
+      const size_t li = static_cast<size_t>(l);
+      if (count[li] >= 2) {
+        pos[li] = base;
+        base += static_cast<uint32_t>(count[li]);
+        offsets.push_back(base);
+      } else {
+        pos[li] = kSkip;
+      }
     }
+    if (base > elems.size()) elems.resize(base);
+    for (TupleId t : cls) {
+      const int32_t l = label[static_cast<size_t>(t)];
+      if (l < 0) continue;
+      const size_t li = static_cast<size_t>(l);
+      if (pos[li] == kSkip) continue;
+      elems[pos[li]++] = t;
+    }
+    for (int32_t l : touched) count[static_cast<size_t>(l)] = 0;
+    touched.clear();
   }
-  return Partition(num_rows_, std::move(result));
+  return Partition(num_rows_, std::move(elems), std::move(offsets));
 }
 
 double Partition::FdError(const Partition& refined) const {
@@ -94,13 +139,15 @@ double Partition::FdError(const Partition& refined) const {
   // tmp[t] = size of t's class in the refined partition (0 for stripped
   // singletons, treated as 1 below).
   std::vector<int32_t> tmp(static_cast<size_t>(num_rows_), 0);
-  for (const auto& cls : refined.classes_) {
+  for (size_t i = 0; i < refined.NumClasses(); ++i) {
+    const ClassView cls = refined.Class(i);
     for (TupleId t : cls) {
       tmp[static_cast<size_t>(t)] = static_cast<int32_t>(cls.size());
     }
   }
   size_t removed = 0;
-  for (const auto& cls : classes_) {
+  for (size_t i = 0; i < NumClasses(); ++i) {
+    const ClassView cls = Class(i);
     int32_t max_subclass = 1;
     for (TupleId t : cls) {
       max_subclass = std::max(max_subclass, tmp[static_cast<size_t>(t)]);
@@ -112,7 +159,7 @@ double Partition::FdError(const Partition& refined) const {
 
 double Partition::KeyError() const {
   if (num_rows_ == 0) return 0.0;
-  return static_cast<double>(stripped_size_ - classes_.size()) /
+  return static_cast<double>(StrippedSize() - NumClasses()) /
          static_cast<double>(num_rows_);
 }
 

@@ -1,6 +1,7 @@
 #ifndef UGUIDE_DISCOVERY_PARTITION_H_
 #define UGUIDE_DISCOVERY_PARTITION_H_
 
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "common/attribute_set.h"
 #include "common/memory_budget.h"
+#include "common/span.h"
 #include "fd/fd.h"
 #include "relation/relation.h"
 
@@ -23,12 +25,24 @@ namespace uguide {
 /// linear-time product used by level-wise FD discovery and the g3
 /// approximation error of Kivinen & Mannila used throughout the paper.
 ///
+/// Storage is CSR (compressed sparse row): one contiguous element array
+/// holding every stripped tuple id, class by class, plus an offset array
+/// with NumClasses() + 1 entries. Classes appear in ascending order of
+/// their first (smallest) member and list members ascending — the same
+/// deterministic order the nested-vector layout produced — so every
+/// consumer (products, g3 scans, the violation engine's class walks) sees
+/// byte-identical sequences while touching two flat arrays instead of a
+/// pointer per class (DESIGN.md §14).
+///
 /// Thread safety: a Partition is immutable after construction, and every
 /// const member (Product, FdError, KeyError, accessors) touches only local
 /// state — concurrent calls on shared Partition objects are safe. Parallel
 /// TANE relies on this (see DESIGN.md "Parallel discovery").
 class Partition {
  public:
+  /// One equivalence class: a view into the flat element array.
+  using ClassView = ConstSpan<TupleId>;
+
   /// The partition where every tuple is in one class (projection onto the
   /// empty attribute set).
   static Partition ForEmptySet(TupleId num_rows);
@@ -42,21 +56,38 @@ class Partition {
                                  const AttributeSet& attrs);
 
   /// The product (refinement) of two partitions: classes are intersections.
-  /// Linear in the stripped sizes (TANE, Alg. PRODUCT).
+  /// Linear in the stripped sizes (TANE, Alg. PRODUCT); one probe-table
+  /// pass per class of `other`, no per-class allocations.
   Partition Product(const Partition& other) const;
 
   /// Number of stripped (size >= 2) classes.
-  size_t NumClasses() const { return classes_.size(); }
+  size_t NumClasses() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
 
   /// Total number of tuples across stripped classes (the ||pi|| of TANE).
-  size_t StrippedSize() const { return stripped_size_; }
+  size_t StrippedSize() const { return elems_.size(); }
 
   TupleId NumRows() const { return num_rows_; }
 
   /// True iff every class is a singleton, i.e., the attribute set is a key.
-  bool IsKey() const { return classes_.empty(); }
+  bool IsKey() const { return NumClasses() == 0; }
 
-  const std::vector<std::vector<TupleId>>& classes() const { return classes_; }
+  /// The i-th stripped class (members ascending).
+  ClassView Class(size_t i) const {
+    UGUIDE_DCHECK(i + 1 < offsets_.size());
+    return ClassView(elems_.data() + offsets_[i],
+                     offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// The flat element array (class by class) and its offsets; exposed for
+  /// tests and tooling that validate the CSR invariants.
+  ConstSpan<TupleId> elements() const {
+    return ConstSpan<TupleId>(elems_.data(), elems_.size());
+  }
+  ConstSpan<uint32_t> offsets() const {
+    return ConstSpan<uint32_t>(offsets_.data(), offsets_.size());
+  }
 
   /// The g3 error of the FD X -> A given pi_X (this) and pi_{X+A}
   /// (`refined`): the fraction of tuples that must be removed for the FD to
@@ -67,20 +98,27 @@ class Partition {
   /// to make the attribute set a key.
   double KeyError() const;
 
-  /// Approximate heap footprint in bytes, fixed at construction: payload of
-  /// the class vectors plus per-class vector headers. Deliberately based on
-  /// sizes (not capacities) so the figure is identical for mathematically
-  /// equal partitions regardless of how they were produced — memory-budget
-  /// truncation decisions must not depend on allocator growth policy.
+  /// Approximate heap footprint in bytes, fixed at construction: the CSR
+  /// element payload plus the offset array (sizes, not capacities), plus
+  /// the object header. Deliberately size-based so the figure is identical
+  /// for mathematically equal partitions regardless of how they were
+  /// produced — memory-budget truncation decisions must not depend on
+  /// allocator growth policy. The constant differs from the nested-vector
+  /// layout's (a 4-byte offset replaces a 24-byte vector header per class;
+  /// see DESIGN.md §14) but is equally deterministic.
   size_t ApproxBytes() const { return approx_bytes_; }
 
  private:
-  Partition(TupleId num_rows, std::vector<std::vector<TupleId>> classes);
+  Partition(TupleId num_rows, std::vector<TupleId> elems,
+            std::vector<uint32_t> offsets);
 
   TupleId num_rows_ = 0;
-  size_t stripped_size_ = 0;
   size_t approx_bytes_ = 0;
-  std::vector<std::vector<TupleId>> classes_;
+  /// Stripped tuple ids, class by class; members ascending within a class.
+  std::vector<TupleId> elems_;
+  /// Class i spans elems_[offsets_[i], offsets_[i+1]). NumClasses() + 1
+  /// entries (a single 0 for an empty partition), first entry 0.
+  std::vector<uint32_t> offsets_;
 };
 
 /// \brief Memoizing provider of partitions for one relation.

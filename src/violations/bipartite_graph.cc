@@ -8,6 +8,47 @@
 
 namespace uguide {
 
+namespace {
+
+// Smallest power of two >= n (and >= 16, so tiny graphs still probe well).
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<uint64_t> AllOnesBitmap(size_t n) {
+  std::vector<uint64_t> words((n + 63) / 64, ~uint64_t{0});
+  // Keep bits past n zero: word scans must never yield phantom ids.
+  if (n % 64 != 0 && !words.empty()) {
+    words.back() = (uint64_t{1} << (n % 64)) - 1;
+  }
+  return words;
+}
+
+}  // namespace
+
+size_t ViolationGraph::ProbeSlot(const Cell& cell) const {
+  size_t slot = CellHash{}(cell) & index_mask_;
+  while (true) {
+    const CellId id = index_slots_[slot];
+    if (id < 0 || cells_[static_cast<size_t>(id)] == cell) return slot;
+    slot = (slot + 1) & index_mask_;
+  }
+}
+
+void ViolationGraph::RebuildCellIndex() {
+  // Load factor <= 0.5: slots = pow2 >= 2 * cells. Insertion order does not
+  // affect the slot assignment's determinism — the table content is a pure
+  // function of the cell set and the probe sequence — but inserting in id
+  // order keeps the build itself deterministic too.
+  index_slots_.assign(NextPow2(cells_.size() * 2), -1);
+  index_mask_ = index_slots_.size() - 1;
+  for (CellId c = 0; c < NumCells(); ++c) {
+    index_slots_[ProbeSlot(cells_[static_cast<size_t>(c)])] = c;
+  }
+}
+
 // Assembles a graph from per-FD violation-cell vectors. Cells are
 // interned in FD order, so the result is a pure function of the inputs —
 // independent of how (or on how many threads) the vectors were produced.
@@ -15,28 +56,74 @@ ViolationGraph ViolationGraph::Merge(std::vector<Fd> fds,
                                      std::vector<std::vector<Cell>> per_fd) {
   ViolationGraph g;
   g.fds_ = std::move(fds);
-  g.fd_to_cells_.resize(g.fds_.size());
-  g.fd_active_.assign(g.fds_.size(), true);
 
+  size_t total_edges = 0;
+  for (const auto& cells : per_fd) total_edges += cells.size();
+
+  // Pass 1: intern cells in FD order (first sighting assigns the id) and
+  // emit the FD-side CSR in the same sweep — edges are already grouped by
+  // FD. The probe table is sized for the worst case (every edge a distinct
+  // cell) during interning and rebuilt right-sized afterwards.
+  g.fd_cell_offsets_.reserve(g.fds_.size() + 1);
+  g.fd_cell_offsets_.push_back(0);
+  g.fd_cell_edges_.reserve(total_edges);
+  g.index_slots_.assign(NextPow2(total_edges * 2), -1);
+  g.index_mask_ = g.index_slots_.size() - 1;
   for (FdId f = 0; f < g.NumFds(); ++f) {
     for (const Cell& cell : per_fd[static_cast<size_t>(f)]) {
-      auto [it, inserted] =
-          g.cell_index_.emplace(cell, static_cast<CellId>(g.cells_.size()));
-      if (inserted) {
+      const size_t slot = g.ProbeSlot(cell);
+      CellId c = g.index_slots_[slot];
+      if (c < 0) {
+        c = static_cast<CellId>(g.cells_.size());
+        g.index_slots_[slot] = c;
         g.cells_.push_back(cell);
-        g.cell_to_fds_.emplace_back();
-        g.cell_active_.push_back(true);
       }
-      CellId c = it->second;
-      g.fd_to_cells_[static_cast<size_t>(f)].push_back(c);
-      g.cell_to_fds_[static_cast<size_t>(c)].push_back(f);
+      g.fd_cell_edges_.push_back(c);
     }
+    g.fd_cell_offsets_.push_back(
+        static_cast<uint32_t>(g.fd_cell_edges_.size()));
+  }
+
+  // Pass 2: invert to the cell-side CSR — count degrees, prefix-sum, then
+  // scatter FD ids in ascending-f order (matching the interleaved
+  // push_back order of the nested-vector layout).
+  g.cell_fd_offsets_.assign(g.cells_.size() + 1, 0);
+  for (CellId c : g.fd_cell_edges_) {
+    ++g.cell_fd_offsets_[static_cast<size_t>(c) + 1];
+  }
+  for (size_t i = 1; i < g.cell_fd_offsets_.size(); ++i) {
+    g.cell_fd_offsets_[i] += g.cell_fd_offsets_[i - 1];
+  }
+  g.cell_fd_edges_.resize(total_edges);
+  std::vector<uint32_t> cursor(g.cell_fd_offsets_.begin(),
+                               g.cell_fd_offsets_.end() - 1);
+  for (FdId f = 0; f < g.NumFds(); ++f) {
+    const uint32_t begin = g.fd_cell_offsets_[static_cast<size_t>(f)];
+    const uint32_t end = g.fd_cell_offsets_[static_cast<size_t>(f) + 1];
+    for (uint32_t e = begin; e < end; ++e) {
+      const CellId c = g.fd_cell_edges_[e];
+      g.cell_fd_edges_[cursor[static_cast<size_t>(c)]++] = f;
+    }
+  }
+
+  // Active state: everything starts live; both degree counters start at
+  // the full adjacency size.
+  g.fd_active_words_ = AllOnesBitmap(g.fds_.size());
+  g.cell_active_words_ = AllOnesBitmap(g.cells_.size());
+  g.fd_active_degree_.resize(g.fds_.size());
+  for (FdId f = 0; f < g.NumFds(); ++f) {
+    g.fd_active_degree_[static_cast<size_t>(f)] =
+        static_cast<int>(g.fd_cell_offsets_[static_cast<size_t>(f) + 1] -
+                         g.fd_cell_offsets_[static_cast<size_t>(f)]);
   }
   g.cell_active_degree_.resize(g.cells_.size());
   for (CellId c = 0; c < g.NumCells(); ++c) {
     g.cell_active_degree_[static_cast<size_t>(c)] =
-        static_cast<int>(g.cell_to_fds_[static_cast<size_t>(c)].size());
+        static_cast<int>(g.cell_fd_offsets_[static_cast<size_t>(c) + 1] -
+                         g.cell_fd_offsets_[static_cast<size_t>(c)]);
   }
+
+  g.RebuildCellIndex();
   return g;
 }
 
@@ -76,68 +163,62 @@ ViolationGraph ViolationGraph::BuildReference(const Relation& relation,
   return Merge(std::move(fds), std::move(per_fd));
 }
 
-int ViolationGraph::ActiveDegreeOfFd(FdId f) const {
-  if (!FdActive(f)) return 0;
-  int degree = 0;
-  for (CellId c : fd_to_cells_[static_cast<size_t>(f)]) {
-    if (cell_active_[static_cast<size_t>(c)]) ++degree;
-  }
-  return degree;
-}
-
 void ViolationGraph::DeactivateFd(FdId f) {
   Checked(f, NumFds());
-  if (!fd_active_[static_cast<size_t>(f)]) return;
-  fd_active_[static_cast<size_t>(f)] = false;
+  if (!FdActive(f)) return;
+  ClearBit(fd_active_words_, f);
   // Cells orphaned by this removal are no longer violations of anything.
-  for (CellId c : fd_to_cells_[static_cast<size_t>(f)]) {
+  // The cell-side degree is decremented unconditionally (it tracks active
+  // *FDs*, and this FD was active); the cascade to DeactivateCell keeps
+  // the FD-side degrees in sync.
+  for (CellId c : CellsOfFd(f)) {
     int& degree = cell_active_degree_[static_cast<size_t>(c)];
     --degree;
-    if (cell_active_[static_cast<size_t>(c)] && degree == 0) {
-      cell_active_[static_cast<size_t>(c)] = false;
-    }
+    if (degree == 0 && CellActive(c)) DeactivateCell(c);
   }
 }
 
 void ViolationGraph::DeactivateCell(CellId c) {
   Checked(c, NumCells());
-  cell_active_[static_cast<size_t>(c)] = false;
+  if (!CellActive(c)) return;
+  ClearBit(cell_active_words_, c);
+  // Keep per-FD active-cell counts exact. A cell deactivates at most once
+  // (guard above), so each adjacent FD is decremented exactly once per
+  // cell. Inactive FDs are updated too — harmless, since their
+  // ActiveDegreeOfFd reads 0 regardless.
+  for (FdId f : FdsOfCell(c)) {
+    --fd_active_degree_[static_cast<size_t>(f)];
+  }
 }
 
 std::vector<FdId> ViolationGraph::ActiveFds() const {
   std::vector<FdId> out;
-  for (FdId f = 0; f < NumFds(); ++f) {
-    if (fd_active_[static_cast<size_t>(f)]) out.push_back(f);
-  }
+  ForEachActiveFd([&](FdId f) { out.push_back(f); });
   return out;
 }
 
 std::vector<CellId> ViolationGraph::ActiveCells() const {
   std::vector<CellId> out;
-  for (CellId c = 0; c < NumCells(); ++c) {
-    if (cell_active_[static_cast<size_t>(c)]) out.push_back(c);
-  }
+  ForEachActiveCell([&](CellId c) { out.push_back(c); });
   return out;
 }
 
 CellId ViolationGraph::FindCell(const Cell& cell) const {
-  auto it = cell_index_.find(cell);
-  return it == cell_index_.end() ? -1 : it->second;
+  if (index_slots_.empty()) return -1;
+  return index_slots_[ProbeSlot(cell)];
 }
 
 size_t ViolationGraph::ApproxMemoryBytes() const {
-  size_t bytes = fds_.size() * sizeof(Fd) + cells_.size() * sizeof(Cell);
-  for (const auto& adjacency : fd_to_cells_) {
-    bytes += sizeof(adjacency) + adjacency.size() * sizeof(CellId);
-  }
-  for (const auto& adjacency : cell_to_fds_) {
-    bytes += sizeof(adjacency) + adjacency.size() * sizeof(FdId);
-  }
-  bytes += fd_active_.size() / 8 + cell_active_.size() / 8;
-  bytes += cell_active_degree_.size() * sizeof(int);
-  bytes +=
-      cell_index_.size() * (sizeof(Cell) + sizeof(CellId) + 2 * sizeof(void*));
-  return bytes;
+  return fds_.size() * sizeof(Fd) + cells_.size() * sizeof(Cell) +
+         fd_cell_offsets_.size() * sizeof(uint32_t) +
+         fd_cell_edges_.size() * sizeof(CellId) +
+         cell_fd_offsets_.size() * sizeof(uint32_t) +
+         cell_fd_edges_.size() * sizeof(FdId) +
+         (fd_active_words_.size() + cell_active_words_.size()) *
+             sizeof(uint64_t) +
+         (fd_active_degree_.size() + cell_active_degree_.size()) *
+             sizeof(int) +
+         index_slots_.size() * sizeof(CellId);
 }
 
 }  // namespace uguide

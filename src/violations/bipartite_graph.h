@@ -1,8 +1,10 @@
 #ifndef UGUIDE_VIOLATIONS_BIPARTITE_GRAPH_H_
 #define UGUIDE_VIOLATIONS_BIPARTITE_GRAPH_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "common/span.h"
 #include "fd/fd.h"
 #include "relation/relation.h"
 
@@ -23,6 +25,17 @@ using CellId = int;
 /// strategies deactivate nodes as the expert answers (an invalidated FD
 /// disappears together with cells only it flagged), so both sides carry
 /// active flags rather than being physically removed.
+///
+/// The adjacency is frozen CSR (DESIGN.md §14): both directions are stored
+/// as one flat edge array plus an offset array, built once in the
+/// deterministic Merge step and immutable afterwards — only the active
+/// state mutates. Active flags live in uint64_t bitmap words so selection
+/// scans iterate set bits branch-free (ForEachActiveFd/ForEachActiveCell),
+/// and both per-cell and per-FD active degrees are maintained
+/// incrementally, making every hot query of the strategy loops O(1).
+/// Cell lookup uses an open-addressed linear-probe table rebuilt
+/// right-sized after Merge, so the footprint reported by
+/// ApproxMemoryBytes() is a pure function of the graph's content.
 class ViolationGraph {
  public:
   /// Builds the graph for `candidates` over `relation`. FDs that flag no
@@ -53,19 +66,25 @@ class ViolationGraph {
   const Fd& fd(FdId f) const { return fds_[Checked(f, NumFds())]; }
   const Cell& cell(CellId c) const { return cells_[Checked(c, NumCells())]; }
 
-  /// Cells flagged by an FD (edges from the left).
-  const std::vector<CellId>& CellsOfFd(FdId f) const {
-    return fd_to_cells_[Checked(f, NumFds())];
+  /// Cells flagged by an FD (edges from the left), in interning order.
+  ConstSpan<CellId> CellsOfFd(FdId f) const {
+    const size_t i = static_cast<size_t>(Checked(f, NumFds()));
+    return ConstSpan<CellId>(fd_cell_edges_.data() + fd_cell_offsets_[i],
+                             fd_cell_offsets_[i + 1] - fd_cell_offsets_[i]);
   }
 
-  /// FDs flagging a cell (edges from the right).
-  const std::vector<FdId>& FdsOfCell(CellId c) const {
-    return cell_to_fds_[Checked(c, NumCells())];
+  /// FDs flagging a cell (edges from the right), ascending.
+  ConstSpan<FdId> FdsOfCell(CellId c) const {
+    const size_t i = static_cast<size_t>(Checked(c, NumCells()));
+    return ConstSpan<FdId>(cell_fd_edges_.data() + cell_fd_offsets_[i],
+                           cell_fd_offsets_[i + 1] - cell_fd_offsets_[i]);
   }
 
-  bool FdActive(FdId f) const { return fd_active_[Checked(f, NumFds())]; }
+  bool FdActive(FdId f) const {
+    return TestBit(fd_active_words_, Checked(f, NumFds()));
+  }
   bool CellActive(CellId c) const {
-    return cell_active_[Checked(c, NumCells())];
+    return TestBit(cell_active_words_, Checked(c, NumCells()));
   }
 
   /// Number of *active* FDs flagging cell `c`. O(1): maintained
@@ -75,27 +94,49 @@ class ViolationGraph {
     return CellActive(c) ? cell_active_degree_[Checked(c, NumCells())] : 0;
   }
 
-  /// Number of *active* cells flagged by FD `f`.
-  int ActiveDegreeOfFd(FdId f) const;
+  /// Number of *active* cells flagged by FD `f`. O(1): maintained
+  /// incrementally as cells are deactivated, symmetric to
+  /// ActiveDegreeOfCell.
+  int ActiveDegreeOfFd(FdId f) const {
+    return FdActive(f) ? fd_active_degree_[Checked(f, NumFds())] : 0;
+  }
 
   /// Deactivates an FD; cells left with no active FD are deactivated too.
   void DeactivateFd(FdId f);
 
   /// Deactivates a single cell (e.g., the expert certified it clean or it
-  /// has been resolved).
+  /// has been resolved). Idempotent.
   void DeactivateCell(CellId c);
 
   /// Ids of currently active FDs / cells, ascending.
   std::vector<FdId> ActiveFds() const;
   std::vector<CellId> ActiveCells() const;
 
+  /// Calls `fn(FdId)` for every active FD, ascending. Branch-free word
+  /// scan over the active bitmap: only set bits are visited, so sparse
+  /// late-session scans skip dead regions a word (64 ids) at a time.
+  template <typename Fn>
+  void ForEachActiveFd(Fn&& fn) const {
+    ForEachSetBit(fd_active_words_, fn);
+  }
+
+  /// Calls `fn(CellId)` for every active cell, ascending.
+  template <typename Fn>
+  void ForEachActiveCell(Fn&& fn) const {
+    ForEachSetBit(cell_active_words_, fn);
+  }
+
   /// Looks up the node for `cell`; returns -1 when the cell is not a
   /// violation node.
   CellId FindCell(const Cell& cell) const;
 
-  /// Approximate heap footprint in bytes (container payloads, not
-  /// allocator metadata — the MemoryBudget accounting convention of
-  /// DESIGN.md §8). The DatasetRegistry charges shared graphs with this.
+  /// Approximate heap footprint in bytes (container payloads at their
+  /// logical sizes, not allocator metadata — the MemoryBudget accounting
+  /// convention of DESIGN.md §8). A pure function of the graph content:
+  /// every array, including the right-sized probe table, is fully
+  /// determined by the merged input, so the figure is identical across
+  /// build paths and thread counts. The DatasetRegistry charges shared
+  /// graphs with this.
   size_t ApproxMemoryBytes() const;
 
  private:
@@ -112,14 +153,54 @@ class ViolationGraph {
     return i;
   }
 
+  static bool TestBit(const std::vector<uint64_t>& words, int i) {
+    return (words[static_cast<size_t>(i) >> 6] >>
+            (static_cast<size_t>(i) & 63)) &
+           1u;
+  }
+  static void ClearBit(std::vector<uint64_t>& words, int i) {
+    words[static_cast<size_t>(i) >> 6] &=
+        ~(uint64_t{1} << (static_cast<size_t>(i) & 63));
+  }
+
+  template <typename Fn>
+  static void ForEachSetBit(const std::vector<uint64_t>& words, Fn&& fn) {
+    for (size_t w = 0; w < words.size(); ++w) {
+      uint64_t bits = words[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<int>(w * 64) + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Rebuilds the open-addressed cell index right-sized for cells_.
+  void RebuildCellIndex();
+  /// Probe slot for `cell`: its slot if interned, else the empty slot
+  /// where it would go.
+  size_t ProbeSlot(const Cell& cell) const;
+
   std::vector<Fd> fds_;
   std::vector<Cell> cells_;
-  std::vector<std::vector<CellId>> fd_to_cells_;
-  std::vector<std::vector<FdId>> cell_to_fds_;
-  std::vector<bool> fd_active_;
-  std::vector<bool> cell_active_;
+  /// CSR adjacency, frozen at Merge: FD f's cells are
+  /// fd_cell_edges_[fd_cell_offsets_[f], fd_cell_offsets_[f+1]), and
+  /// symmetrically for cells. Offset arrays have N+1 entries.
+  std::vector<uint32_t> fd_cell_offsets_;
+  std::vector<CellId> fd_cell_edges_;
+  std::vector<uint32_t> cell_fd_offsets_;
+  std::vector<FdId> cell_fd_edges_;
+  /// Active bitmaps: bit i of word i/64 is node i's flag. Bits past the
+  /// node count stay zero so word scans never yield phantom ids.
+  std::vector<uint64_t> fd_active_words_;
+  std::vector<uint64_t> cell_active_words_;
+  std::vector<int> fd_active_degree_;
   std::vector<int> cell_active_degree_;
-  std::unordered_map<Cell, CellId, CellHash> cell_index_;
+  /// Open-addressed linear-probe cell lookup: power-of-two slot array of
+  /// CellIds (-1 empty), keys compared against cells_. Rebuilt right-sized
+  /// after Merge for a deterministic footprint.
+  std::vector<CellId> index_slots_;
+  size_t index_mask_ = 0;
 };
 
 }  // namespace uguide

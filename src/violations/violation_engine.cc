@@ -1,7 +1,6 @@
 #include "violations/violation_engine.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace uguide {
 
@@ -10,7 +9,7 @@ namespace {
 // True iff the class holds at least two distinct codes in `codes`. Classes
 // always have >= 2 members (stripped partition invariant).
 bool ClassIsImpure(const std::vector<ValueCode>& codes,
-                   const std::vector<TupleId>& cls) {
+                   Partition::ClassView cls) {
   const ValueCode first = codes[static_cast<size_t>(cls[0])];
   for (size_t i = 1; i < cls.size(); ++i) {
     if (codes[static_cast<size_t>(cls[i])] != first) return true;
@@ -22,23 +21,38 @@ bool ClassIsImpure(const std::vector<ValueCode>& codes,
 // reference detector exactly: the majority is the most frequent RHS code,
 // ties breaking toward the code seen first in the class — classes list
 // rows ascending, i.e. in relation order, so the tie-break coincides with
-// the hash-grouped reference.
+// the hash-grouped reference. Classes have few distinct codes in practice,
+// so a linear scan over a flat (code, count) array beats hashing; the
+// `distinct` vectors are caller-owned scratch reused across classes.
 void CollectMinorityRows(const std::vector<ValueCode>& codes,
-                         const std::vector<TupleId>& cls,
+                         Partition::ClassView cls,
+                         std::vector<ValueCode>& distinct_codes,
+                         std::vector<size_t>& distinct_counts,
                          std::vector<TupleId>& out) {
-  std::unordered_map<ValueCode, size_t> counts;
-  std::vector<ValueCode> first_seen;
+  distinct_codes.clear();
+  distinct_counts.clear();
   for (TupleId r : cls) {
-    ValueCode code = codes[static_cast<size_t>(r)];
-    if (counts[code]++ == 0) first_seen.push_back(code);
+    const ValueCode code = codes[static_cast<size_t>(r)];
+    size_t i = 0;
+    for (; i < distinct_codes.size(); ++i) {
+      if (distinct_codes[i] == code) break;
+    }
+    if (i == distinct_codes.size()) {
+      distinct_codes.push_back(code);
+      distinct_counts.push_back(1);
+    } else {
+      ++distinct_counts[i];
+    }
   }
-  if (counts.size() <= 1) return;
-  ValueCode majority = first_seen[0];
-  for (ValueCode code : first_seen) {
-    if (counts[code] > counts[majority]) majority = code;
+  if (distinct_codes.size() <= 1) return;
+  // first_seen order + strict > keeps the tie-break toward the earlier code.
+  size_t majority = 0;
+  for (size_t i = 1; i < distinct_codes.size(); ++i) {
+    if (distinct_counts[i] > distinct_counts[majority]) majority = i;
   }
+  const ValueCode majority_code = distinct_codes[majority];
   for (TupleId r : cls) {
-    if (codes[static_cast<size_t>(r)] != majority) out.push_back(r);
+    if (codes[static_cast<size_t>(r)] != majority_code) out.push_back(r);
   }
 }
 
@@ -77,7 +91,8 @@ std::vector<TupleId> ViolationEngine::ViolatingTuples(const Fd& fd) {
   const std::vector<ValueCode>& codes = relation_->ColumnCodes(fd.rhs);
   std::shared_ptr<const Partition> lhs = LhsPartition(fd.lhs);
   std::vector<TupleId> out;
-  for (const auto& cls : lhs->classes()) {
+  for (size_t i = 0; i < lhs->NumClasses(); ++i) {
+    const Partition::ClassView cls = lhs->Class(i);
     if (ClassIsImpure(codes, cls)) {
       out.insert(out.end(), cls.begin(), cls.end());
     }
@@ -101,9 +116,12 @@ void ViolationEngine::ForEachG3RemovalRow(const Fd& fd, const RowFn& fn) {
   const std::vector<ValueCode>& codes = relation_->ColumnCodes(fd.rhs);
   std::shared_ptr<const Partition> lhs = LhsPartition(fd.lhs);
   std::vector<TupleId> minority;
-  for (const auto& cls : lhs->classes()) {
+  std::vector<ValueCode> distinct_codes;
+  std::vector<size_t> distinct_counts;
+  for (size_t i = 0; i < lhs->NumClasses(); ++i) {
     minority.clear();
-    CollectMinorityRows(codes, cls, minority);
+    CollectMinorityRows(codes, lhs->Class(i), distinct_codes, distinct_counts,
+                        minority);
     for (TupleId r : minority) fn(r);
   }
 }
@@ -134,8 +152,8 @@ bool ViolationEngine::HasViolations(const Fd& fd) {
   UGUIDE_CHECK(fd.rhs < relation_->NumAttributes());
   const std::vector<ValueCode>& codes = relation_->ColumnCodes(fd.rhs);
   std::shared_ptr<const Partition> lhs = LhsPartition(fd.lhs);
-  for (const auto& cls : lhs->classes()) {
-    if (ClassIsImpure(codes, cls)) return true;
+  for (size_t i = 0; i < lhs->NumClasses(); ++i) {
+    if (ClassIsImpure(codes, lhs->Class(i))) return true;
   }
   return false;
 }

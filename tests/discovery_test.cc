@@ -52,7 +52,7 @@ TEST(PartitionTest, SingleColumnStripsSingletons) {
   Relation rel = MakeRelation({"a"}, {{"x"}, {"x"}, {"y"}, {"z"}, {"x"}});
   Partition p = Partition::ForColumn(rel, 0);
   ASSERT_EQ(p.NumClasses(), 1u);  // only the "x" class survives stripping
-  EXPECT_EQ(p.classes()[0], (std::vector<TupleId>{0, 1, 4}));
+  EXPECT_EQ(p.Class(0), (std::vector<TupleId>{0, 1, 4}));
   EXPECT_EQ(p.StrippedSize(), 3u);
   EXPECT_FALSE(p.IsKey());
 }
@@ -67,7 +67,48 @@ TEST(PartitionTest, KeyColumn) {
 TEST(PartitionTest, EmptySetPartition) {
   Partition p = Partition::ForEmptySet(4);
   ASSERT_EQ(p.NumClasses(), 1u);
-  EXPECT_EQ(p.classes()[0].size(), 4u);
+  EXPECT_EQ(p.Class(0).size(), 4u);
+}
+
+TEST(PartitionTest, CsrInvariantsAndDeterministicFootprint) {
+  Rng rng(17);
+  Relation rel(Schema::Make({"a", "b", "c"}).ValueOrDie());
+  for (int i = 0; i < 200; ++i) {
+    rel.AddRow({std::to_string(rng.NextBounded(7)),
+                std::to_string(rng.NextBounded(4)),
+                std::to_string(rng.NextBounded(3))});
+  }
+  const AttributeSet abc = AttributeSet::Single(0).With(1).With(2);
+  Partition p = Partition::ForAttributes(rel, abc);
+  // CSR well-formedness: offsets bracket the element array and every
+  // class has >= 2 members listed ascending.
+  ASSERT_EQ(p.offsets().size(), p.NumClasses() + 1);
+  EXPECT_EQ(p.offsets()[0], 0u);
+  EXPECT_EQ(p.offsets()[p.NumClasses()], p.elements().size());
+  EXPECT_EQ(p.StrippedSize(), p.elements().size());
+  for (size_t i = 0; i < p.NumClasses(); ++i) {
+    const Partition::ClassView cls = p.Class(i);
+    ASSERT_GE(cls.size(), 2u);
+    for (size_t j = 1; j < cls.size(); ++j) {
+      EXPECT_LT(cls[j - 1], cls[j]);
+    }
+  }
+  // Column partitions additionally list classes by first (smallest)
+  // member ascending — the first-seen order of the scan.
+  Partition col = Partition::ForColumn(rel, 0);
+  TupleId prev_first = -1;
+  for (size_t i = 0; i < col.NumClasses(); ++i) {
+    EXPECT_LT(prev_first, col.Class(i).front());
+    prev_first = col.Class(i).front();
+  }
+  // ApproxBytes is size-based: mathematically equal partitions report the
+  // same figure regardless of the product order that produced them.
+  Partition via_product =
+      Partition::ForColumn(rel, 2).Product(
+          Partition::ForColumn(rel, 1).Product(Partition::ForColumn(rel, 0)));
+  EXPECT_EQ(via_product.ApproxBytes(), p.ApproxBytes());
+  EXPECT_EQ(via_product.StrippedSize(), p.StrippedSize());
+  EXPECT_EQ(via_product.NumClasses(), p.NumClasses());
 }
 
 TEST(PartitionTest, ProductRefines) {

@@ -181,6 +181,117 @@ TEST(ViolationEngineTest, TrueViolationSetBitmapMatchesCellProbe) {
   EXPECT_FALSE(set.TupleViolates(rel.NumRows(), rel.NumAttributes()));
 }
 
+// --- CSR layout equivalence (DESIGN.md §14) -------------------------------
+
+// FindCell (open-addressed probe) must agree with membership in the
+// interned cell list for every cell of the relation's grid, and every
+// interned cell must resolve to its own id.
+void ExpectFindCellMatches(const ViolationGraph& g, const Relation& rel) {
+  std::vector<Cell> interned;
+  interned.reserve(static_cast<size_t>(g.NumCells()));
+  for (CellId c = 0; c < g.NumCells(); ++c) {
+    EXPECT_EQ(g.FindCell(g.cell(c)), c);
+    interned.push_back(g.cell(c));
+  }
+  std::sort(interned.begin(), interned.end());
+  for (TupleId r = 0; r < rel.NumRows(); ++r) {
+    for (int a = 0; a < rel.NumAttributes(); ++a) {
+      const Cell cell{r, a};
+      const bool present =
+          std::binary_search(interned.begin(), interned.end(), cell);
+      const CellId found = g.FindCell(cell);
+      ASSERT_EQ(found >= 0, present);
+      if (found >= 0) ASSERT_EQ(g.cell(found), cell);
+    }
+  }
+}
+
+TEST(ViolationGraphTest, CsrAdjacencyMatchesReferenceOnRandomRelations) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    Relation rel = MakeRandomRelation(seed, 100);
+    FdSet fds;
+    for (const Fd& fd : EnumerateFds(rel.NumAttributes())) fds.Add(fd);
+    const ViolationGraph reference = ViolationGraph::BuildReference(rel, fds);
+    const ViolationGraph csr = ViolationGraph::Build(rel, fds);
+    ExpectGraphsEqual(reference, csr);
+    ExpectFindCellMatches(csr, rel);
+    ExpectFindCellMatches(reference, rel);
+    // The footprint is a pure function of the merged content, so both
+    // build paths must report the same figure.
+    EXPECT_EQ(reference.ApproxMemoryBytes(), csr.ApproxMemoryBytes());
+  }
+}
+
+TEST(ViolationGraphTest, ApproxMemoryBytesDeterministicAcrossThreadCounts) {
+  Session session = testing::MakeHospitalSession(500);
+  const size_t expected =
+      ViolationGraph::BuildReference(session.dirty(), session.candidates())
+          .ApproxMemoryBytes();
+  EXPECT_GT(expected, 0u);
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    ViolationEngine engine(&session.dirty());
+    ViolationGraph parallel =
+        ViolationGraph::Build(engine, session.candidates(), &pool);
+    EXPECT_EQ(parallel.ApproxMemoryBytes(), expected) << threads;
+  }
+}
+
+TEST(ViolationGraphTest, ActiveDegreesMatchRescanUnderRandomDeactivation) {
+  // The incremental per-FD and per-cell active-degree counters must agree
+  // with a full adjacency rescan after every step of a randomized
+  // deactivation sequence (with repeats, so idempotence is exercised too).
+  Relation rel = MakeRandomRelation(31, 140);
+  FdSet fds;
+  for (const Fd& fd : EnumerateFds(rel.NumAttributes())) fds.Add(fd);
+  ViolationGraph g = ViolationGraph::Build(rel, fds);
+  ASSERT_GT(g.NumFds(), 0);
+  ASSERT_GT(g.NumCells(), 0);
+  const auto check = [&g] {
+    for (FdId f = 0; f < g.NumFds(); ++f) {
+      int rescan = 0;
+      if (g.FdActive(f)) {
+        for (CellId c : g.CellsOfFd(f)) {
+          if (g.CellActive(c)) ++rescan;
+        }
+      }
+      ASSERT_EQ(g.ActiveDegreeOfFd(f), rescan) << "fd " << f;
+    }
+    for (CellId c = 0; c < g.NumCells(); ++c) {
+      int rescan = 0;
+      if (g.CellActive(c)) {
+        for (FdId f : g.FdsOfCell(c)) {
+          if (g.FdActive(f)) ++rescan;
+        }
+      }
+      ASSERT_EQ(g.ActiveDegreeOfCell(c), rescan) << "cell " << c;
+    }
+  };
+  check();
+  Rng rng(77);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.NextBounded(2) == 0) {
+      g.DeactivateFd(
+          static_cast<FdId>(rng.NextBounded(static_cast<uint64_t>(g.NumFds()))));
+    } else {
+      g.DeactivateCell(static_cast<CellId>(
+          rng.NextBounded(static_cast<uint64_t>(g.NumCells()))));
+    }
+    check();
+  }
+  // Active id enumeration must agree with the flags (word-scan check).
+  std::vector<FdId> expected_fds;
+  for (FdId f = 0; f < g.NumFds(); ++f) {
+    if (g.FdActive(f)) expected_fds.push_back(f);
+  }
+  EXPECT_EQ(g.ActiveFds(), expected_fds);
+  std::vector<CellId> expected_cells;
+  for (CellId c = 0; c < g.NumCells(); ++c) {
+    if (g.CellActive(c)) expected_cells.push_back(c);
+  }
+  EXPECT_EQ(g.ActiveCells(), expected_cells);
+}
+
 TEST(ViolationGraphTest, ParallelBuildBitIdenticalAcrossThreadCounts) {
   Session session = testing::MakeHospitalSession(500);
   const ViolationGraph reference =

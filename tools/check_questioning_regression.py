@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Questioning-perf gate: compare a fresh google-benchmark JSON against
+the checked-in BENCH_questioning.json baseline.
+
+Usage: check_questioning_regression.py BASELINE_JSON FRESH_JSON
+
+Per benchmark present in the baseline, real_time may not rise more than
+the tolerance above the baseline figure. Faster is always fine — the gate
+only guards the CSR layout's wins (graph build, selection scans, the
+partition product) against silently eroding. The tolerance is +60% by
+default: CI runs at --benchmark_min_time=0.01 on shared runners, so
+per-benchmark noise is large; the regressions this gate exists to catch
+(falling back to nested-vector layouts) are 2-3x, well past any
+reasonable tolerance. Override with QUESTIONING_TOLERANCE_PCT.
+
+Benchmarks present only in the fresh run (newly added ones) are listed
+but never fail the gate; re-baseline by checking in the fresh JSON.
+
+Exit status: 0 clean, 1 regression, 2 usage/baseline mismatch.
+"""
+
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        report = json.load(f)
+    runs = {}
+    for bench in report.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions are on.
+        if bench.get("run_type") == "aggregate":
+            continue
+        runs[bench["name"]] = bench
+    if not runs:
+        sys.exit(f"{path}: no benchmarks in bench JSON")
+    return report.get("context", {}), runs
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = float(os.environ.get("QUESTIONING_TOLERANCE_PCT", "60")) / 100.0
+    base_ctx, baseline = load_benchmarks(sys.argv[1])
+    fresh_ctx, fresh = load_benchmarks(sys.argv[2])
+
+    # Comparing a debug binary against the release baseline would flag
+    # every benchmark; refuse outright. (library_build_type describes the
+    # system libbenchmark package, not our binary — uguide_build_type is
+    # stamped by bench_questioning itself.)
+    base_mode = base_ctx.get("uguide_build_type", "unknown")
+    fresh_mode = fresh_ctx.get("uguide_build_type", "unknown")
+    if base_mode != fresh_mode:
+        sys.exit(f"build-type mismatch: baseline is '{base_mode}', "
+                 f"fresh run is '{fresh_mode}' -- rebuild in Release")
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        run = fresh.get(name)
+        if run is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        unit = base.get("time_unit", "ms")
+        if run.get("time_unit", "ms") != unit:
+            failures.append(f"{name}: time_unit changed "
+                            f"({unit} -> {run.get('time_unit')})")
+            continue
+        time = run["real_time"]
+        ceiling = base["real_time"] * (1.0 + tolerance)
+        verdict = "ok"
+        if time > ceiling:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {time:.2f}{unit} > ceiling {ceiling:.2f}{unit} "
+                f"(baseline {base['real_time']:.2f}{unit})")
+        print(f"{name}: {time:.2f}{unit} "
+              f"(baseline {base['real_time']:.2f}{unit}, "
+              f"ceiling {ceiling:.2f}{unit}) [{verdict}]")
+
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name}: {fresh[name]['real_time']:.2f}"
+              f"{fresh[name].get('time_unit', 'ms')} [new, not gated]")
+
+    if failures:
+        print("\nquestioning perf regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
