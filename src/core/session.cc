@@ -41,6 +41,13 @@ Result<Session> Session::Create(const Relation& clean, DirtyDataset dataset,
                  std::move(config));
 }
 
+Session Session::Rebase(const Session& base, Relation mutated) {
+  UGUIDE_CHECK(mutated.schema() == base.dirty_.schema())
+      << "rebase onto a different schema";
+  return Session(std::move(mutated), base.truth_, base.true_fds_,
+                 base.candidates_, base.config_);
+}
+
 SessionReport Session::Run(Strategy& strategy) const {
   return Run(strategy, config_.budget);
 }
@@ -79,6 +86,8 @@ Result<SessionReport> Session::Run(Strategy& strategy, double budget,
   step.journal_path = options.journal_path;
   step.resume = options.resume;
   step.journal_fsync = options.journal_fsync;
+  step.content_hash = options.content_hash;
+  step.data_version = options.data_version;
   UGUIDE_ASSIGN_OR_RETURN(
       std::unique_ptr<SessionStateMachine> machine,
       SessionStateMachine::Start(*this, strategy, budget, std::move(step)));

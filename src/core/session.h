@@ -43,6 +43,9 @@ struct SessionReport {
   int questions_exhausted = 0;
   /// Answered questions served from the journal on resume.
   int questions_replayed = 0;
+  /// The live-data epoch the run executed against (0 = the immutable
+  /// base relation; see src/live/).
+  uint64_t data_version = 0;
 };
 
 /// Per-run fault-tolerance options for Session::Run.
@@ -61,6 +64,12 @@ struct SessionRunOptions {
   /// are retried with backoff instead of crashing the strategy.
   bool resilient = false;
   RetryPolicy retry;
+  /// Identity of the data the run executes against, pinned into the
+  /// journal header (v2 `dhash=`/`dver=`) and stamped onto the report.
+  /// Resuming a journal written under a different pair fails with a
+  /// header mismatch instead of replaying answers onto different data.
+  uint64_t content_hash = 0;
+  uint64_t data_version = 0;
 };
 
 /// \brief End-to-end experiment harness mirroring Figure 1.
@@ -78,6 +87,15 @@ class Session {
   /// session keeps copies of the dirty table and ledger.
   static Result<Session> Create(const Relation& clean, DirtyDataset dataset,
                                 SessionConfig config = {});
+
+  /// Rebases `base` onto a mutated copy of its dirty relation: the ground
+  /// truth, true FDs, candidate set, and config are carried over frozen
+  /// (the expert's knowledge does not change when data arrives), while
+  /// E_T — the true-violation set — is recomputed against the mutated
+  /// table. This is the per-epoch session of the live-mutation layer; the
+  /// full-rebuild reference arm of the storm suite calls the same
+  /// function, so both arms agree byte-for-byte by construction.
+  static Session Rebase(const Session& base, Relation mutated);
 
   /// Runs `strategy` under the session's budget and evaluates it.
   SessionReport Run(Strategy& strategy) const;

@@ -218,7 +218,9 @@ bool JournalHeader::Matches(const JournalHeader& other) const {
   return strategy_name == other.strategy_name && budget == other.budget &&
          expert_seed == other.expert_seed &&
          expert_votes == other.expert_votes && idk_rate == other.idk_rate &&
-         wrong_rate == other.wrong_rate;
+         wrong_rate == other.wrong_rate &&
+         content_hash == other.content_hash &&
+         data_version == other.data_version;
 }
 
 std::string FormatJournalRecord(const JournalRecord& record) {
@@ -333,6 +335,12 @@ Result<JournalHeader> ParseHeaderFields(
     } else if (key == "wrong") {
       if (!ParseStrictDouble(value, &header.wrong_rate)) return malformed;
       seen[5] = true;
+    } else if (key == "dhash") {
+      // Optional (live-data identity, v2 only): absent in pre-live
+      // journals, which parse to the 0 defaults.
+      if (!ParseHexU64(value, &header.content_hash)) return malformed;
+    } else if (key == "dver") {
+      if (!ParseU64(value, &header.data_version)) return malformed;
     } else {
       return malformed;
     }
@@ -363,6 +371,15 @@ std::string FormatJournalHeaderV2(const JournalHeader& header) {
       << " seed=" << header.expert_seed << " votes=" << header.expert_votes
       << " idk=" << HexDouble(header.idk_rate)
       << " wrong=" << HexDouble(header.wrong_rate);
+  if (header.content_hash != 0 || header.data_version != 0) {
+    // Live-data identity. Emitted only when set so pre-live journals (and
+    // every local run, which defaults both to 0) stay byte-identical; the
+    // hcrc suffix covers the extra fields automatically.
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(header.content_hash));
+    out << " dhash=" << hex << " dver=" << header.data_version;
+  }
   const std::string body = out.str();
   return body + " hcrc=" + Hex32(Crc32c(body));
 }
@@ -397,8 +414,9 @@ Result<JournalHeader> ParseJournalHeaderV2(std::string_view line,
                             std::string(crc_text) + ")");
   }
   const std::vector<std::string_view> tokens = SplitTokens(body);
-  if (tokens.size() != 8 || tokens[0] != "uguide-journal" ||
-      tokens[1] != "v=2") {
+  // 8 tokens pre-live, 10 with the optional dhash/dver pair.
+  if ((tokens.size() != 8 && tokens.size() != 10) ||
+      tokens[0] != "uguide-journal" || tokens[1] != "v=2") {
     return malformed;
   }
   return ParseHeaderFields(tokens, malformed);
@@ -438,6 +456,14 @@ Status ValidateJournalHeader(const JournalHeader& expected,
   if (found.wrong_rate != expected.wrong_rate) {
     return mismatch("wrong", std::to_string(expected.wrong_rate),
                     std::to_string(found.wrong_rate));
+  }
+  if (found.content_hash != expected.content_hash) {
+    return mismatch("dhash", std::to_string(expected.content_hash),
+                    std::to_string(found.content_hash));
+  }
+  if (found.data_version != expected.data_version) {
+    return mismatch("dver", std::to_string(expected.data_version),
+                    std::to_string(found.data_version));
   }
   return Status::OK();
 }
@@ -568,6 +594,27 @@ Result<LoadedJournal> LoadJournal(const std::string& path) {
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failed for journal " + path);
   return ParseJournalText(buffer.str(), path);
+}
+
+Result<JournalHeader> PeekJournalHeader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Errno("cannot open journal", path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (in.bad()) return Status::IoError("read failed for journal " + path);
+    return Status::InvalidArgument("journal " + path + " is empty");
+  }
+  const std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.size() < 2 || tokens[0] != "uguide-journal" ||
+      tokens[1].rfind("v=", 0) != 0) {
+    return Status::InvalidArgument("journal " + path +
+                                   " has no recognizable header");
+  }
+  if (tokens[1] == "v=1") return ParseJournalHeader(line);
+  if (tokens[1] == "v=2") return ParseJournalHeaderV2(line, path);
+  return Status::InvalidArgument("journal " + path +
+                                 " has unsupported version " +
+                                 std::string(tokens[1]));
 }
 
 Result<JournalFsyncMode> ParseJournalFsyncMode(std::string_view text) {

@@ -42,6 +42,13 @@ struct JournalHeader {
   int expert_votes = 1;
   double idk_rate = 0.0;
   double wrong_rate = 0.0;
+  /// Identity of the data the session ran against (v2 `dhash=`/`dver=`,
+  /// emitted only when either is nonzero so pre-live journals stay
+  /// byte-identical). A resume whose pinned pair differs from the live
+  /// dataset's is refused — answers must not be replayed onto different
+  /// data (the `version_mismatch` refusal of the serving layer).
+  uint64_t content_hash = 0;
+  uint64_t data_version = 0;
 
   bool Matches(const JournalHeader& other) const;
 };
@@ -135,6 +142,14 @@ Result<LoadedJournal> ParseJournalText(std::string_view contents,
 /// caller must quarantine, never resume. A file that is empty or has no
 /// recognizable header is InvalidArgument ("not a journal").
 Result<LoadedJournal> LoadJournal(const std::string& path);
+
+/// \brief Reads only the header line of a journal file (either version).
+///
+/// The serving layer peeks the pinned `dhash=`/`dver=` pair before opening
+/// a resume so it can pick the matching live epoch — or refuse with a
+/// structured `version_mismatch` — without paying for a full record parse.
+/// Fails exactly where LoadJournal's header handling would.
+Result<JournalHeader> PeekJournalHeader(const std::string& path);
 
 /// \brief Fsyncs a directory, making renames/creates/unlinks inside it
 /// durable. Fires the "journal.fsync" fault site.

@@ -172,6 +172,8 @@ Result<std::unique_ptr<SessionStateMachine>> SessionStateMachine::Start(
   header.expert_votes = votes;
   header.idk_rate = config.idk_rate;
   header.wrong_rate = config.wrong_rate;
+  header.content_hash = options.content_hash;
+  header.data_version = options.data_version;
 
   std::vector<JournalRecord> replay;
   JournalWriterOptions writer_options;
@@ -300,6 +302,7 @@ Result<SessionReport> SessionStateMachine::Finish() {
   report.result.cost_spent += retry_cost_total_;
   report.questions_exhausted = exhausted_total_;
   report.questions_replayed = served_replays_;
+  report.data_version = options_.data_version;
   if (!write_status_.ok()) return write_status_;
   if (writer_.has_value()) {
     // The durable end marker: recovery classifies this journal as finished

@@ -76,6 +76,12 @@ struct SessionStepOptions {
   /// strategies copy it instead of rebuilding (bit-identical: the artifact
   /// was built by the same ViolationGraph::Build). Null = build per run.
   const ViolationGraph* graph = nullptr;
+  /// Identity of the data this run executes against, pinned into the
+  /// journal header (v2 `dhash=`/`dver=`) and stamped onto the report so
+  /// every answer is attributable to one live-data epoch. Zero for
+  /// immutable-dataset runs (the pre-live behavior, byte-identical).
+  uint64_t content_hash = 0;
+  uint64_t data_version = 0;
 };
 
 /// \brief A Session run inverted into an explicit step API.

@@ -306,6 +306,68 @@ bool PartitionStore::Put(const AttributeSet& attrs, Partition partition,
   return true;
 }
 
+void PartitionStore::PutShared(const AttributeSet& attrs,
+                               std::shared_ptr<const Partition> partition,
+                               bool pinned) {
+  UGUIDE_CHECK(partition != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(attrs);
+  if (!inserted) return;  // already resident
+  it->second.partition = std::move(partition);
+  it->second.pinned = pinned;
+  if (!pinned) {
+    lru_.push_front(attrs);
+    it->second.lru_pos = lru_.begin();
+  }
+}
+
+std::vector<std::pair<AttributeSet, std::shared_ptr<const Partition>>>
+PartitionStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<AttributeSet, std::shared_ptr<const Partition>>> out;
+  out.reserve(entries_.size());
+  for (const auto& [attrs, entry] : entries_) {
+    out.emplace_back(attrs, entry.partition);
+  }
+  return out;
+}
+
+void PartitionStore::AdvanceTo(
+    uint64_t version, const AttributeSet& dirty,
+    const std::function<std::shared_ptr<const Partition>(int)>& patch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Patch dirty singletons in place; composite sets touching the scope are
+  // dropped (a dirty input invalidates the whole product), and so is the
+  // empty set (appends change its single class). Clean entries survive
+  // verbatim — safe because NumRows only changes on appends, which dirty
+  // every attribute.
+  std::vector<AttributeSet> stale;
+  for (auto& [attrs, entry] : entries_) {
+    if (attrs.Empty()) {
+      if (!dirty.Empty()) stale.push_back(attrs);
+      continue;
+    }
+    if (!attrs.Intersects(dirty)) continue;
+    if (attrs.Size() == 1) {
+      entry.partition = patch(attrs.Lowest());
+      UGUIDE_CHECK(entry.partition != nullptr);
+    } else {
+      stale.push_back(attrs);
+    }
+  }
+  for (const AttributeSet& attrs : stale) {
+    auto it = entries_.find(attrs);
+    if (!it->second.pinned) lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  version_ = version;
+}
+
+uint64_t PartitionStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
 void PartitionStore::Erase(const AttributeSet& attrs) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(attrs);

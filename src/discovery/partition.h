@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/attribute_set.h"
@@ -54,6 +55,16 @@ class Partition {
   /// Prefer PartitionCache when computing many related partitions.
   static Partition ForAttributes(const Relation& relation,
                                  const AttributeSet& attrs);
+
+  /// Wraps an externally assembled CSR (flat element array + offsets) as a
+  /// partition. The live-mutation layer patches column partitions in O(Δ)
+  /// and emits the result here; the private constructor's invariants
+  /// (offsets bracket elems, every class >= 2, front offset 0) still apply,
+  /// so a malformed splice trips the same checks a bad build would.
+  static Partition FromCsr(TupleId num_rows, std::vector<TupleId> elems,
+                           std::vector<uint32_t> offsets) {
+    return Partition(num_rows, std::move(elems), std::move(offsets));
+  }
 
   /// The product (refinement) of two partitions: classes are intersections.
   /// Linear in the stripped sizes (TANE, Alg. PRODUCT); one probe-table
@@ -191,6 +202,33 @@ class PartitionStore {
   bool Put(const AttributeSet& attrs, Partition partition,
            bool pinned = false);
 
+  /// Admits an externally accounted partition handle without charging the
+  /// budget: the bytes stay owned by whoever created the handle (the live
+  /// dataset shares one handle across epoch stores, so charging each store
+  /// would double-count). No-op when `attrs` is already resident.
+  void PutShared(const AttributeSet& attrs,
+                 std::shared_ptr<const Partition> partition,
+                 bool pinned = true);
+
+  /// All resident entries (attribute set + handle), unspecified order. The
+  /// live dataset harvests surviving partitions from an outgoing epoch's
+  /// engine through this to seed the next epoch.
+  std::vector<std::pair<AttributeSet, std::shared_ptr<const Partition>>>
+  Snapshot() const;
+
+  /// Advances the store to data version `version`: entries whose attribute
+  /// set intersects `dirty` are patched in place (singleton sets, via
+  /// `patch(col)`) or dropped (composite sets — a dirty input invalidates
+  /// the product; the empty set — its row census may have changed), and
+  /// every clean entry is kept verbatim. `patch` runs under the store lock
+  /// and must return the canonical partition of the mutated column.
+  void AdvanceTo(uint64_t version, const AttributeSet& dirty,
+                 const std::function<std::shared_ptr<const Partition>(int)>&
+                     patch);
+
+  /// Data version last passed to AdvanceTo (0 for a never-advanced store).
+  uint64_t version() const;
+
   /// Drops the entry for `attrs` if present, pinned or not (levels that
   /// fall out of the TANE traversal release their memory here). Bytes are
   /// released once the last outstanding Get handle dies.
@@ -231,6 +269,7 @@ class PartitionStore {
   std::list<AttributeSet> lru_;
   size_t evictions_ = 0;
   size_t recomputes_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace uguide

@@ -1,0 +1,88 @@
+#include "live/live_violation_index.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "violations/violation_engine.h"
+
+namespace uguide {
+
+namespace {
+
+/// Freezes a freshly computed cell vector behind a shared handle.
+LiveViolationIndex::CellVector Freeze(std::vector<Cell> cells) {
+  return std::make_shared<const std::vector<Cell>>(std::move(cells));
+}
+
+}  // namespace
+
+LiveViolationIndex::LiveViolationIndex(const ViolationGraph& base) {
+  fds_.reserve(static_cast<size_t>(base.NumFds()));
+  per_fd_.reserve(static_cast<size_t>(base.NumFds()));
+  for (FdId f = 0; f < base.NumFds(); ++f) {
+    fds_.push_back(base.fd(f));
+    std::vector<Cell> cells;
+    const ConstSpan<CellId> adj = base.CellsOfFd(f);
+    cells.reserve(adj.size());
+    // Frozen adjacency lists an FD's cells in interning order, which
+    // within one FD is exactly the row-ascending ViolatingCells order.
+    for (CellId c : adj) cells.push_back(base.cell(c));
+    per_fd_.push_back(Freeze(std::move(cells)));
+  }
+}
+
+LiveViolationIndex::LiveViolationIndex(const FdSet& candidates,
+                                       ViolationEngine& engine,
+                                       ThreadPool* pool) {
+  fds_.assign(candidates.begin(), candidates.end());
+  per_fd_.reserve(fds_.size());
+  if (pool != nullptr && pool->num_threads() > 1 && fds_.size() > 1) {
+    std::vector<std::vector<Cell>> fresh = pool->ParallelMap(
+        fds_, [&](const Fd& fd) { return engine.ViolatingCells(fd); });
+    for (auto& cells : fresh) per_fd_.push_back(Freeze(std::move(cells)));
+  } else {
+    for (const Fd& fd : fds_) {
+      per_fd_.push_back(Freeze(engine.ViolatingCells(fd)));
+    }
+  }
+}
+
+int LiveViolationIndex::Advance(const AttributeSet& dirty,
+                                ViolationEngine& engine, ThreadPool* pool) {
+  // Freeze the touched-FD list, shard the recomputes, write back in FD
+  // order — untouched vectors are reused verbatim, so the merge input is
+  // identical to a full rebuild's at any thread count.
+  std::vector<size_t> touched;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    const Fd& fd = fds_[i];
+    if (fd.lhs.Intersects(dirty) || dirty.Contains(fd.rhs)) {
+      touched.push_back(i);
+    } else {
+      ++fds_skipped_;
+    }
+  }
+  if (touched.empty()) return 0;
+  if (pool != nullptr && pool->num_threads() > 1 && touched.size() > 1) {
+    std::vector<std::vector<Cell>> fresh = pool->ParallelMap(
+        touched,
+        [&](size_t i) { return engine.ViolatingCells(fds_[i]); });
+    for (size_t j = 0; j < touched.size(); ++j) {
+      // A fresh handle per recompute: epochs holding the old handle keep
+      // seeing the old vector (copy-on-write publish).
+      per_fd_[touched[j]] = Freeze(std::move(fresh[j]));
+    }
+  } else {
+    for (size_t i : touched) {
+      per_fd_[i] = Freeze(engine.ViolatingCells(fds_[i]));
+    }
+  }
+  fds_recomputed_ += static_cast<int64_t>(touched.size());
+  return static_cast<int>(touched.size());
+}
+
+ViolationGraph LiveViolationIndex::MakeGraph() const {
+  return ViolationGraph::FromPerFdCells(fds_, per_fd_);
+}
+
+}  // namespace uguide

@@ -1,0 +1,79 @@
+#ifndef UGUIDE_LIVE_LIVE_VIOLATION_INDEX_H_
+#define UGUIDE_LIVE_LIVE_VIOLATION_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fd/fd.h"
+#include "live/mutation.h"
+#include "violations/bipartite_graph.h"
+
+namespace uguide {
+
+class ThreadPool;
+class ViolationEngine;
+
+/// \brief Frozen per-FD violation-cell vectors, advanced by mutation scope.
+///
+/// The violation graph is a pure function of (candidate FD list, per-FD
+/// cell vectors) — that is the Merge contract. This index keeps those
+/// vectors across epochs behind copy-on-write handles: on Advance it
+/// re-runs ViolatingCells only for FDs whose LHS ∪ RHS intersects the
+/// mutation scope (every other FD's projection is over untouched columns,
+/// so its vector is literally unchanged — the handle is shared, not
+/// copied) and MakeGraph() then assembles a graph byte-identical to a
+/// fresh ViolationGraph::Build over the mutated relation. Snapshot() hands
+/// an epoch the handle array in O(#FDs), so publishing an epoch never
+/// touches the cell payloads; the epoch merges them lazily if a session
+/// ever opens against it.
+///
+/// Not thread-safe; owned and serialized by LiveDataset. Advance itself
+/// shards the touched FDs across `pool` with the usual freeze/shard/merge
+/// discipline, so the result is thread-count invariant.
+class LiveViolationIndex {
+ public:
+  using CellVector = std::shared_ptr<const std::vector<Cell>>;
+  /// Seeds the index from a freshly built graph over the base relation
+  /// (the frozen CSR adjacency *is* the per-FD cell vectors, in
+  /// ViolatingCells order, so no recompute is needed).
+  explicit LiveViolationIndex(const ViolationGraph& base);
+
+  /// Seeds the index by computing every FD's cells through `engine`.
+  LiveViolationIndex(const FdSet& candidates, ViolationEngine& engine,
+                     ThreadPool* pool);
+
+  /// Recomputes the cell vectors of FDs touching `dirty` against `engine`
+  /// (which must already serve the mutated relation). Returns how many
+  /// FDs were recomputed.
+  int Advance(const AttributeSet& dirty, ViolationEngine& engine,
+              ThreadPool* pool);
+
+  /// Assembles the epoch's graph from the current vectors — byte-identical
+  /// to ViolationGraph::Build over the same relation and candidates.
+  ViolationGraph MakeGraph() const;
+
+  /// The frozen candidate FD list, in graph FdId order.
+  const std::vector<Fd>& fds() const { return fds_; }
+
+  /// O(#FDs) copy of the current handle array. An epoch publishes this and
+  /// merges it into a graph lazily, on first access — mutation bursts never
+  /// pay the O(total cells) merge for epochs no session ever opens.
+  std::vector<CellVector> Snapshot() const { return per_fd_; }
+
+  int NumFds() const { return static_cast<int>(fds_.size()); }
+  /// Total FDs recomputed across all Advance calls (observability).
+  int64_t fds_recomputed() const { return fds_recomputed_; }
+  /// FDs skipped because their attributes were untouched.
+  int64_t fds_skipped() const { return fds_skipped_; }
+
+ private:
+  std::vector<Fd> fds_;
+  std::vector<CellVector> per_fd_;
+  int64_t fds_recomputed_ = 0;
+  int64_t fds_skipped_ = 0;
+};
+
+}  // namespace uguide
+
+#endif  // UGUIDE_LIVE_LIVE_VIOLATION_INDEX_H_

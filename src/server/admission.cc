@@ -59,7 +59,10 @@ AdmissionVerdict AdmissionController::Admit(
 
   // 2. Brownout ladder: memory pressure refuses opens first, then sheds
   // every non-answer op. `answer` always lands (served expert attention
-  // must never be lost) and `close` always lands (it frees memory).
+  // must never be lost), `close` always lands (it frees memory), and
+  // `mutate` lands answer-style: the data keeps moving regardless of how
+  // loaded the question-serving side is, and dropping a mutation would
+  // silently fork the client's view of the relation.
   const BrownoutLevel level = brownout();
   if (level >= BrownoutLevel::kBrownout && op == ClientOp::kOpen) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -71,7 +74,7 @@ AdmissionVerdict AdmissionController::Admit(
     return verdict;
   }
   if (level >= BrownoutLevel::kShedding && op != ClientOp::kAnswer &&
-      op != ClientOp::kClose) {
+      op != ClientOp::kClose && op != ClientOp::kMutate) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.brownout_shed;
     verdict.status =

@@ -28,15 +28,26 @@ class ThreadPool;
 struct DatasetKey {
   uint64_t content_hash = 0;
   uint64_t config_signature = 0;
+  /// Live-data epoch the entry was built at. Registry builds are always
+  /// version 0 (the base relation as loaded); the live subsystem derives
+  /// later epochs from the base bundle, and the version keeps their
+  /// identity distinct from the base's without rehashing the mutated
+  /// relation per epoch.
+  uint64_t data_version = 0;
 
   bool operator<(const DatasetKey& other) const {
-    return content_hash != other.content_hash
-               ? content_hash < other.content_hash
-               : config_signature < other.config_signature;
+    if (content_hash != other.content_hash) {
+      return content_hash < other.content_hash;
+    }
+    if (config_signature != other.config_signature) {
+      return config_signature < other.config_signature;
+    }
+    return data_version < other.data_version;
   }
   bool operator==(const DatasetKey& other) const {
     return content_hash == other.content_hash &&
-           config_signature == other.config_signature;
+           config_signature == other.config_signature &&
+           data_version == other.data_version;
   }
 };
 

@@ -414,6 +414,50 @@ Result<ClientFrame> ParseClientFrame(std::string_view line) {
     frame.op = ClientOp::kClose;
     return frame;
   }
+  if (op == "mutate") {
+    frame.op = ClientOp::kMutate;
+    const JsonValue* ops = root.Get("ops");
+    if (ops == nullptr || ops->kind() != JsonValue::Kind::kArray) {
+      return Malformed("missing field: ops");
+    }
+    const std::vector<JsonValue>& items = ops->array_items();
+    if (items.empty()) return Malformed("ops must be non-empty");
+    if (items.size() > 1024) return Malformed("too many ops");
+    for (const JsonValue& item : items) {
+      if (!item.is_object()) return Malformed("op must be an object");
+      UGUIDE_ASSIGN_OR_RETURN(std::string kind, item.GetString("kind", true));
+      Mutation m;
+      if (kind == "append") {
+        m.kind = MutationKind::kAppend;
+        const JsonValue* values = item.Get("values");
+        if (values == nullptr || values->kind() != JsonValue::Kind::kArray) {
+          return Malformed("append needs values");
+        }
+        for (const JsonValue& v : values->array_items()) {
+          if (!v.is_string()) return Malformed("append values must be strings");
+          m.values.push_back(v.string_value());
+        }
+        if (m.values.empty()) return Malformed("append needs values");
+      } else if (kind == "update") {
+        m.kind = MutationKind::kUpdate;
+        UGUIDE_ASSIGN_OR_RETURN(int row, item.GetInt("row", -1));
+        UGUIDE_ASSIGN_OR_RETURN(int col, item.GetInt("col", -1));
+        if (row < 0 || col < 0) return Malformed("bad update target");
+        m.row = row;
+        m.col = col;
+        UGUIDE_ASSIGN_OR_RETURN(m.value, item.GetString("value", true));
+      } else if (kind == "delete") {
+        m.kind = MutationKind::kDelete;
+        UGUIDE_ASSIGN_OR_RETURN(int row, item.GetInt("row", -1));
+        if (row < 0) return Malformed("bad delete target");
+        m.row = row;
+      } else {
+        return Malformed("unknown mutation kind: " + kind);
+      }
+      frame.mutations.push_back(std::move(m));
+    }
+    return frame;
+  }
   return Malformed("unknown op: " + op);
 }
 
@@ -449,6 +493,34 @@ std::string FormatClientFrame(const ClientFrame& frame) {
     case ClientOp::kClose:
       out << "{\"op\":\"close\",\"id\":" << JsonQuote(frame.id) << "}";
       return out.str();
+    case ClientOp::kMutate: {
+      out << "{\"op\":\"mutate\",\"id\":" << JsonQuote(frame.id)
+          << ",\"ops\":[";
+      for (size_t i = 0; i < frame.mutations.size(); ++i) {
+        const Mutation& m = frame.mutations[i];
+        if (i > 0) out << ",";
+        switch (m.kind) {
+          case MutationKind::kAppend:
+            out << "{\"kind\":\"append\",\"values\":[";
+            for (size_t j = 0; j < m.values.size(); ++j) {
+              if (j > 0) out << ",";
+              out << JsonQuote(m.values[j]);
+            }
+            out << "]}";
+            break;
+          case MutationKind::kUpdate:
+            out << "{\"kind\":\"update\",\"row\":" << m.row
+                << ",\"col\":" << m.col
+                << ",\"value\":" << JsonQuote(m.value) << "}";
+            break;
+          case MutationKind::kDelete:
+            out << "{\"kind\":\"delete\",\"row\":" << m.row << "}";
+            break;
+        }
+      }
+      out << "]}";
+      return out.str();
+    }
   }
   return "{}";
 }
@@ -537,6 +609,15 @@ std::string FormatClosedFrame(const std::string& id) {
 }
 
 std::string FormatPongFrame() { return "{\"type\":\"pong\"}"; }
+
+std::string FormatMutatedFrame(const std::string& id, DataVersion version,
+                               int applied, int refused) {
+  std::ostringstream out;
+  out << "{\"type\":\"mutated\",\"id\":" << JsonQuote(id)
+      << ",\"version\":" << version << ",\"applied\":" << applied
+      << ",\"refused\":" << refused << "}";
+  return out.str();
+}
 
 std::string FormatHealthFrame(const HealthInfo& health) {
   std::ostringstream out;
@@ -633,6 +714,15 @@ Result<ServerFrame> ParseServerFrame(std::string_view line) {
     UGUIDE_ASSIGN_OR_RETURN(frame.report, root.GetString("report", true));
     return frame;
   }
+  if (type == "mutated") {
+    frame.type = ServerFrameType::kMutated;
+    UGUIDE_ASSIGN_OR_RETURN(const int version, root.GetInt("version", 0));
+    if (version < 0) return Malformed("bad version");
+    frame.version = static_cast<DataVersion>(version);
+    UGUIDE_ASSIGN_OR_RETURN(frame.applied, root.GetInt("applied", 0));
+    UGUIDE_ASSIGN_OR_RETURN(frame.refused, root.GetInt("refused", 0));
+    return frame;
+  }
   if (type == "question") {
     frame.type = ServerFrameType::kQuestion;
     UGUIDE_ASSIGN_OR_RETURN(frame.question.index, root.GetInt("seq", -1));
@@ -685,6 +775,7 @@ std::string SerializeSessionReport(const SessionReport& report) {
   out << "retry_cost=" << HexFloat(report.retry_cost) << "\n";
   out << "questions_exhausted=" << report.questions_exhausted << "\n";
   out << "questions_replayed=" << report.questions_replayed << "\n";
+  out << "data_version=" << report.data_version << "\n";
   out << "accepted_fds=";
   for (size_t i = 0; i < report.result.accepted_fds.Size(); ++i) {
     const Fd& fd = report.result.accepted_fds[i];

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "core/session.h"
 #include "core/session_state.h"
+#include "live/mutation.h"
 #include "oracle/expert.h"
 
 namespace uguide {
@@ -28,6 +29,10 @@ namespace uguide {
 ///   {"op":"close","id":"s1"}                      // abandon, journal kept
 ///   {"op":"ping"}
 ///   {"op":"health"}                               // overload introspection
+///   {"op":"mutate","id":"m1","ops":[              // live-data mutations
+///    {"kind":"append","values":["v0","v1",...]},
+///    {"kind":"update","row":7,"col":2,"value":"x"},
+///    {"kind":"delete","row":4}]}
 ///
 /// Server frames (`type` discriminates):
 ///   {"type":"question","id":"s1","seq":3,"kind":"cell","row":7,"col":2,
@@ -38,6 +43,7 @@ namespace uguide {
 ///   {"type":"closed","id":"s1"}
 ///   {"type":"pong"}
 ///   {"type":"health","brownout":0,"active_sessions":3,...}
+///   {"type":"mutated","id":"m1","version":4,"applied":3,"refused":0}
 ///
 /// Error frames carry two machine-readable fields: `code`, a stable slug a
 /// client can branch on ("overloaded", "rate_limited", "quarantined",
@@ -113,7 +119,7 @@ std::string HexFloat(double value);
 Result<double> ParseHexFloat(std::string_view token);
 
 /// The client→server operations.
-enum class ClientOp { kOpen, kNext, kAnswer, kClose, kPing, kHealth };
+enum class ClientOp { kOpen, kNext, kAnswer, kClose, kPing, kHealth, kMutate };
 
 /// One parsed client frame; fields beyond `op`/`id` are op-specific.
 struct ClientFrame {
@@ -129,6 +135,8 @@ struct ClientFrame {
   Answer answer = Answer::kIdk;
   double retry_cost = 0.0;
   bool exhausted = false;
+  // mutate
+  std::vector<Mutation> mutations;
 };
 
 /// Parses one client line. Any malformed input yields a Status (never a
@@ -147,7 +155,8 @@ enum class ServerFrameType {
   kError,
   kClosed,
   kPong,
-  kHealth
+  kHealth,
+  kMutated
 };
 
 /// Machine-readable error slugs carried in error frames' `code`. Kept as
@@ -165,6 +174,11 @@ inline constexpr char kStorageFailed[] = "storage_failed";
 /// The journal failed its checksum (bit-rot / mid-file corruption) and was
 /// quarantined; a resume can never succeed. Terminal, do not retry.
 inline constexpr char kJournalCorrupt[] = "journal_corrupt";
+/// A resume pinned to a data version the live dataset no longer serves
+/// (the epoch ring moved on, or the base content changed). Replaying the
+/// journaled answers onto different data would be silently wrong, so the
+/// refusal is terminal — open a fresh session instead.
+inline constexpr char kVersionMismatch[] = "version_mismatch";
 }  // namespace error_code
 
 /// The default slug for a status with no call-site-specific code (e.g.
@@ -214,6 +228,10 @@ struct ServerFrame {
   int retry_after_ms = -1;   // kError: retry hint; negative = absent
   std::string message;       // kError
   HealthInfo health;         // kHealth
+  // kMutated
+  DataVersion version = 0;
+  int applied = 0;
+  int refused = 0;
 };
 
 /// Parses one server line; tolerant, never crashes.
@@ -232,6 +250,10 @@ std::string FormatErrorFrame(const std::string& id, const Status& status,
 std::string FormatClosedFrame(const std::string& id);
 std::string FormatPongFrame();
 std::string FormatHealthFrame(const HealthInfo& health);
+/// The op=mutate acknowledgement: the data version after the batch plus
+/// how many ops applied / were refused.
+std::string FormatMutatedFrame(const std::string& id, DataVersion version,
+                               int applied, int refused);
 
 /// \brief Canonical, byte-comparable text form of a SessionReport.
 ///

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "core/session_journal.h"
 
 namespace uguide {
 
@@ -151,6 +152,8 @@ std::vector<std::string> SessionManager::HandleLine(
       return HandleStep(frame);
     case ClientOp::kClose:
       return HandleClose(frame);
+    case ClientOp::kMutate:
+      return HandleMutate(frame);
     case ClientOp::kPing:
     case ClientOp::kHealth:
       break;  // handled above
@@ -211,10 +214,53 @@ std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
       MakeStrategyByName(frame.strategy);
   if (!strategy.ok()) return {FormatErrorFrame(frame.id, strategy.status())};
 
+  // Resolve which epoch of the data this session runs against. A fresh
+  // open pins the current one; a resume re-pins exactly the epoch its
+  // journal recorded — replaying journaled answers onto different data
+  // would be silently wrong, so a version the ring no longer holds (or a
+  // changed base content) is a terminal, structured refusal.
+  std::shared_ptr<const LiveEpoch> epoch;
+  uint64_t pin_hash = 0;
+  uint64_t pin_version = 0;
+  if (options_.live != nullptr) {
+    epoch = options_.live->Current();
+    pin_hash = epoch->content_hash;
+    pin_version = epoch->version;
+    struct stat st;
+    if (frame.resume && !journal_path.empty() &&
+        ::stat(journal_path.c_str(), &st) == 0) {
+      Result<JournalHeader> header = PeekJournalHeader(journal_path);
+      if (header.ok()) {
+        std::shared_ptr<const LiveEpoch> pinned =
+            options_.live->AtVersion(header->data_version);
+        if (pinned == nullptr ||
+            (header->content_hash != 0 &&
+             header->content_hash != pinned->content_hash)) {
+          return {FormatErrorFrame(
+              frame.id,
+              Status::FailedPrecondition(
+                  "journal pins data version " +
+                  std::to_string(header->data_version) +
+                  " which this daemon no longer serves; open a fresh "
+                  "session instead"),
+              error_code::kVersionMismatch, -1)};
+        }
+        epoch = std::move(pinned);
+        // Echo the journal's own pins (pre-live journals pin 0/0) so the
+        // resumed header validates against what was written.
+        pin_hash = header->content_hash;
+        pin_version = header->data_version;
+      }
+      // A header that fails to peek falls through: the machine's own load
+      // produces the established corrupt-journal handling below.
+    }
+  }
+
   auto served = std::make_shared<Served>();
   served->id = frame.id;
   served->strategy = std::move(*strategy);
   served->last_active = FaultRegistry::Global().Now();
+  served->epoch = epoch;
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -245,13 +291,17 @@ std::vector<std::string> SessionManager::HandleOpen(const ClientFrame& frame) {
   step.journal_fsync = options_.journal_fsync;
   step.pool = options_.pool;
   step.memory_budget = options_.memory_budget;
-  step.engine = options_.engine;
-  step.graph = options_.graph;
+  step.engine = epoch != nullptr ? epoch->engine.get() : options_.engine;
+  step.graph = epoch != nullptr ? &epoch->graph() : options_.graph;
+  step.content_hash = pin_hash;
+  step.data_version = pin_version;
+  const Session* target =
+      epoch != nullptr ? epoch->session.get() : session_;
   const double budget =
       frame.has_budget ? frame.budget : session_->config().budget;
 
   Result<std::unique_ptr<SessionStateMachine>> machine =
-      SessionStateMachine::Start(*session_, *served->strategy, budget,
+      SessionStateMachine::Start(*target, *served->strategy, budget,
                                  std::move(step));
   if (!machine.ok()) {
     Erase(frame.id);
@@ -309,6 +359,20 @@ std::vector<std::string> SessionManager::HandleStep(const ClientFrame& frame) {
   if (!submitted.ok()) return {FormatErrorFrame(frame.id, submitted)};
   served->last_question.reset();
   return Advance(served);
+}
+
+std::vector<std::string> SessionManager::HandleMutate(
+    const ClientFrame& frame) {
+  if (options_.live == nullptr) {
+    return {FormatErrorFrame(
+        frame.id,
+        Status::NotImplemented("live mutations are not enabled here"))};
+  }
+  MutationBatch batch;
+  batch.ops = frame.mutations;
+  const MutationReceipt receipt = options_.live->Apply(batch);
+  return {FormatMutatedFrame(frame.id, receipt.version, receipt.applied,
+                             receipt.refused)};
 }
 
 std::vector<std::string> SessionManager::HandleClose(const ClientFrame& frame) {

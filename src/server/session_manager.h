@@ -13,6 +13,7 @@
 
 #include "core/session.h"
 #include "core/session_state.h"
+#include "live/live_dataset.h"
 #include "server/admission.h"
 #include "server/protocol.h"
 
@@ -58,6 +59,13 @@ struct SessionManagerOptions {
   /// strategies copy it per run instead of rebuilding. Null = build per
   /// run.
   const ViolationGraph* graph = nullptr;
+
+  /// Live mutation subsystem. When set, `op=mutate` applies batches here,
+  /// and every open resolves its epoch (rebased session, patched engine,
+  /// delta-maintained graph, version pins) from the live dataset instead
+  /// of the static `engine`/`graph` above. Null = static data; op=mutate
+  /// is refused. Must outlive the manager.
+  LiveDataset* live = nullptr;
 
   /// Overload-protection knobs, all off by default. The brownout ladder
   /// additionally needs `memory_budget` to be set.
@@ -153,11 +161,16 @@ class SessionManager {
     std::mutex step_mu;
     /// The storage_failed counter ticked once for this session.
     bool storage_failed_counted = false;
+    /// Pins the live epoch this session was opened against, so the ring
+    /// moving on cannot invalidate the engine/graph/session the machine
+    /// holds pointers into. Null when serving static data.
+    std::shared_ptr<const LiveEpoch> epoch;
   };
 
   std::vector<std::string> HandleOpen(const ClientFrame& frame);
   std::vector<std::string> HandleStep(const ClientFrame& frame);
   std::vector<std::string> HandleClose(const ClientFrame& frame);
+  std::vector<std::string> HandleMutate(const ClientFrame& frame);
   std::vector<std::string> HandleHealth();
 
   /// Pulls the next question (or the final report) out of `served`.

@@ -52,13 +52,13 @@ void ViolationGraph::RebuildCellIndex() {
 // Assembles a graph from per-FD violation-cell vectors. Cells are
 // interned in FD order, so the result is a pure function of the inputs —
 // independent of how (or on how many threads) the vectors were produced.
-ViolationGraph ViolationGraph::Merge(std::vector<Fd> fds,
-                                     std::vector<std::vector<Cell>> per_fd) {
+ViolationGraph ViolationGraph::Merge(
+    std::vector<Fd> fds, const std::vector<const std::vector<Cell>*>& per_fd) {
   ViolationGraph g;
   g.fds_ = std::move(fds);
 
   size_t total_edges = 0;
-  for (const auto& cells : per_fd) total_edges += cells.size();
+  for (const auto* cells : per_fd) total_edges += cells->size();
 
   // Pass 1: intern cells in FD order (first sighting assigns the id) and
   // emit the FD-side CSR in the same sweep — edges are already grouped by
@@ -70,7 +70,7 @@ ViolationGraph ViolationGraph::Merge(std::vector<Fd> fds,
   g.index_slots_.assign(NextPow2(total_edges * 2), -1);
   g.index_mask_ = g.index_slots_.size() - 1;
   for (FdId f = 0; f < g.NumFds(); ++f) {
-    for (const Cell& cell : per_fd[static_cast<size_t>(f)]) {
+    for (const Cell& cell : *per_fd[static_cast<size_t>(f)]) {
       const size_t slot = g.ProbeSlot(cell);
       CellId c = g.index_slots_[slot];
       if (c < 0) {
@@ -123,8 +123,42 @@ ViolationGraph ViolationGraph::Merge(std::vector<Fd> fds,
                          g.cell_fd_offsets_[static_cast<size_t>(c)]);
   }
 
-  g.RebuildCellIndex();
+  // Right-size the probe table. When the worst-case table already has the
+  // right-sized capacity (common once duplicates across FDs are rare), the
+  // interning table IS the rebuilt one — both insert the same cells in id
+  // order under the same mask — so the full rehash is skipped. Either way
+  // the final table is the same pure function of the graph's content.
+  if (g.index_slots_.size() != NextPow2(g.cells_.size() * 2)) {
+    g.RebuildCellIndex();
+  }
   return g;
+}
+
+namespace {
+
+/// Borrows every vector in `per_fd` for the pointer-view Merge.
+std::vector<const std::vector<Cell>*> ViewsOf(
+    const std::vector<std::vector<Cell>>& per_fd) {
+  std::vector<const std::vector<Cell>*> views;
+  views.reserve(per_fd.size());
+  for (const auto& cells : per_fd) views.push_back(&cells);
+  return views;
+}
+
+}  // namespace
+
+ViolationGraph ViolationGraph::FromPerFdCells(
+    std::vector<Fd> fds, const std::vector<std::vector<Cell>>& per_fd) {
+  return Merge(std::move(fds), ViewsOf(per_fd));
+}
+
+ViolationGraph ViolationGraph::FromPerFdCells(
+    std::vector<Fd> fds,
+    const std::vector<std::shared_ptr<const std::vector<Cell>>>& per_fd) {
+  std::vector<const std::vector<Cell>*> views;
+  views.reserve(per_fd.size());
+  for (const auto& cells : per_fd) views.push_back(cells.get());
+  return Merge(std::move(fds), views);
 }
 
 ViolationGraph ViolationGraph::Build(const Relation& relation,
@@ -149,7 +183,7 @@ ViolationGraph ViolationGraph::Build(ViolationEngine& engine,
     per_fd.reserve(fds.size());
     for (const Fd& fd : fds) per_fd.push_back(engine.ViolatingCells(fd));
   }
-  return Merge(std::move(fds), std::move(per_fd));
+  return Merge(std::move(fds), ViewsOf(per_fd));
 }
 
 ViolationGraph ViolationGraph::BuildReference(const Relation& relation,
@@ -160,7 +194,7 @@ ViolationGraph ViolationGraph::BuildReference(const Relation& relation,
   for (const Fd& fd : fds) {
     per_fd.push_back(ViolatingCells(relation, fd));
   }
-  return Merge(std::move(fds), std::move(per_fd));
+  return Merge(std::move(fds), ViewsOf(per_fd));
 }
 
 void ViolationGraph::DeactivateFd(FdId f) {

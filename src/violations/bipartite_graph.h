@@ -2,6 +2,7 @@
 #define UGUIDE_VIOLATIONS_BIPARTITE_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/span.h"
@@ -59,6 +60,26 @@ class ViolationGraph {
   /// reference for the equivalence suite and as the benchmark baseline.
   static ViolationGraph BuildReference(const Relation& relation,
                                        const FdSet& candidates);
+
+  /// Assembles a graph directly from frozen per-FD violation-cell vectors
+  /// (`per_fd[i]` belongs to `fds[i]`). This is the deterministic merge
+  /// step every build path funnels through, exposed for the live-mutation
+  /// layer: when an epoch recomputes cells only for FDs whose attributes a
+  /// mutation touched (reusing the untouched FDs' vectors verbatim), the
+  /// result is byte-identical to a fresh Build over the mutated relation.
+  /// `per_fd` is read, not consumed — the live index calls this once per
+  /// epoch against vectors it keeps across epochs, so copying them here
+  /// would charge every batch O(total cells) for nothing.
+  static ViolationGraph FromPerFdCells(
+      std::vector<Fd> fds, const std::vector<std::vector<Cell>>& per_fd);
+
+  /// As above with each FD's vector behind a shared handle — the
+  /// copy-on-write layout LiveViolationIndex keeps across epochs, so a
+  /// lazy epoch materialization reads the frozen handles without ever
+  /// copying the untouched vectors.
+  static ViolationGraph FromPerFdCells(
+      std::vector<Fd> fds,
+      const std::vector<std::shared_ptr<const std::vector<Cell>>>& per_fd);
 
   int NumFds() const { return static_cast<int>(fds_.size()); }
   int NumCells() const { return static_cast<int>(cells_.size()); }
@@ -142,11 +163,13 @@ class ViolationGraph {
  private:
   ViolationGraph() = default;
 
-  /// Interns cells and wires adjacency from frozen per-FD cell vectors,
-  /// in FD order — the deterministic merge step shared by every build
-  /// path.
-  static ViolationGraph Merge(std::vector<Fd> fds,
-                              std::vector<std::vector<Cell>> per_fd);
+  /// Interns cells and wires adjacency from frozen per-FD cell vectors
+  /// (borrowed through raw pointers so both FromPerFdCells layouts share
+  /// it), in FD order — the deterministic merge step shared by every
+  /// build path.
+  static ViolationGraph Merge(
+      std::vector<Fd> fds,
+      const std::vector<const std::vector<Cell>*>& per_fd);
 
   static int Checked(int i, int bound) {
     UGUIDE_CHECK(i >= 0 && i < bound) << "graph index out of range";

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Live-maintenance perf gate: compare a fresh BENCH_live.json against the
+checked-in baseline.
+
+Usage: check_live_regression.py BASELINE_JSON FRESH_JSON
+
+Two checks per batch size:
+  * the single-row speedup (incremental maintenance vs rebuild-per-batch)
+    must stay >= the hard floor — this is the headline number the live
+    subsystem exists for (override with LIVE_MIN_SPEEDUP, default 5.0);
+  * incremental_ms_per_batch may not rise more than the tolerance above
+    the baseline (±40% by default — absolute times on shared runners are
+    noisy; override with LIVE_TOLERANCE_PCT).
+
+Exit status: 0 clean, 1 regression, 2 usage/baseline mismatch.
+"""
+
+import json
+import os
+import sys
+
+
+def load_sizes(path):
+    with open(path) as f:
+        report = json.load(f)
+    sizes = report.get("batch_sizes")
+    if not sizes:
+        sys.exit(f"{path}: no batch_sizes in bench JSON")
+    return {size["batch_rows"]: size for size in sizes}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    min_speedup = float(os.environ.get("LIVE_MIN_SPEEDUP", "5.0"))
+    tolerance = float(os.environ.get("LIVE_TOLERANCE_PCT", "40")) / 100.0
+    baseline = load_sizes(sys.argv[1])
+    fresh = load_sizes(sys.argv[2])
+
+    failures = []
+    for batch_rows, base in sorted(baseline.items()):
+        size = fresh.get(batch_rows)
+        if size is None:
+            failures.append(f"batch={batch_rows}: missing from fresh run")
+            continue
+        incremental = size["incremental_ms_per_batch"]
+        ceiling = base["incremental_ms_per_batch"] * (1.0 + tolerance)
+        speedup = size["speedup"]
+        verdict = "ok"
+        if incremental > ceiling:
+            verdict = "REGRESSION"
+            failures.append(
+                f"batch={batch_rows}: incremental "
+                f"{incremental:.3f}ms > ceiling {ceiling:.3f}ms "
+                f"(baseline {base['incremental_ms_per_batch']:.3f}ms)")
+        if batch_rows == 1 and speedup < min_speedup:
+            verdict = "REGRESSION"
+            failures.append(
+                f"batch={batch_rows}: speedup {speedup:.2f}x < required "
+                f"{min_speedup:.2f}x")
+        print(f"batch={batch_rows}: incremental {incremental:.3f}ms "
+              f"(baseline {base['incremental_ms_per_batch']:.3f}ms, "
+              f"ceiling {ceiling:.3f}ms) speedup {speedup:.2f}x "
+              f"[{verdict}]")
+
+    if failures:
+        print("\nlive maintenance perf regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

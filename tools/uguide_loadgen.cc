@@ -8,6 +8,7 @@
 //                  [--rows=R] [--error-rate=E] [--seed=S] [--idk-rate=I]
 //                  [--no-verify] [--allow-refused] [--check-journals=DIR]
 //                  [--chaos] [--chaos-seed=S] [--restart-grace-ms=T]
+//                  [--mutate-rate=M] [--mutate-seed=S]
 //
 // The dataset flags must match the daemon's — both sides rebuild the same
 // dataset (src/server/dataset.h) and the reports can only be byte-equal if
@@ -38,6 +39,14 @@
 // ok/refused/quarantined, never silently lost. With --check-journals set,
 // every delivered report is additionally cross-checked against its
 // journal (record count == questions_asked, durable end marker present).
+//
+// --mutate-rate=M makes each session, with probability M, first apply a
+// small randomized op=mutate batch (appends/updates/deletes drawn from
+// --mutate-seed), advancing the daemon's live data. Reports produced
+// against a mutated epoch stamp data_version>0 and are exempt from the
+// byte-verify (the in-process reference runs on the base data); reports
+// stamping data_version=0 still byte-verify as usual. The exit summary
+// reports mutations applied/refused.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -88,6 +97,9 @@ struct Args {
   /// Reconnect-backoff window for daemon restarts (0 = not restart-aware:
   /// ~2s of reconnect attempts, initial connect must succeed at once).
   double restart_grace_ms = 0.0;
+  /// Probability that a session opens with a randomized op=mutate batch.
+  double mutate_rate = 0.0;
+  uint64_t mutate_seed = 77;
   ServedDatasetOptions dataset;
 };
 
@@ -100,7 +112,8 @@ void Usage() {
       "                      [--seed=S] [--idk-rate=I] [--no-verify]\n"
       "                      [--allow-refused] [--check-journals=DIR]\n"
       "                      [--chaos] [--chaos-seed=S]\n"
-      "                      [--restart-grace-ms=T]\n");
+      "                      [--restart-grace-ms=T]\n"
+      "                      [--mutate-rate=M] [--mutate-seed=S]\n");
 }
 
 bool FlagError(const char* flag, const std::string& value, const char* want) {
@@ -187,6 +200,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--restart-grace-ms") {
       if (!ParseDoubleFlag("--restart-grace-ms", value,
                            &args->restart_grace_ms)) {
+        return false;
+      }
+    } else if (flag == "--mutate-rate") {
+      if (!ParseDoubleFlag("--mutate-rate", value, &args->mutate_rate)) {
+        return false;
+      }
+    } else if (flag == "--mutate-seed") {
+      if (!ParseU64Flag("--mutate-seed", value, &args->mutate_seed)) {
         return false;
       }
     } else if (flag == "--rows") {
@@ -306,6 +327,9 @@ struct SharedState {
   /// Sessions the daemon ended with journal_corrupt: an explicit verdict
   /// (the damaged journal was moved aside), not a silent loss.
   std::atomic<int> quarantined{0};
+  /// Live-data mutation tallies (op=mutate acks under --mutate-rate).
+  std::atomic<int64_t> mutations_applied{0};
+  std::atomic<int64_t> mutations_refused{0};
 
   std::mutex rtt_mu;
   std::vector<double> rtt_ms;
@@ -499,6 +523,51 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
   bool opened = false;  // An open was acked (question/report seen).
   std::string to_send = FormatClientFrame(open);
 
+  // Mutation mode: with probability --mutate-rate this session leads with
+  // a small randomized op=mutate batch, advancing the live data every
+  // later open serves against. The open is sent after the mutated ack.
+  if (args.mutate_rate > 0.0) {
+    Rng mrng(args.mutate_seed ^
+             (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(index + 1)));
+    if (mrng.NextBool(args.mutate_rate)) {
+      ClientFrame mutate;
+      mutate.op = ClientOp::kMutate;
+      mutate.id = open.id;
+      const int m = session.dirty().NumAttributes();
+      const uint64_t base_rows =
+          static_cast<uint64_t>(session.dirty().NumRows());
+      const int ops = static_cast<int>(mrng.NextInt(1, 3));
+      for (int i = 0; i < ops; ++i) {
+        const std::string tag =
+            std::to_string(index) + "-" + std::to_string(i);
+        switch (mrng.NextBounded(3)) {
+          case 0: {
+            std::vector<std::string> values;
+            for (int c = 0; c < m; ++c) {
+              values.push_back("live-" + tag + "-" + std::to_string(c));
+            }
+            mutate.mutations.push_back(Mutation::Append(std::move(values)));
+            break;
+          }
+          case 1:
+            mutate.mutations.push_back(Mutation::Update(
+                static_cast<TupleId>(mrng.NextBounded(base_rows)),
+                static_cast<int>(mrng.NextBounded(
+                    static_cast<uint64_t>(m))),
+                "live-u-" + tag));
+            break;
+          default:
+            // Deletes of an already-tombstoned row are refused, which the
+            // summary surfaces — that is the point, not a failure.
+            mutate.mutations.push_back(Mutation::Delete(
+                static_cast<TupleId>(mrng.NextBounded(base_rows))));
+            break;
+        }
+      }
+      to_send = FormatClientFrame(mutate);
+    }
+  }
+
   auto backoff = [&](int retry_after_ms) {
     state->retried.fetch_add(1);
     ++retries;
@@ -591,8 +660,19 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
         to_send = FormatClientFrame(answer);
         break;
       }
+      case ServerFrameType::kMutated: {
+        state->mutations_applied.fetch_add(frame->applied);
+        state->mutations_refused.fetch_add(frame->refused);
+        to_send = FormatClientFrame(open);
+        break;
+      }
       case ServerFrameType::kReport: {
-        if (state->args->verify) {
+        // A report stamped with a live data version ran against mutated
+        // data; the in-process reference runs on the base, so the byte
+        // check would be comparing different datasets. data_version=0
+        // reports (epoch 0) still byte-verify.
+        const int live_version = ReportCounter(frame->report, "data_version");
+        if (state->args->verify && live_version <= 0) {
           const std::string* expected =
               ReferenceReport(state, strategy_name);
           const bool matches =
@@ -648,6 +728,16 @@ bool RunOneSession(SharedState* state, Connection* conn, int index) {
           opened = true;
           to_send = resync_frame();
           break;
+        }
+        if (frame->error_code == error_code::kVersionMismatch) {
+          // Terminal and structured: the epoch this journal pinned is no
+          // longer served, so the resume is abandoned — an explicit
+          // refusal, not a lost session.
+          state->refused.fetch_add(1);
+          std::lock_guard<std::mutex> lock(state->rtt_mu);
+          state->rtt_ms.insert(state->rtt_ms.end(), rtts.begin(),
+                               rtts.end());
+          return true;
         }
         if (frame->error_code == error_code::kJournalCorrupt) {
           // The daemon found bit-rot and moved the journal aside. That is
@@ -827,6 +917,11 @@ int main(int argc, char** argv) {
       "rtt_p50=%.3fms rtt_p99=%.3fms\n",
       ok, mismatched, refused, failed, quarantined, retried,
       state.rtt_ms.size(), elapsed_s, p50, p99);
+  if (args.mutate_rate > 0.0) {
+    std::printf("uguide_loadgen: mutations applied=%lld refused=%lld\n",
+                static_cast<long long>(state.mutations_applied.load()),
+                static_cast<long long>(state.mutations_refused.load()));
+  }
 
   if (!args.check_journals.empty()) {
     const int checked = CheckJournals(args);

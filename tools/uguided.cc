@@ -39,6 +39,7 @@
 #include "common/fault_injection.h"
 #include "common/memory_budget.h"
 #include "common/thread_pool.h"
+#include "live/live_dataset.h"
 #include "server/daemon.h"
 #include "server/dataset.h"
 #include "server/dataset_registry.h"
@@ -298,6 +299,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The live mutation subsystem wraps the registry's immutable bundle:
+  // op=mutate batches advance it epoch by epoch while open sessions stay
+  // pinned to the epoch they started against.
+  LiveDataset live(&(*artifacts)->session, (*artifacts)->engine.get(),
+                   &(*artifacts)->graph, (*artifacts)->key.content_hash,
+                   &pool);
+
   DaemonOptions options;
   options.port = args.port;
   options.max_connections = args.max_connections;
@@ -318,6 +326,7 @@ int main(int argc, char** argv) {
   options.manager.admission.queue_deadline_ms = args.queue_deadline_ms;
   options.manager.admission.rate_limit_per_sec = args.rate_limit;
   options.manager.admission.rate_burst = args.rate_burst;
+  options.manager.live = &live;
 
   Result<std::unique_ptr<ServingDaemon>> daemon =
       ServingDaemon::Start(*artifacts, options);
@@ -378,5 +387,13 @@ int main(int argc, char** argv) {
       admission.rate_limited, admission.deadline_shed,
       admission.brownout_refused, admission.brownout_shed, reactor.dropped,
       reactor.dropped_slow_reader, reactor.reaped_idle);
+  const LiveDataset::Stats live_stats = live.stats();
+  std::printf(
+      "uguided: live. version=%" PRIu64 " batches=%" PRId64
+      " ops_applied=%" PRId64 " ops_refused=%" PRId64
+      " fds_recomputed=%" PRId64 " fds_skipped=%" PRId64 "\n",
+      live.Current()->version, live_stats.batches_applied,
+      live_stats.ops_applied, live_stats.ops_refused,
+      live_stats.fds_recomputed, live_stats.fds_skipped);
   return 0;
 }
